@@ -1,0 +1,49 @@
+"""Ablation: EFSM optimization (the paper's "logic optimization" hook).
+
+Measures what the optimizer passes buy on the synchronous product
+machines — shared/simplified reaction trees directly reduce the
+estimated software size ("logic synthesis and optimization can be
+applied to reduce size", Section 3).
+"""
+
+import os
+
+import pytest
+
+from repro.cost import CostModel
+from repro.efsm.optimize import optimize
+
+from workloads import OUT_DIR, buffer_design, ensure_out_dir, stack_design
+
+
+@pytest.mark.parametrize("example, factory, module_name", [
+    ("Stack", stack_design, "toplevel"),
+    ("Buffer", buffer_design, "audio_buffer"),
+])
+def test_ablation_optimize(benchmark, example, factory, module_name):
+    design = factory()
+    module = design.module(module_name)
+    raw = module.efsm(optimized=False)
+
+    optimized = benchmark(lambda: optimize(raw))
+
+    model = CostModel()
+    raw_code = model.efsm_code_bytes(raw)
+    optimized_code = model.efsm_code_bytes(optimized)
+    line = ("%s/%s: states %d -> %d, leaves %d -> %d, "
+            "estimated code %d -> %d bytes (%.0f%% saved)"
+            % (example, module_name,
+               raw.state_count, optimized.state_count,
+               raw.transition_count(), optimized.transition_count(),
+               raw_code, optimized_code,
+               100.0 * (raw_code - optimized_code) / max(1, raw_code)))
+    print("\n" + line)
+    ensure_out_dir()
+    with open(os.path.join(OUT_DIR, "ablation_optimize.txt"), "a") as fh:
+        fh.write(line + "\n")
+
+    # Optimization must never grow the machine, and on these product
+    # machines it must actually shrink the generated code.
+    assert optimized.state_count <= raw.state_count
+    assert optimized.transition_count() <= raw.transition_count()
+    assert optimized_code < raw_code

@@ -1,0 +1,50 @@
+"""Compiler-throughput benchmarks: the three phases, separately timed.
+
+Not a paper table — operational data for users of the reproduction
+(how expensive is each phase on the paper's own design).
+"""
+
+import pytest
+
+from repro.core import CompileOptions, EclCompiler
+from repro.designs import PROTOCOL_STACK_ECL
+from repro.ecl import translate_module
+from repro.efsm import build_efsm, optimize
+from repro.lang import parse_text
+
+
+def test_phase0_parse(benchmark):
+    program, _types = benchmark(
+        lambda: parse_text(PROTOCOL_STACK_ECL, "stack.ecl"))
+    assert len(program.modules()) == 4
+
+
+def test_phase1_translate(benchmark):
+    program, types = parse_text(PROTOCOL_STACK_ECL, "stack.ecl")
+    kernel = benchmark(
+        lambda: translate_module(program, types, "toplevel"))
+    assert kernel.name == "toplevel"
+
+
+def test_phase2_build_efsm(benchmark):
+    program, types = parse_text(PROTOCOL_STACK_ECL, "stack.ecl")
+    kernel = translate_module(program, types, "toplevel")
+    efsm = benchmark(lambda: build_efsm(kernel))
+    assert efsm.state_count > 1
+
+
+def test_phase3_c_backend(benchmark):
+    design = EclCompiler().compile_text(PROTOCOL_STACK_ECL)
+    module = design.module("toplevel")
+    module.efsm()  # pre-build phase 2
+    bundle = benchmark(module.c_code)
+    assert "toplevel_react" in bundle.source
+
+
+def test_full_pipeline(benchmark):
+    def pipeline():
+        design = EclCompiler().compile_text(PROTOCOL_STACK_ECL)
+        return design.module("toplevel").efsm().state_count
+
+    states = benchmark(pipeline)
+    assert states > 1

@@ -1,0 +1,70 @@
+"""Section 4's exploration claim, swept across both designs.
+
+"We consider a significant feature of ECL this ability to mix, with
+little manual intervention, asynchronicity and synchronicity, and to
+trade off performance and cost."  This bench runs every partitioning of
+both Table 1 designs with one loop — the architectural exploration the
+paper advocates — and writes the combined table to
+``benchmarks/out/partition_sweep.txt``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import explore_partitions
+from repro.cost import Table1, format_table1
+
+from workloads import (
+    BUFFER_SPECS,
+    OUT_DIR,
+    STACK_SPECS,
+    buffer_design,
+    buffer_testbench,
+    ensure_out_dir,
+    stack_design,
+    stack_testbench,
+)
+
+PACKETS = 120
+FRAMES = 120
+
+
+def _sweep():
+    table = Table1()
+    sweeps = [
+        ("Stack", stack_design(), STACK_SPECS, stack_testbench(PACKETS)),
+        ("Buffer", buffer_design(), BUFFER_SPECS, buffer_testbench(FRAMES)),
+    ]
+    behaviour = {}
+    for example, design, specs, bench in sweeps:
+        results = explore_partitions(design, specs, bench, example)
+        for label, result in results.items():
+            table.add(result.row)
+            behaviour[(example, label)] = result.testbench_result
+    return table, behaviour
+
+
+def test_partition_sweep(benchmark):
+    table, behaviour = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    # Partitioning must not change functional behaviour.
+    assert behaviour[("Stack", "1 task")] == behaviour[("Stack", "3 tasks")]
+    assert behaviour[("Buffer", "1 task")] == \
+        behaviour[("Buffer", "3 tasks")]
+
+    ensure_out_dir()
+    rendered = format_table1(table, include_paper=False)
+    with open(os.path.join(OUT_DIR, "partition_sweep.txt"), "w") as handle:
+        handle.write(rendered + "\n")
+    print()
+    print(rendered)
+
+    # The general rule (paper, Section 4): synchronous implementations
+    # are faster (less RTOS time) in both designs...
+    for example in ("Stack", "Buffer"):
+        one = table.row(example, "1 task")
+        three = table.row(example, "3 tasks")
+        assert one.total_kcycles < three.total_kcycles, example
+        # ...and per-task data memory grows with the task count.
+        assert three.rtos_data > one.rtos_data, example

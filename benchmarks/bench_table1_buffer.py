@@ -1,0 +1,65 @@
+"""Table 1, Buffer rows: the audio buffer controller.
+
+Regenerates the Buffer half of Table 1 — where the paper's general rule
+shows: "synchronous implementations tend to be larger and faster than
+asynchronous ones".  Written to ``benchmarks/out/table1_buffer.txt``.
+"""
+
+import os
+
+import pytest
+
+from repro.core import explore_partitions
+from repro.cost import Table1, format_table1, shape_checks
+
+from workloads import (
+    BUFFER_SPECS,
+    OUT_DIR,
+    buffer_design,
+    buffer_testbench,
+    ensure_out_dir,
+)
+
+FRAMES = 500
+
+
+@pytest.fixture(scope="module")
+def design():
+    return buffer_design()
+
+
+def _run_table(design):
+    results = explore_partitions(
+        design, BUFFER_SPECS, buffer_testbench(FRAMES), "Buffer")
+    table = Table1()
+    for label in ("1 task", "3 tasks"):
+        table.add(results[label].row)
+    return table, results
+
+
+def test_table1_buffer(design, benchmark):
+    table, results = benchmark.pedantic(
+        lambda: _run_table(design), rounds=1, iterations=1)
+
+    # Functional validation: every frame reaches the DAC either way.
+    for label, result in results.items():
+        assert result.testbench_result == FRAMES, label
+
+    ensure_out_dir()
+    rendered = format_table1(table)
+    with open(os.path.join(OUT_DIR, "table1_buffer.txt"), "w") as handle:
+        handle.write(rendered + "\n")
+    print()
+    print(rendered)
+
+    checks = shape_checks(table)
+    failed = [claim for claim, ok in checks.items() if not ok]
+    assert not failed, "shape claims failed: %s" % failed
+
+    one = table.row("Buffer", "1 task")
+    three = table.row("Buffer", "3 tasks")
+    # The Buffer-specific shape: the synchronous product's code is much
+    # larger than the sum of the three tasks (paper: 7072 vs 2544)...
+    assert one.task_code > 2 * three.task_code
+    # ... while the synchronous implementation is the faster one.
+    assert one.total_kcycles < three.total_kcycles

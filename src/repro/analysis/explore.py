@@ -1,0 +1,101 @@
+"""Control-space exploration of compiled EFSMs.
+
+The paper argues that because ECL's control part "is equivalent to an
+EFSM", the standard FSM algorithms — reachability, property
+verification, implicit state exploration — apply.  This module provides
+the shared exploration primitive: enumerate every (state, input
+valuation) pair, branching *both ways* on data tests.  That makes the
+result an over-approximation of the reachable behaviour (data guards are
+ignored), which is sound for safety checking: if no explored path emits
+the bad signal, no real execution does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from ..efsm.machine import (
+    DoAction,
+    DoEmit,
+    Leaf,
+    TERMINATED,
+    TestData,
+    TestSignal,
+)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One explored reaction: state --inputs/emissions--> successor."""
+
+    source: int
+    inputs: FrozenSet[str]
+    emitted: FrozenSet[str]
+    target: int            # TERMINATED for module termination
+    data_choices: Tuple[bool, ...] = ()
+
+
+def state_edges(efsm, state_index, input_set):
+    """All reaction outcomes of one state under one input valuation,
+    branching over data tests."""
+    state = efsm.state(state_index)
+    results = []
+
+    def walk(node, emitted, choices):
+        if isinstance(node, Leaf):
+            results.append(Edge(
+                source=state_index,
+                inputs=frozenset(input_set),
+                emitted=frozenset(emitted),
+                target=node.target,
+                data_choices=tuple(choices),
+            ))
+            return
+        if isinstance(node, TestSignal):
+            branch = node.then if node.signal in input_set \
+                else node.otherwise
+            walk(branch, emitted, choices)
+            return
+        if isinstance(node, TestData):
+            walk(node.then, emitted, choices + [True])
+            walk(node.otherwise, emitted, choices + [False])
+            return
+        if isinstance(node, DoAction):
+            walk(node.next, emitted, choices)
+            return
+        if isinstance(node, DoEmit):
+            walk(node.next, emitted + [node.signal], choices)
+            return
+        raise TypeError("unknown reaction node %r" % (node,))
+
+    walk(state.reaction, [], [])
+    return results
+
+
+def explore(efsm, max_edges=100000):
+    """Every edge reachable from the initial state, over all input
+    valuations (data tests over-approximated)."""
+    inputs = list(efsm.tested_inputs())
+    edges = []
+    seen_states = {efsm.initial}
+    frontier = [efsm.initial]
+    while frontier:
+        index = frontier.pop()
+        for input_set in _subsets(inputs):
+            for edge in state_edges(efsm, index, input_set):
+                edges.append(edge)
+                if len(edges) > max_edges:
+                    raise RuntimeError(
+                        "exploration exceeded %d edges" % max_edges)
+                if edge.target != TERMINATED and \
+                        edge.target not in seen_states:
+                    seen_states.add(edge.target)
+                    frontier.append(edge.target)
+    return edges
+
+
+def _subsets(names):
+    for mask in range(1 << len(names)):
+        yield frozenset(names[i] for i in range(len(names))
+                        if mask >> i & 1)

@@ -1,0 +1,133 @@
+"""Safety-property checking over the explored control space.
+
+Two styles, both over the sound over-approximation of
+:mod:`repro.analysis.explore`:
+
+* direct checks — "signal X is never emitted", "state S is never
+  entered", emission implications;
+* **observer modules** — the classic synchronous-verification idiom: an
+  ECL module watching the design's signals and emitting an error signal
+  on violation; :func:`check_observer` composes design and observer
+  EFSMs synchronously and searches for the error emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..efsm.machine import TERMINATED
+from .explore import explore, state_edges
+
+
+@dataclass
+class Counterexample:
+    """A path of explored edges witnessing a property violation."""
+
+    edges: List[object] = field(default_factory=list)
+
+    @property
+    def length(self):
+        return len(self.edges)
+
+    def describe(self):
+        parts = []
+        for edge in self.edges:
+            inputs = "+".join(sorted(edge.inputs)) or "-"
+            emits = "+".join(sorted(edge.emitted)) or "-"
+            parts.append("s%d --[%s / %s]--> %s"
+                         % (edge.source, inputs, emits,
+                            "END" if edge.target == TERMINATED
+                            else "s%d" % edge.target))
+        return "\n".join(parts)
+
+
+def check_never_emitted(efsm, signal):
+    """None if ``signal`` can never be emitted, else a Counterexample.
+
+    Sound: data branches are explored both ways, so "never" means never
+    under any data valuation.
+    """
+    return _search(efsm, lambda edge: signal in edge.emitted)
+
+
+def check_never_terminates(efsm):
+    """None if the module can never terminate, else a Counterexample
+    reaching termination (modules in the paper are non-terminating
+    servers; termination usually indicates a missing outer loop)."""
+    return _search(efsm, lambda edge: edge.target == TERMINATED)
+
+
+def check_emission_implies(efsm, signal, required):
+    """Check that every instant emitting ``signal`` also emits
+    ``required`` (e.g. every dac_out comes with a pop)."""
+    return _search(
+        efsm,
+        lambda edge: signal in edge.emitted and required not in edge.emitted)
+
+
+def possible_emissions(efsm):
+    """All signals some explored execution emits."""
+    names = set()
+    for edge in explore(efsm):
+        names.update(edge.emitted)
+    return names
+
+
+def quiescent_states(efsm):
+    """States that can never emit again nor terminate, under any inputs
+    or data — behavioural sinks (a halted module)."""
+    live = set()
+    edges_by_source = {}
+    for edge in explore(efsm):
+        edges_by_source.setdefault(edge.source, []).append(edge)
+        if edge.emitted or edge.target == TERMINATED:
+            live.add(edge.source)
+    # Backward closure: a state reaching a live state is live.
+    changed = True
+    while changed:
+        changed = False
+        for source, edges in edges_by_source.items():
+            if source in live:
+                continue
+            if any(edge.target in live for edge in edges
+                   if edge.target != TERMINATED):
+                live.add(source)
+                changed = True
+    return [s.index for s in efsm.states if s.index not in live]
+
+
+def _search(efsm, predicate):
+    """BFS for an edge satisfying ``predicate``; returns the path."""
+    inputs = list(efsm.tested_inputs())
+    parent = {efsm.initial: None}
+    frontier = [efsm.initial]
+    while frontier:
+        next_frontier = []
+        for index in frontier:
+            for input_set in _subsets(inputs):
+                for edge in state_edges(efsm, index, input_set):
+                    if predicate(edge):
+                        return _path_to(parent, index, edge)
+                    if edge.target != TERMINATED and \
+                            edge.target not in parent:
+                        parent[edge.target] = (index, edge)
+                        next_frontier.append(edge.target)
+        frontier = next_frontier
+    return None
+
+
+def _path_to(parent, index, final_edge):
+    edges = [final_edge]
+    while parent[index] is not None:
+        previous, edge = parent[index]
+        edges.append(edge)
+        index = previous
+    edges.reverse()
+    return Counterexample(edges=edges)
+
+
+def _subsets(names):
+    for mask in range(1 << len(names)):
+        yield frozenset(names[i] for i in range(len(names))
+                        if mask >> i & 1)

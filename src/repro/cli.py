@@ -1,0 +1,190 @@
+"""``eclc`` — command-line front end of the ECL compiler reproduction.
+
+Subcommands::
+
+    eclc info design.ecl                  # modules, split report, sizes
+    eclc compile design.ecl -m top --emit c -o outdir
+    eclc simulate design.ecl -m top --trace stimuli.txt
+    eclc dot design.ecl -m top            # Graphviz to stdout
+
+Trace files for ``simulate`` have one instant per line: blank line = no
+inputs; otherwise space-separated ``name`` (pure event) or ``name=value``
+entries.  Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .core.compiler import EclCompiler
+from .errors import EclError
+
+
+def main(argv=None):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except EclError as error:
+        print("eclc: error: %s" % error, file=sys.stderr)
+        return 1
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="eclc",
+        description="ECL compiler (DAC 1999 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="list modules and split summary")
+    info.add_argument("file")
+    info.set_defaults(handler=_cmd_info)
+
+    compile_ = sub.add_parser("compile", help="compile a module")
+    compile_.add_argument("file")
+    compile_.add_argument("-m", "--module", required=True)
+    compile_.add_argument(
+        "--emit", default="c",
+        choices=["c", "vhdl", "verilog", "esterel", "dot", "all"])
+    compile_.add_argument("-o", "--outdir", default=".")
+    compile_.add_argument("--no-optimize", action="store_true")
+    compile_.set_defaults(handler=_cmd_compile)
+
+    simulate = sub.add_parser("simulate", help="run a module on a trace")
+    simulate.add_argument("file")
+    simulate.add_argument("-m", "--module", required=True)
+    simulate.add_argument("--trace", required=True)
+    simulate.add_argument("--engine", default="efsm",
+                          choices=["efsm", "interp"])
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    dot = sub.add_parser("dot", help="print the EFSM as Graphviz")
+    dot.add_argument("file")
+    dot.add_argument("-m", "--module", required=True)
+    dot.set_defaults(handler=_cmd_dot)
+
+    return parser
+
+
+def _load(args):
+    compiler = EclCompiler()
+    return compiler.compile_file(args.file)
+
+
+def _cmd_info(args):
+    design = _load(args)
+    for name in design.module_names:
+        module = design.module(name)
+        efsm = module.efsm()
+        report = module.split_report()
+        print("module %s: %d states, %d reaction leaves, %s"
+              % (name, efsm.state_count, efsm.transition_count(),
+                 report.summary()))
+        for warning in module.warnings:
+            print("  %s" % warning)
+    return 0
+
+
+def _cmd_compile(args, _emitters=None):
+    design = _load(args)
+    module = design.module(args.module)
+    os.makedirs(args.outdir, exist_ok=True)
+    wanted = ["c", "vhdl", "verilog", "esterel", "dot"] \
+        if args.emit == "all" else [args.emit]
+    written = []
+    for kind in wanted:
+        try:
+            written.extend(_emit(module, kind, args.outdir))
+        except EclError as error:
+            if args.emit == "all":
+                print("eclc: skipping %s: %s" % (kind, error),
+                      file=sys.stderr)
+            else:
+                raise
+    for path in written:
+        print("wrote %s" % path)
+    return 0
+
+
+def _emit(module, kind, outdir):
+    name = module.name
+    if kind == "c":
+        bundle = module.c_code()
+        return [
+            _write(outdir, name + ".h", bundle.header),
+            _write(outdir, name + ".c", bundle.source),
+        ]
+    if kind == "vhdl":
+        return [_write(outdir, name + ".vhd", module.vhdl())]
+    if kind == "verilog":
+        return [_write(outdir, name + ".v", module.verilog())]
+    if kind == "esterel":
+        glue = module.glue()
+        return [
+            _write(outdir, name + ".strl", glue.esterel_text),
+            _write(outdir, name + "_data.c", glue.c_text),
+            _write(outdir, name + "_data.h", glue.header_text),
+        ]
+    if kind == "dot":
+        return [_write(outdir, name + ".dot", module.dot())]
+    raise AssertionError(kind)
+
+
+def _write(outdir, filename, text):
+    path = os.path.join(outdir, filename)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return path
+
+
+def _cmd_simulate(args):
+    design = _load(args)
+    module = design.module(args.module)
+    reactor = module.reactor(engine=args.engine)
+    with open(args.trace) as handle:
+        lines = handle.readlines()
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if line.startswith("#"):
+            continue
+        pure, valued = _parse_instant(line, lineno)
+        output = reactor.react(inputs=pure, values=valued)
+        emitted = []
+        for signal in sorted(output.emitted):
+            if signal in output.values:
+                emitted.append("%s=%r" % (signal, output.values[signal]))
+            else:
+                emitted.append(signal)
+        print("instant %d: %s" % (lineno, " ".join(emitted) or "-"))
+        if output.terminated:
+            print("module terminated")
+            break
+    return 0
+
+
+def _parse_instant(line, lineno):
+    pure = []
+    valued = {}
+    for item in line.split():
+        if "=" in item:
+            name, _eq, text = item.partition("=")
+            try:
+                valued[name] = int(text, 0)
+            except ValueError:
+                raise EclError(
+                    "trace line %d: bad value %r" % (lineno, text))
+        else:
+            pure.append(item)
+    return pure, valued
+
+
+def _cmd_dot(args):
+    design = _load(args)
+    print(design.module(args.module).dot(), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

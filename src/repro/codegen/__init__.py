@@ -1,0 +1,24 @@
+"""Back-ends (the paper's phase 3): software and hardware synthesis.
+
+* :mod:`repro.codegen.py_backend` — executable automaton (simulation);
+* :mod:`repro.codegen.c_backend` — C software synthesis;
+* :mod:`repro.codegen.vhdl_backend` / :mod:`repro.codegen.verilog_backend`
+  — RTL, available only when "the data-dominated C part is empty"
+  (paper, ECL Overview).
+"""
+
+from .c_backend import CBackend, CModule, generate_c
+from .py_backend import EfsmReactor
+from .verilog_backend import VerilogBackend, generate_verilog
+from .vhdl_backend import VhdlBackend, generate_vhdl
+
+__all__ = [
+    "CBackend",
+    "CModule",
+    "generate_c",
+    "EfsmReactor",
+    "VerilogBackend",
+    "generate_verilog",
+    "VhdlBackend",
+    "generate_vhdl",
+]

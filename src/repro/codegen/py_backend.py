@@ -1,0 +1,136 @@
+"""Executable back-end: run an EFSM directly in Python.
+
+This is the software implementation the paper's phase 3 generates, minus
+the C detour: each instant walks the current state's decision tree once —
+no fixed-point iteration, no re-execution — which is exactly why the
+paper claims compiled reactions are faster than hand-written event code
+(and why :mod:`benchmarks.bench_reaction_speed` can measure it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EvalError
+from ..efsm.machine import (
+    DoAction,
+    DoEmit,
+    Leaf,
+    TERMINATED,
+    TestData,
+    TestSignal,
+)
+from ..runtime.ceval import Env, Evaluator
+from ..runtime.memory import AddressSpace
+from ..runtime.reactor import ReactorOutput
+from ..runtime.signals import SignalSlot, SignalTable
+
+
+class EfsmReactor:
+    """Drop-in alternative to :class:`repro.runtime.reactor.Reactor` that
+    executes the compiled automaton instead of interpreting the kernel."""
+
+    def __init__(self, efsm, counter=None, builtins=None):
+        self.efsm = efsm
+        module = efsm.module
+        self.module = module
+        self.space = AddressSpace(module.name)
+        functions = dict(module.functions)
+        if builtins:
+            functions.update(builtins)
+        self.signals = SignalTable()
+        self.env = Env(space=self.space, functions=functions,
+                       signal_resolver=self.signals.get, counter=counter)
+        for param in module.params:
+            self.signals.add(SignalSlot(param.name, param.type, self.space,
+                                        param.direction))
+        for name, sig_type in module.local_signals:
+            self.signals.add(SignalSlot(name, sig_type, self.space, "local"))
+        for name, var_type in module.variables:
+            self.env.declare(name, var_type)
+        self._evaluator = Evaluator(self.env)
+        self.state = efsm.initial
+        self.terminated = False
+        self.instants = 0
+
+    # ------------------------------------------------------------------
+
+    def react(self, inputs=None, values=None):
+        """Run one instant through the decision tree."""
+        if self.terminated:
+            return ReactorOutput(terminated=True)
+        present = set(inputs or ())
+        values = dict(values or {})
+        present.update(values)
+        self.signals.new_instant()
+        for name in present:
+            slot = self.signals.get(name)
+            if slot is None or slot.direction != "input":
+                raise EvalError("module %s has no input signal %r"
+                                % (self.module.name, name))
+            slot.set_input(values.get(name))
+        emitted = set()
+        delta = False
+        self.env.count("react")
+        node = self.efsm.state(self.state).reaction
+        while not isinstance(node, Leaf):
+            if isinstance(node, TestSignal):
+                slot = self.signals[node.signal]
+                node = node.then if slot.present else node.otherwise
+            elif isinstance(node, TestData):
+                node = node.then if self._evaluator.eval_bool(node.cond) \
+                    else node.otherwise
+            elif isinstance(node, DoAction):
+                self._evaluator.exec_stmt(node.stmt)
+                node = node.next
+            elif isinstance(node, DoEmit):
+                value = None
+                if node.value is not None:
+                    value = self._evaluator.eval(node.value)
+                self.signals[node.signal].emit(value)
+                emitted.add(node.signal)
+                node = node.next
+            else:
+                raise EvalError("corrupt reaction tree node %r" % (node,))
+        delta = node.delta
+        if node.target == TERMINATED:
+            self.terminated = True
+        else:
+            self.state = node.target
+        self.instants += 1
+        visible = {
+            name for name in emitted
+            if self.signals[name].direction == "output"
+        }
+        out_values = {}
+        for name in visible:
+            slot = self.signals[name]
+            if not slot.is_pure:
+                out_values[name] = slot.load()
+        return ReactorOutput(
+            emitted=visible,
+            values=out_values,
+            terminated=self.terminated,
+            delta_requested=delta,
+            rounds=1,
+        )
+
+    # Same convenience surface as the interpreter-backed Reactor.
+
+    def signal_value(self, name):
+        return self.signals[name].load()
+
+    def variable(self, name):
+        var = self.env.lookup(name)
+        if var is None:
+            raise EvalError("module %s has no variable %r"
+                            % (self.module.name, name))
+        return var.load()
+
+    def data_bytes(self):
+        return self.space.allocated_bytes
+
+    def reset(self):
+        self.state = self.efsm.initial
+        self.terminated = False
+        self.instants = 0

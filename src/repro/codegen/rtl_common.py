@@ -1,0 +1,78 @@
+"""Shared helpers for the hardware back-ends (VHDL / Verilog).
+
+The paper restricts hardware synthesis: "If the data-dominated C part is
+empty, then the complete ECL specification can be implemented either in
+hardware or in software."  The RTL back-ends therefore accept only
+modules with no extracted data functions, scalar-typed signals and
+variables, and expressions in the synthesizable C fragment (integer
+arithmetic/logic, no pointers, no calls).  Anything else raises
+:class:`~repro.errors.CodegenError` citing the rule.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodegenError
+from ..lang import ast
+from ..lang.types import BoolType, IntType, PureType
+
+
+def check_synthesizable(module):
+    """Enforce the paper's hardware-implementability condition."""
+    if module.data_blocks:
+        raise CodegenError(
+            "module %s has %d extracted data function(s); the paper allows "
+            "hardware only when 'the data-dominated C part is empty'"
+            % (module.name, len(module.data_blocks)))
+    for param in module.params:
+        _check_type(param.type, "signal %s" % param.name, module.name)
+    for name, sig_type in module.local_signals:
+        _check_type(sig_type, "signal %s" % name, module.name)
+    for name, var_type in module.variables:
+        _check_type(var_type, "variable %s" % name, module.name)
+
+
+def _check_type(ctype, what, module_name):
+    if isinstance(ctype, (PureType, BoolType, IntType)):
+        return
+    raise CodegenError(
+        "module %s: %s has non-scalar type %s; hardware synthesis "
+        "requires scalar signals and variables"
+        % (module_name, what, ctype))
+
+
+def bit_width(ctype):
+    """RTL vector width for a scalar type."""
+    if isinstance(ctype, PureType):
+        return 0
+    if isinstance(ctype, BoolType):
+        return 1
+    if isinstance(ctype, IntType):
+        return 8 * ctype.size
+    raise CodegenError("no RTL width for type %s" % ctype)
+
+
+#: C binary operators with a direct RTL equivalent (per backend syntax).
+SYNTHESIZABLE_BINOPS = frozenset(
+    ["+", "-", "*", "&", "|", "^", "<<", ">>",
+     "==", "!=", "<", ">", "<=", ">=", "&&", "||"])
+
+
+def check_expr(expr, module_name):
+    """Reject C constructs with no RTL translation."""
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.Call, ast.Cast, ast.SizeofExpr,
+                             ast.SizeofType, ast.StrLit, ast.Index,
+                             ast.Member)):
+            raise CodegenError(
+                "module %s: expression uses %s, which has no hardware "
+                "translation" % (module_name, type(node).__name__),
+                getattr(node, "span", None))
+        if isinstance(node, ast.Unary) and node.op in ("&", "*"):
+            raise CodegenError(
+                "module %s: pointers cannot be synthesized to hardware"
+                % module_name, node.span)
+        if isinstance(node, ast.Binary) and \
+                node.op not in SYNTHESIZABLE_BINOPS:
+            raise CodegenError(
+                "module %s: operator %r is not synthesizable"
+                % (module_name, node.op), node.span)

@@ -1,0 +1,27 @@
+"""The paper's primary contribution, end to end.
+
+:class:`EclCompiler` drives parse → split → Esterel kernel → EFSM →
+back-ends; :func:`run_partition` reproduces the synchronous/asynchronous
+implementation trade-off of Section 4.
+"""
+
+from .compiler import CompiledDesign, CompiledModule, CompileOptions, EclCompiler
+from .partition import (
+    PartitionResult,
+    PartitionSpec,
+    TaskSpec,
+    explore_partitions,
+    run_partition,
+)
+
+__all__ = [
+    "CompiledDesign",
+    "CompiledModule",
+    "CompileOptions",
+    "EclCompiler",
+    "PartitionResult",
+    "PartitionSpec",
+    "TaskSpec",
+    "explore_partitions",
+    "run_partition",
+]

@@ -1,0 +1,184 @@
+"""The ECL compiler driver — the paper's three phases behind one API.
+
+    >>> from repro.core import EclCompiler
+    >>> design = EclCompiler().compile_text(source_text)
+    >>> module = design.module("toplevel")
+    >>> reactor = module.reactor()          # runnable (EFSM engine)
+    >>> c_code = module.c_code()            # software synthesis
+    >>> esterel = module.glue().esterel_text  # phase-1 artifact
+
+Phase 1 (parse + split + translate) happens eagerly per requested
+module; phase 2 (EFSM) and phase 3 (back-ends) are cached lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..codegen.c_backend import generate_c
+from ..codegen.py_backend import EfsmReactor
+from ..codegen.verilog_backend import generate_verilog
+from ..codegen.vhdl_backend import generate_vhdl
+from ..ecl.check import check_module, errors_of, warnings_of
+from ..ecl.glue import generate_glue
+from ..ecl.splitter import split_module
+from ..ecl.translate import translate_module
+from ..efsm.build import build_efsm
+from ..efsm.dot import to_dot
+from ..efsm.optimize import optimize as optimize_efsm
+from ..errors import CompileError, EclError
+from ..lang.parser import parse_text
+from ..runtime.reactor import Reactor
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for the compilation pipeline (ablation hooks included)."""
+
+    #: Extract data loops as C functions (paper's splitter heuristic);
+    #: turning this off is the bench_ablation_splitter experiment.
+    extract_data_loops: bool = True
+    #: Run the EFSM optimization passes (bench_ablation_optimize).
+    optimize: bool = True
+    #: State budget for the symbolic builder.
+    max_states: int = 4096
+    #: Run the static semantic checker before translation.
+    check: bool = True
+    #: Treat checker warnings as errors.
+    strict: bool = False
+
+
+class CompiledModule:
+    """One module's compilation products, built on demand."""
+
+    def __init__(self, design, name):
+        self._design = design
+        self.name = name
+        options = design.options
+        self.diagnostics = []
+        if options.check:
+            self.diagnostics = check_module(design.program, design.types,
+                                            name)
+            errors = errors_of(self.diagnostics)
+            if options.strict:
+                errors = self.diagnostics
+            if errors:
+                raise CompileError(
+                    "module %s has %d problem(s):\n%s"
+                    % (name, len(errors),
+                       "\n".join("  " + str(d) for d in errors)))
+        self.kernel = translate_module(
+            design.program, design.types, name,
+            extract_data_loops=options.extract_data_loops)
+        self._efsm = None
+        self._efsm_raw = None
+
+    @property
+    def warnings(self):
+        """Checker warnings for this module."""
+        return warnings_of(self.diagnostics)
+
+    # -- phase 2 --------------------------------------------------------
+
+    def efsm(self, optimized=None):
+        """The module's EFSM (optimized by default per options)."""
+        wants_optimized = self._design.options.optimize \
+            if optimized is None else optimized
+        if self._efsm_raw is None:
+            self._efsm_raw = build_efsm(
+                self.kernel, max_states=self._design.options.max_states)
+        if not wants_optimized:
+            return self._efsm_raw
+        if self._efsm is None:
+            self._efsm = optimize_efsm(self._efsm_raw)
+        return self._efsm
+
+    # -- phase 3 --------------------------------------------------------
+
+    def reactor(self, engine="efsm", counter=None, builtins=None):
+        """A runnable instance: ``engine`` is "efsm" (compiled automaton)
+        or "interp" (reference kernel interpreter)."""
+        if engine == "efsm":
+            return EfsmReactor(self.efsm(), counter=counter,
+                               builtins=builtins)
+        if engine == "interp":
+            return Reactor(self.kernel, counter=counter, builtins=builtins)
+        raise CompileError("unknown engine %r (use 'efsm' or 'interp')"
+                           % engine)
+
+    def c_code(self):
+        """Generated C header/source (phase 3, software)."""
+        return generate_c(self.efsm(), self._design.types)
+
+    def vhdl(self):
+        """Generated VHDL (only when the data part is empty)."""
+        return generate_vhdl(self.efsm())
+
+    def verilog(self):
+        """Generated Verilog (only when the data part is empty)."""
+        return generate_verilog(self.efsm())
+
+    def glue(self):
+        """Phase-1 artifacts: Esterel file, C file, header."""
+        return generate_glue(self.kernel, self._design.types)
+
+    def dot(self):
+        """Graphviz rendering of the EFSM."""
+        return to_dot(self.efsm())
+
+    def split_report(self):
+        """The splitter's classification of this module's source."""
+        module_names = {m.name for m in self._design.program.modules()}
+        return split_module(
+            self._design.program.module_named(self.name),
+            module_names,
+            extract_data_loops=self._design.options.extract_data_loops)
+
+
+class CompiledDesign:
+    """A compiled translation unit: source program + per-module products."""
+
+    def __init__(self, program, types, options):
+        self.program = program
+        self.types = types
+        self.options = options
+        self._modules: Dict[str, CompiledModule] = {}
+
+    def module(self, name):
+        if name not in self._modules:
+            if not any(m.name == name for m in self.program.modules()):
+                raise CompileError(
+                    "no module named %r (available: %s)"
+                    % (name, ", ".join(m.name for m in
+                                       self.program.modules()) or "none"))
+            self._modules[name] = CompiledModule(self, name)
+        return self._modules[name]
+
+    @property
+    def module_names(self):
+        return [m.name for m in self.program.modules()]
+
+
+class EclCompiler:
+    """Front door of the reproduction."""
+
+    def __init__(self, options=None):
+        self.options = options if options is not None else CompileOptions()
+
+    def compile_text(self, text, filename="<string>", include_paths=(),
+                     predefined=None):
+        """Compile ECL source text into a :class:`CompiledDesign`."""
+        try:
+            program, types = parse_text(
+                text, filename, include_paths=include_paths,
+                predefined=predefined)
+        except EclError:
+            raise
+        return CompiledDesign(program, types, self.options)
+
+    def compile_file(self, path, include_paths=()):
+        with open(path) as handle:
+            text = handle.read()
+        return self.compile_text(text, filename=str(path),
+                                 include_paths=include_paths)

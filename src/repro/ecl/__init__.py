@@ -1,0 +1,31 @@
+"""The ECL compiler front end: splitting and kernel translation.
+
+Phase 1 of the paper's three-phase compilation: parse (``repro.lang``),
+split reactive from data code (:mod:`repro.ecl.splitter`), and lower to
+the Esterel kernel (:mod:`repro.ecl.translate`), inlining module
+instantiations.
+"""
+
+from .check import Diagnostic, ModuleChecker, check_module, errors_of, warnings_of
+from .module import KernelModule
+from .rename import declared_names, rename_identifiers
+from .splitter import DataBlock, SplitReport, Splitter, is_reactive, split_module
+from .translate import ModuleTranslator, translate_module
+
+__all__ = [
+    "Diagnostic",
+    "ModuleChecker",
+    "check_module",
+    "errors_of",
+    "warnings_of",
+    "KernelModule",
+    "declared_names",
+    "rename_identifiers",
+    "DataBlock",
+    "SplitReport",
+    "Splitter",
+    "is_reactive",
+    "split_module",
+    "ModuleTranslator",
+    "translate_module",
+]

@@ -1,0 +1,118 @@
+"""Phase-1 artifacts: the Esterel file, C file and C header.
+
+The paper: "It then traverses this data structure to extract the reactive
+parts (Esterel-based statements) and write the result out in the form of
+C code, C header and Esterel files."  ECL's selling point over raw
+Esterel is that these declarations and definitions — the *glue code* —
+are generated automatically instead of hand-written.
+
+This module renders all three texts for a translated module.  They are
+artifacts of the compilation flow (inspectable, testable) — execution
+goes through the kernel interpreter or the EFSM back-ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..esterel.printer import EsterelPrinter
+from ..lang import ast
+from ..lang.printer import Printer, type_definition_text, type_text
+from ..lang.types import PureType
+
+
+@dataclass
+class GlueBundle:
+    """The three phase-1 output files for one module."""
+
+    module_name: str
+    esterel_text: str
+    c_text: str
+    header_text: str
+
+
+def generate_glue(kernel_module, types=None):
+    """Produce the Esterel/C/header triple for a KernelModule."""
+    types = types if types is not None else kernel_module.types
+    return GlueBundle(
+        module_name=kernel_module.name,
+        esterel_text=_esterel_file(kernel_module),
+        c_text=_c_file(kernel_module),
+        header_text=_header_file(kernel_module, types),
+    )
+
+
+def _esterel_file(module):
+    printer = EsterelPrinter()
+    return printer.module_text(
+        module.name,
+        module.params,
+        module.body,
+        local_signals=module.local_signals,
+    )
+
+
+def _c_file(module):
+    """The data side: extracted data functions plus user C functions,
+    preserved in their original form (paper: "possibly preserving the
+    form of the incoming code")."""
+    printer = Printer()
+    chunks = [
+        "/* Data part of ECL module %s (generated glue). */" % module.name,
+        '#include "%s_data.h"' % module.name,
+    ]
+    for function in module.functions.values():
+        if isinstance(function, ast.FuncDef):
+            chunks.append(printer.function(function))
+    for block in module.data_blocks:
+        params = ", ".join(
+            "void *%s" % name for name in block.free_names) or "void"
+        lines = ["/* %s */" % block.c_comment(),
+                 "void %s(%s)" % (block.name, params)]
+        body = printer.stmt(block.stmt)
+        if not body[0].lstrip().startswith("{"):
+            body = ["{"] + ["    " + line for line in body] + ["}"]
+        lines.extend(body)
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+def _header_file(module, types):
+    guard = "ECL_%s_DATA_H" % module.name.upper()
+    lines = [
+        "/* Declarations shared by the Esterel and C parts of %s. */"
+        % module.name,
+        "#ifndef %s" % guard,
+        "#define %s" % guard,
+        "",
+    ]
+    for typedef_name, target in types.typedefs.items():
+        if target.is_aggregate():
+            lines.append(type_definition_text(target, typedef_name))
+        else:
+            lines.append("typedef %s;" % type_text(target, typedef_name))
+    for tag, tag_type in types.tags.items():
+        if getattr(tag_type, "typedef_alias", None) is None:
+            lines.append(type_definition_text(tag_type))
+    lines.append("")
+    lines.append("/* Module variables (hoisted by the ECL front end). */")
+    for name, var_type in module.variables:
+        lines.append("extern %s;" % type_text(var_type, name))
+    lines.append("")
+    lines.append("/* Valued signals (presence handled by Esterel). */")
+    for param in module.params:
+        if not isinstance(param.type, PureType):
+            lines.append("extern %s;" % type_text(param.type,
+                                                  param.name + "_value"))
+    for name, sig_type in module.local_signals:
+        if not isinstance(sig_type, PureType):
+            lines.append("extern %s;" % type_text(sig_type,
+                                                  name + "_value"))
+    lines.append("")
+    for block in module.data_blocks:
+        params = ", ".join(
+            "void *%s" % free for free in block.free_names) or "void"
+        lines.append("void %s(%s);" % (block.name, params))
+    lines.append("")
+    lines.append("#endif /* %s */" % guard)
+    return "\n".join(lines) + "\n"

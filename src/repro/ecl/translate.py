@@ -1,0 +1,488 @@
+"""ECL AST -> Esterel kernel translation (the ECL compiler front end).
+
+Implements the paper's compilation scheme: "translate as much of an ECL
+program as possible into Esterel".  Concretely:
+
+* reactive statements map one-to-one onto kernel constructs;
+* C control flow (``if``/``while``/``for``/``do-while`` containing
+  reactive code) is encoded with kernel loops and traps; ``break``,
+  ``continue`` and ``return`` become ``exit`` of the appropriate trap;
+* *data loops* (no halting statement inside — Section 4's second loop
+  kind) are not unrolled into Esterel but kept as atomic
+  :class:`~repro.esterel.kernel.Action` nodes and recorded as extracted
+  C data functions;
+* local variables and signals are hoisted to module level with
+  capture-free alpha-renaming;
+* module instantiation (ECL statement 9) is inlined with formal signals
+  bound to actual signal names, producing the single synchronous EFSM the
+  paper's "collapse the control structure into a single EFSM" describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..errors import InstantaneousLoopError, TranslationError
+from ..esterel import kernel as k
+from ..lang import ast
+from ..lang.types import PureType
+from .module import KernelModule
+from .rename import declared_names, rename_identifiers
+from .splitter import DataBlock, is_reactive
+
+_MAX_INLINE_DEPTH = 32
+
+
+class _LoopContext:
+    """Trap bookkeeping for one enclosing reactive loop."""
+
+    def __init__(self, break_index, continue_index):
+        self.break_index = break_index
+        self.continue_index = continue_index
+
+
+class ModuleTranslator:
+    """Translates one module (plus its inlined submodules)."""
+
+    def __init__(self, program, types, extract_data_loops=True):
+        self.program = program
+        self.types = types
+        self.extract_data_loops = extract_data_loops
+        self.module_names = {m.name for m in program.modules()}
+        self.functions = {f.name: f for f in program.functions()}
+
+    def translate(self, module_name):
+        module = self.program.module_named(module_name)
+        self.result = KernelModule(
+            name=module.name,
+            params=module.signals,
+            functions=dict(self.functions),
+            types=self.types,
+            source=module,
+        )
+        # Signal environment: name -> (direction, type).
+        self.signal_env = {}
+        for param in module.signals:
+            if param.name in self.signal_env:
+                raise TranslationError(
+                    "duplicate signal parameter %r" % param.name, param.span)
+            self.signal_env[param.name] = (param.direction, param.type)
+        self.hoisted = {p.name for p in module.signals}
+        self.scope_stack = [{}]
+        self.loop_stack = []
+        self.trap_depth = 0
+        self.instance_counter = 0
+        self.data_counter = 0
+        self.inline_depth = 0
+        self.uses_return = [False]
+        body = self._module_body(module.body)
+        self.result.body = body
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Scaffolding
+
+    def _module_body(self, body):
+        """Translate a module body inside its return-catching trap."""
+        self.uses_return.append(False)
+        self.trap_depth += 1
+        inner = self._stmt(body)
+        self.trap_depth -= 1
+        used = self.uses_return.pop()
+        return k.Trap(inner) if used else inner
+
+    def _fresh_name(self, base):
+        if base not in self.hoisted:
+            return base
+        counter = 2
+        while "%s__%d" % (base, counter) in self.hoisted:
+            counter += 1
+        return "%s__%d" % (base, counter)
+
+    def _rename_map(self):
+        merged = {}
+        for scope in self.scope_stack:
+            merged.update(scope)
+        return merged
+
+    def _apply(self, node):
+        """Apply the active alpha-renaming to an expression/statement."""
+        if node is None:
+            return None
+        mapping = self._rename_map()
+        if not mapping:
+            return node
+        return rename_identifiers(node, mapping)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _stmt(self, stmt):
+        if stmt is None:
+            return k.NOTHING
+        handler = getattr(self, "_stmt_%s" % type(stmt).__name__, None)
+        if handler is None:
+            raise TranslationError(
+                "cannot translate statement %s" % type(stmt).__name__,
+                stmt.span)
+        return handler(stmt)
+
+    def _stmt_Block(self, stmt):
+        self.scope_stack.append({})
+        try:
+            return k.seq(*[self._stmt(child) for child in stmt.body])
+        finally:
+            self.scope_stack.pop()
+
+    def _stmt_VarDecl(self, stmt):
+        new_name = self._fresh_name(stmt.name)
+        if new_name != stmt.name:
+            self.scope_stack[-1][stmt.name] = new_name
+        self.hoisted.add(new_name)
+        self.result.variables.append((new_name, stmt.type))
+        if stmt.init is None:
+            return k.NOTHING
+        init = self._apply(stmt.init)
+        assign = ast.Assign(span=stmt.span, op="=",
+                            target=ast.Name(span=stmt.span, id=new_name),
+                            value=init)
+        return k.Action(ast.ExprStmt(span=stmt.span, expr=assign))
+
+    def _stmt_SignalDecl(self, stmt):
+        new_name = self._fresh_name(stmt.name)
+        if new_name != stmt.name:
+            self.scope_stack[-1][stmt.name] = new_name
+        self.hoisted.add(new_name)
+        self.result.local_signals.append((new_name, stmt.type))
+        self.signal_env[new_name] = ("local", stmt.type)
+        return k.NOTHING
+
+    def _stmt_ExprStmt(self, stmt):
+        expr = stmt.expr
+        if isinstance(expr, ast.Call) and expr.func in self.module_names:
+            return self._inline_module(expr)
+        return k.Action(self._apply(stmt))
+
+    def _stmt_Emit(self, stmt):
+        renamed = self._apply(stmt)
+        name = renamed.signal
+        entry = self.signal_env.get(name)
+        if entry is None:
+            raise TranslationError("emit of undeclared signal %r" % name,
+                                   stmt.span)
+        direction, sig_type = entry
+        if direction == "input":
+            raise TranslationError("cannot emit input signal %r" % name,
+                                   stmt.span)
+        pure = isinstance(sig_type, PureType)
+        if pure and renamed.value is not None:
+            raise TranslationError(
+                "emit_v on pure signal %r" % name, stmt.span)
+        if not pure and renamed.value is None:
+            raise TranslationError(
+                "valued signal %r needs emit_v(signal, value)" % name,
+                stmt.span)
+        return k.Emit(name, renamed.value)
+
+    def _stmt_Await(self, stmt):
+        if stmt.cond is None:
+            # await(): the delta-cycle construct (paper stmt 2 + fn 3).
+            return k.Pause(delta=True)
+        return k.Await(self._sig_expr(stmt.cond))
+
+    def _stmt_Halt(self, stmt):
+        return k.Halt()
+
+    def _stmt_Present(self, stmt):
+        return k.Present(
+            self._sig_expr(stmt.cond),
+            self._stmt(stmt.then),
+            self._stmt(stmt.otherwise),
+        )
+
+    def _stmt_Abort(self, stmt):
+        cond = self._sig_expr(stmt.cond)
+        body = self._preempt_body(stmt.body)
+        handler = self._stmt(stmt.handler) if stmt.handler is not None \
+            else None
+        return k.Abort(body, cond, handler=handler, weak=stmt.weak)
+
+    def _stmt_Suspend(self, stmt):
+        return k.Suspend(self._preempt_body(stmt.body),
+                         self._sig_expr(stmt.cond))
+
+    def _preempt_body(self, body):
+        """Translate an abort/suspend body.  break/continue cannot cross a
+        pre-emption boundary in our encoding (the trap indices would be
+        wrong); the paper's examples never do this."""
+        return self._stmt(body)
+
+    def _stmt_Par(self, stmt):
+        branches = []
+        for branch in stmt.branches:
+            # break/continue may not cross a parallel boundary.
+            saved = self.loop_stack
+            self.loop_stack = []
+            try:
+                branches.append(self._stmt(branch))
+            finally:
+                self.loop_stack = saved
+        self._check_single_writer(branches, stmt)
+        # Esterel-style causality scheduling: emitters before testers, so
+        # local-signal statuses are justified by the time they are read
+        # (applies identically to the interpreter and the EFSM builder).
+        return k.par(*k.schedule_branches(branches))
+
+    def _check_single_writer(self, branches, stmt):
+        """Paper: shared signals between parallel statements are admitted
+        "as long as only one statement is doing the writing"."""
+        writers = {}
+        for index, branch in enumerate(branches):
+            for name in k.emitted_signals(branch):
+                previous = writers.setdefault(name, index)
+                if previous != index:
+                    raise TranslationError(
+                        "signal %r is emitted by two parallel branches; "
+                        "the paper allows a single writer per shared "
+                        "signal" % name, stmt.span)
+
+    def _stmt_If(self, stmt):
+        return k.IfData(
+            self._apply(stmt.cond),
+            self._stmt(stmt.then),
+            self._stmt(stmt.otherwise),
+        )
+
+    def _stmt_While(self, stmt):
+        if not is_reactive(stmt, self.module_names):
+            return self._data_loop(stmt)
+        constant = _const_truth(stmt.cond)
+        if constant is False:
+            return k.NOTHING
+        body = self._reactive_loop_body(stmt.body, pre_test=stmt.cond
+                                        if constant is None else None)
+        return self._check_loop(k.Trap(body), stmt)
+
+    def _stmt_DoWhile(self, stmt):
+        if not is_reactive(stmt, self.module_names):
+            return self._data_loop(stmt)
+        # do body while(cond): body first, then test at the bottom.
+        self.trap_depth += 1  # break trap
+        break_index = self.trap_depth - 1
+        loop_body = self._loop_iteration(stmt.body, break_index)
+        constant = _const_truth(stmt.cond)
+        if constant is None:
+            test = k.IfData(self._apply(stmt.cond), k.NOTHING,
+                            k.Exit(self.trap_depth - 1 - break_index))
+            loop_body = k.seq(loop_body, test)
+        elif constant is False:
+            loop_body = k.seq(loop_body, k.Exit(
+                self.trap_depth - 1 - break_index))
+        self.trap_depth -= 1
+        return self._check_loop(k.Trap(k.Loop(loop_body)), stmt)
+
+    def _stmt_For(self, stmt):
+        if not is_reactive(stmt, self.module_names):
+            return self._data_loop(stmt)
+        self.scope_stack.append({})
+        try:
+            init = self._stmt(stmt.init) if stmt.init is not None \
+                else k.NOTHING
+            self.trap_depth += 1  # break trap
+            break_index = self.trap_depth - 1
+            parts = []
+            if stmt.cond is not None and _const_truth(stmt.cond) is None:
+                parts.append(k.IfData(
+                    self._apply(stmt.cond), k.NOTHING,
+                    k.Exit(self.trap_depth - 1 - break_index)))
+            elif _const_truth(stmt.cond) is False:
+                parts.append(k.Exit(self.trap_depth - 1 - break_index))
+            body = self._loop_iteration(stmt.body, break_index)
+            parts.append(body)
+            if stmt.step is not None:
+                step = self._apply(ast.ExprStmt(span=stmt.span,
+                                                expr=stmt.step))
+                parts.append(k.Action(step))
+            self.trap_depth -= 1
+            loop = k.Trap(k.Loop(k.seq(*parts)))
+            return self._check_loop(k.seq(init, loop), stmt)
+        finally:
+            self.scope_stack.pop()
+
+    def _reactive_loop_body(self, body, pre_test):
+        """``Loop(seq(test?, Trap(body')))`` under the break trap."""
+        self.trap_depth += 1  # break trap
+        break_index = self.trap_depth - 1
+        parts = []
+        if pre_test is not None:
+            parts.append(k.IfData(
+                self._apply(pre_test), k.NOTHING,
+                k.Exit(self.trap_depth - 1 - break_index)))
+        parts.append(self._loop_iteration(body, break_index))
+        self.trap_depth -= 1
+        return k.Loop(k.seq(*parts))
+
+    def _loop_iteration(self, body, break_index):
+        """One iteration wrapped in the continue trap."""
+        self.trap_depth += 1  # continue trap
+        continue_index = self.trap_depth - 1
+        self.loop_stack.append(_LoopContext(break_index, continue_index))
+        try:
+            inner = self._stmt(body)
+        finally:
+            self.loop_stack.pop()
+            self.trap_depth -= 1
+        return k.Trap(inner)
+
+    def _check_loop(self, stmt, source):
+        """Reject reactive loops whose body is provably instantaneous."""
+        loop = _find_loop(stmt)
+        if loop is not None and k.must_terminate_instantly(loop.body):
+            raise InstantaneousLoopError(
+                "reactive loop body never reaches an instant boundary; "
+                "either make it a data loop (no reactive statements) or "
+                "insert await()", source.span)
+        return stmt
+
+    def _stmt_Break(self, stmt):
+        if not self.loop_stack:
+            raise TranslationError("break outside of a loop", stmt.span)
+        target = self.loop_stack[-1].break_index
+        return k.Exit(self.trap_depth - 1 - target)
+
+    def _stmt_Continue(self, stmt):
+        if not self.loop_stack:
+            raise TranslationError("continue outside of a loop", stmt.span)
+        target = self.loop_stack[-1].continue_index
+        return k.Exit(self.trap_depth - 1 - target)
+
+    def _stmt_Return(self, stmt):
+        if stmt.value is not None:
+            raise TranslationError(
+                "modules cannot return a value; emit an output signal "
+                "instead", stmt.span)
+        self.uses_return[-1] = True
+        # The module trap is the outermost one of the current module body.
+        return k.Exit(self.trap_depth - 1)
+
+    # ------------------------------------------------------------------
+    # Data loops
+
+    def _data_loop(self, stmt):
+        renamed = self._apply(stmt)
+        if self.extract_data_loops:
+            self.data_counter += 1
+            name = "ecl_%s_data_%d" % (self.result.name, self.data_counter)
+            local = set()
+            for node in ast.walk(renamed):
+                if isinstance(node, ast.VarDecl):
+                    local.add(node.name)
+            free = sorted(
+                n.id for n in ast.walk(renamed)
+                if isinstance(n, ast.Name) and n.id not in local
+            )
+            self.result.data_blocks.append(
+                DataBlock(name=name, stmt=renamed,
+                          free_names=tuple(dict.fromkeys(free))))
+        return k.Action(renamed)
+
+    # ------------------------------------------------------------------
+    # Signal expressions
+
+    def _sig_expr(self, sig_expr):
+        renamed = self._apply(sig_expr)
+        for name in renamed.signal_names():
+            if name not in self.signal_env:
+                raise TranslationError(
+                    "presence test of undeclared signal %r" % name,
+                    sig_expr.span)
+        return renamed
+
+    # ------------------------------------------------------------------
+    # Module instantiation (inlining)
+
+    def _inline_module(self, call):
+        if self.inline_depth >= _MAX_INLINE_DEPTH:
+            raise TranslationError(
+                "module instantiation nested deeper than %d (recursive "
+                "modules are not supported)" % _MAX_INLINE_DEPTH, call.span)
+        module = self.program.module_named(call.func)
+        if len(call.args) != len(module.signals):
+            raise TranslationError(
+                "module %s takes %d signals, got %d"
+                % (module.name, len(module.signals), len(call.args)),
+                call.span)
+        mapping = {}
+        for formal, actual_expr in zip(module.signals, call.args):
+            actual_expr = self._apply(actual_expr)
+            if not isinstance(actual_expr, ast.Name):
+                raise TranslationError(
+                    "module instantiation arguments must be signal names",
+                    call.span)
+            actual = actual_expr.id
+            entry = self.signal_env.get(actual)
+            if entry is None:
+                raise TranslationError(
+                    "actual signal %r is not declared" % actual, call.span)
+            direction, actual_type = entry
+            if formal.direction == "output" and direction == "input":
+                raise TranslationError(
+                    "module %s drives signal %r, which is an input of the "
+                    "enclosing module" % (module.name, actual), call.span)
+            if not _types_compatible(formal.type, actual_type):
+                raise TranslationError(
+                    "signal %r: module %s expects %s, got %s"
+                    % (actual, module.name, formal.type, actual_type),
+                    call.span)
+            mapping[formal.name] = actual
+        self.instance_counter += 1
+        prefix = "%s_i%d_" % (module.name, self.instance_counter)
+        self.result.inlined_instances.append(prefix.rstrip("_"))
+        for name in declared_names(module.body):
+            mapping.setdefault(name, prefix + name)
+        body = rename_identifiers(module.body, mapping)
+        # Translate the rewritten body in an isolated control context.
+        saved_scopes, self.scope_stack = self.scope_stack, [{}]
+        saved_loops, self.loop_stack = self.loop_stack, []
+        self.inline_depth += 1
+        try:
+            return self._module_body(body)
+        finally:
+            self.inline_depth -= 1
+            self.scope_stack = saved_scopes
+            self.loop_stack = saved_loops
+
+
+def _const_truth(expr):
+    """True/False for constant conditions, None when data-dependent."""
+    if expr is None:
+        return True
+    if isinstance(expr, ast.IntLit):
+        return expr.value != 0
+    return None
+
+
+def _find_loop(stmt):
+    """The outermost kernel Loop inside a freshly built loop encoding."""
+    if isinstance(stmt, k.Loop):
+        return stmt
+    if isinstance(stmt, k.Trap):
+        return _find_loop(stmt.body)
+    if isinstance(stmt, k.Seq):
+        for child in stmt.stmts:
+            found = _find_loop(child)
+            if found is not None:
+                return found
+    return None
+
+
+def _types_compatible(formal, actual):
+    if isinstance(formal, PureType) or isinstance(actual, PureType):
+        return isinstance(formal, PureType) and isinstance(actual, PureType)
+    return formal == actual or formal.size == actual.size
+
+
+def translate_module(program, types, module_name, extract_data_loops=True):
+    """Translate ``module_name`` of ``program`` into a KernelModule."""
+    translator = ModuleTranslator(program, types, extract_data_loops)
+    return translator.translate(module_name)

@@ -1,0 +1,56 @@
+"""EFSM construction, optimization and composition (paper phases 2-3).
+
+* :mod:`repro.efsm.machine` — the automaton data structure;
+* :mod:`repro.efsm.build` — symbolic compilation from the kernel;
+* :mod:`repro.efsm.optimize` — reachability pruning and tree
+  simplification (the paper's "logic optimization" hook);
+* :mod:`repro.efsm.product` — synchronous product of module EFSMs;
+* :mod:`repro.efsm.dot` — Graphviz export.
+"""
+
+from .build import EfsmBuilder, build_efsm
+from .dot import to_dot
+from .optimize import (
+    merge_equivalent_states,
+    optimize,
+    prune_unreachable,
+    reachable_states,
+    simplify_reactions,
+)
+from .product import Connection, ProductInfo, product_reachable_size
+from .machine import (
+    DoAction,
+    DoEmit,
+    Efsm,
+    Leaf,
+    State,
+    TERMINATED,
+    TestData,
+    TestSignal,
+    count_leaves,
+    walk_reaction,
+)
+
+__all__ = [
+    "EfsmBuilder",
+    "build_efsm",
+    "to_dot",
+    "merge_equivalent_states",
+    "optimize",
+    "prune_unreachable",
+    "reachable_states",
+    "simplify_reactions",
+    "Connection",
+    "ProductInfo",
+    "product_reachable_size",
+    "DoAction",
+    "DoEmit",
+    "Efsm",
+    "Leaf",
+    "State",
+    "TERMINATED",
+    "TestData",
+    "TestSignal",
+    "count_leaves",
+    "walk_reaction",
+]

@@ -1,0 +1,78 @@
+"""Graphviz export of EFSMs (debugging and documentation aid)."""
+
+from __future__ import annotations
+
+from ..lang.printer import Printer
+from .machine import (
+    DoAction,
+    DoEmit,
+    Leaf,
+    TERMINATED,
+    TestData,
+    TestSignal,
+)
+
+
+def to_dot(efsm, max_label_length=60):
+    """Render the EFSM as a Graphviz digraph.
+
+    Each reaction leaf becomes one edge labelled with the conjunction of
+    decisions taken to reach it plus the emissions performed on the way —
+    the familiar guard/action notation of FSM diagrams.
+    """
+    printer = Printer()
+    lines = [
+        "digraph %s {" % _ident(efsm.name),
+        '  rankdir=LR;',
+        '  node [shape=circle];',
+        '  __start [shape=point];',
+        "  __start -> s%d;" % efsm.initial,
+        '  __end [shape=doublecircle, label="end"];',
+    ]
+    for state in efsm.states:
+        lines.append('  s%d [label="%d"];' % (state.index, state.index))
+        for guard, emits, leaf in _edges(state.reaction, printer):
+            label = " & ".join(guard) if guard else "true"
+            if emits:
+                label += " / " + ", ".join(emits)
+            if len(label) > max_label_length:
+                label = label[:max_label_length - 3] + "..."
+            target = "__end" if leaf.target == TERMINATED \
+                else "s%d" % leaf.target
+            lines.append('  s%d -> %s [label="%s"];'
+                         % (state.index, target, _escape(label)))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _edges(node, printer, guard=(), emits=()):
+    if isinstance(node, Leaf):
+        yield list(guard), list(emits), node
+        return
+    if isinstance(node, TestSignal):
+        yield from _edges(node.then, printer, guard + (node.signal,), emits)
+        yield from _edges(node.otherwise, printer,
+                          guard + ("~" + node.signal,), emits)
+        return
+    if isinstance(node, TestData):
+        text = printer.expr(node.cond)
+        yield from _edges(node.then, printer, guard + ("(%s)" % text,),
+                          emits)
+        yield from _edges(node.otherwise, printer,
+                          guard + ("!(%s)" % text,), emits)
+        return
+    if isinstance(node, DoAction):
+        yield from _edges(node.next, printer, guard, emits)
+        return
+    if isinstance(node, DoEmit):
+        yield from _edges(node.next, printer, guard, emits + (node.signal,))
+        return
+    raise TypeError("unknown reaction node %r" % (node,))
+
+
+def _ident(name):
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')

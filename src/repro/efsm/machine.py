@@ -1,0 +1,173 @@
+"""Extended finite state machine produced by the Esterel compilation.
+
+A control state is one reachable kernel residue.  Its *reaction* is a
+decision tree — exactly the shape the Esterel v3/v5 automaton compilers
+generated as C: presence tests on input signals and C-condition tests at
+the nodes, data actions and emissions along the edges, and a next-state
+at each leaf.  Data variables live outside the automaton (that is the
+"extended" in EFSM); guards may consult them, actions may update them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lang import ast
+from ..lang.printer import Printer
+
+#: Leaf marker for "module terminated".
+TERMINATED = -1
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """End of a reaction: go to ``target`` (or TERMINATED)."""
+
+    target: int = TERMINATED
+    delta: bool = False  # an await() pause requests a re-trigger
+
+
+@dataclass(frozen=True)
+class TestSignal:
+    """Branch on presence of one *input* signal."""
+
+    signal: str = ""
+    then: object = None
+    otherwise: object = None
+
+
+@dataclass(frozen=True)
+class TestData:
+    """Branch on a C condition over variables / signal values."""
+
+    cond: ast.Expr = None
+    then: object = None
+    otherwise: object = None
+
+
+@dataclass(frozen=True)
+class DoAction:
+    """Execute an atomic data statement, then continue."""
+
+    stmt: ast.Stmt = None
+    next: object = None
+
+
+@dataclass(frozen=True)
+class DoEmit:
+    """Emit a signal (with optional value expression), then continue."""
+
+    signal: str = ""
+    value: Optional[ast.Expr] = None
+    next: object = None
+
+
+@dataclass
+class State:
+    """One EFSM control state."""
+
+    index: int
+    reaction: object = None     # the decision tree
+    residue: object = None      # the kernel residue (debugging / tests)
+    label: str = ""
+
+
+@dataclass
+class Efsm:
+    """The automaton for one module."""
+
+    name: str
+    states: List[State] = field(default_factory=list)
+    initial: int = 0
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    locals: Tuple[str, ...] = ()
+    module: object = None        # the source KernelModule
+
+    def state(self, index):
+        return self.states[index]
+
+    @property
+    def state_count(self):
+        return len(self.states)
+
+    def transition_count(self):
+        """Number of reaction leaves across all states (EFSM 'edges')."""
+        return sum(count_leaves(s.reaction) for s in self.states)
+
+    def emitted_signals(self):
+        names = set()
+        for state in self.states:
+            for node in walk_reaction(state.reaction):
+                if isinstance(node, DoEmit):
+                    names.add(node.signal)
+        return names
+
+    def tested_inputs(self):
+        names = set()
+        for state in self.states:
+            for node in walk_reaction(state.reaction):
+                if isinstance(node, TestSignal):
+                    names.add(node.signal)
+        return names
+
+    def describe(self):
+        lines = ["efsm %s: %d states, %d reaction leaves"
+                 % (self.name, self.state_count, self.transition_count())]
+        printer = Printer()
+        for state in self.states:
+            lines.append("state %d:%s" % (
+                state.index, " (initial)" if state.index == self.initial
+                else ""))
+            lines.extend(_describe_node(state.reaction, 1, printer))
+        return "\n".join(lines)
+
+
+def walk_reaction(node):
+    """Iterate every node of a reaction tree."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current is None:
+            continue
+        yield current
+        if isinstance(current, (TestSignal, TestData)):
+            stack.append(current.then)
+            stack.append(current.otherwise)
+        elif isinstance(current, (DoAction, DoEmit)):
+            stack.append(current.next)
+
+
+def count_leaves(node):
+    return sum(1 for n in walk_reaction(node) if isinstance(n, Leaf))
+
+
+def _describe_node(node, indent, printer):
+    pad = "  " * indent
+    if isinstance(node, Leaf):
+        target = "END" if node.target == TERMINATED else str(node.target)
+        suffix = " (delta)" if node.delta else ""
+        return [pad + "-> " + target + suffix]
+    if isinstance(node, TestSignal):
+        lines = [pad + "if present(%s):" % node.signal]
+        lines.extend(_describe_node(node.then, indent + 1, printer))
+        lines.append(pad + "else:")
+        lines.extend(_describe_node(node.otherwise, indent + 1, printer))
+        return lines
+    if isinstance(node, TestData):
+        lines = [pad + "if (%s):" % printer.expr(node.cond)]
+        lines.extend(_describe_node(node.then, indent + 1, printer))
+        lines.append(pad + "else:")
+        lines.extend(_describe_node(node.otherwise, indent + 1, printer))
+        return lines
+    if isinstance(node, DoAction):
+        text = " ".join(line.strip() for line in printer.stmt(node.stmt))
+        return [pad + text] + _describe_node(node.next, indent, printer)
+    if isinstance(node, DoEmit):
+        if node.value is None:
+            text = "emit %s" % node.signal
+        else:
+            text = "emit %s(%s)" % (node.signal, printer.expr(node.value))
+        return [pad + text] + _describe_node(node.next, indent, printer)
+    return [pad + repr(node)]

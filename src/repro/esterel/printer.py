@@ -1,0 +1,164 @@
+"""Render kernel programs as Esterel source text.
+
+The ECL compiler's phase 1 writes "the result out in the form of C code,
+C header and Esterel files" (paper, Compilation).  This module produces
+the Esterel file: kernel statements in Esterel v5 concrete syntax, with
+data actions appearing as host-procedure calls (the glue-code convention
+the paper describes for non-scalar data access).
+"""
+
+from __future__ import annotations
+
+from ..errors import CodegenError
+from ..lang import ast
+from ..lang.printer import Printer as CPrinter
+from . import kernel as k
+
+_INDENT = "  "
+
+
+class EsterelPrinter:
+    """Pretty-prints kernel terms as Esterel source."""
+
+    def __init__(self):
+        self._c = CPrinter()
+        self._trap_depth = 0
+
+    # ------------------------------------------------------------------
+
+    def module_text(self, name, params, body, local_signals=()):
+        """Full Esterel module: header, interface, body."""
+        lines = ["module %s:" % name]
+        for param in params:
+            direction = "input" if param.direction == "input" else "output"
+            if param.type is None or getattr(param.type, "size", 1) == 0:
+                lines.append("%s %s;" % (direction, param.name))
+            else:
+                lines.append("%s %s : integer;" % (direction, param.name))
+        body_lines = self.stmt_lines(body, 0)
+        if local_signals:
+            names = ", ".join(n for n, _t in local_signals)
+            lines.append("signal %s in" % names)
+            lines.extend(_INDENT + line for line in body_lines)
+            lines.append("end signal")
+        else:
+            lines.extend(body_lines)
+        lines.append("end module")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+
+    def sig_text(self, sig_expr):
+        if isinstance(sig_expr, ast.SigRef):
+            return sig_expr.name
+        if isinstance(sig_expr, ast.SigNot):
+            return "not %s" % self._sig_atom(sig_expr.operand)
+        if isinstance(sig_expr, ast.SigAnd):
+            return "%s and %s" % (self._sig_atom(sig_expr.left),
+                                  self._sig_atom(sig_expr.right))
+        if isinstance(sig_expr, ast.SigOr):
+            return "%s or %s" % (self._sig_atom(sig_expr.left),
+                                 self._sig_atom(sig_expr.right))
+        raise CodegenError("cannot print signal expression %r" % (sig_expr,))
+
+    def _sig_atom(self, sig_expr):
+        text = self.sig_text(sig_expr)
+        if isinstance(sig_expr, (ast.SigAnd, ast.SigOr)):
+            return "[%s]" % text
+        return text
+
+    # ------------------------------------------------------------------
+
+    def stmt_lines(self, stmt, indent):
+        pad = _INDENT * indent
+        if isinstance(stmt, k.Nothing):
+            return [pad + "nothing"]
+        if isinstance(stmt, k.Pause):
+            return [pad + "pause"]
+        if isinstance(stmt, k.Halt):
+            return [pad + "halt"]
+        if isinstance(stmt, k.Emit):
+            if stmt.value is None:
+                return [pad + "emit %s" % stmt.signal]
+            return [pad + "emit %s(%s)" % (stmt.signal,
+                                           self._c.expr(stmt.value))]
+        if isinstance(stmt, k.Action):
+            # Data actions become host procedure calls in the Esterel file;
+            # the C text is kept as a comment for readability.
+            text = " ".join(
+                line.strip() for line in self._c.stmt(stmt.stmt))
+            return [pad + "call ecl_action()(); %% %s" % text]
+        if isinstance(stmt, k.IfData):
+            lines = [pad + "if ecl_test()(%% %s %%) then"
+                     % self._c.expr(stmt.cond)]
+            lines.extend(self.stmt_lines(stmt.then, indent + 1))
+            if not isinstance(stmt.otherwise, k.Nothing):
+                lines.append(pad + "else")
+                lines.extend(self.stmt_lines(stmt.otherwise, indent + 1))
+            lines.append(pad + "end if")
+            return lines
+        if isinstance(stmt, k.Present):
+            lines = [pad + "present [%s] then" % self.sig_text(stmt.cond)]
+            lines.extend(self.stmt_lines(stmt.then, indent + 1))
+            if not isinstance(stmt.otherwise, k.Nothing):
+                lines.append(pad + "else")
+                lines.extend(self.stmt_lines(stmt.otherwise, indent + 1))
+            lines.append(pad + "end present")
+            return lines
+        if isinstance(stmt, k.Seq):
+            lines = []
+            for index, child in enumerate(stmt.stmts):
+                child_lines = self.stmt_lines(child, indent)
+                if index < len(stmt.stmts) - 1:
+                    child_lines[-1] += ";"
+                lines.extend(child_lines)
+            return lines
+        if isinstance(stmt, k.Loop):
+            lines = [pad + "loop"]
+            lines.extend(self.stmt_lines(stmt.body, indent + 1))
+            lines.append(pad + "end loop")
+            return lines
+        if isinstance(stmt, k.Par):
+            lines = [pad + "["]
+            for index, branch in enumerate(stmt.branches):
+                lines.extend(self.stmt_lines(branch, indent + 1))
+                if index < len(stmt.branches) - 1:
+                    lines.append(pad + "||")
+            lines.append(pad + "]")
+            return lines
+        if isinstance(stmt, k.Trap):
+            label = "T%d" % self._trap_depth
+            self._trap_depth += 1
+            lines = [pad + "trap %s in" % label]
+            lines.extend(self.stmt_lines(stmt.body, indent + 1))
+            lines.append(pad + "end trap")
+            self._trap_depth -= 1
+            return lines
+        if isinstance(stmt, k.Exit):
+            label = "T%d" % (self._trap_depth - 1 - stmt.depth)
+            return [pad + "exit %s" % label]
+        if isinstance(stmt, k.Await):
+            return [pad + "await [%s]" % self.sig_text(stmt.cond)]
+        if isinstance(stmt, k.Abort):
+            keyword = "weak abort" if stmt.weak else "abort"
+            lines = [pad + keyword]
+            lines.extend(self.stmt_lines(stmt.body, indent + 1))
+            lines.append(pad + "when [%s]" % self.sig_text(stmt.cond))
+            if stmt.handler is not None:
+                lines[-1] = pad + "when case [%s] do" % self.sig_text(stmt.cond)
+                lines.extend(self.stmt_lines(stmt.handler, indent + 1))
+                lines.append(pad + "end abort")
+            return lines
+        if isinstance(stmt, k.Suspend):
+            lines = [pad + "suspend"]
+            lines.extend(self.stmt_lines(stmt.body, indent + 1))
+            lines.append(pad + "when [%s]" % self.sig_text(stmt.cond))
+            return lines
+        raise CodegenError(
+            "cannot print kernel statement %r (residues are not source "
+            "syntax)" % (stmt,))
+
+
+def to_esterel(stmt):
+    """Render a kernel statement as Esterel text."""
+    return "\n".join(EsterelPrinter().stmt_lines(stmt, 0))

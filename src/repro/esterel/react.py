@@ -1,0 +1,229 @@
+"""Structural operational semantics of the Esterel kernel.
+
+:func:`react` runs one statement for one instant against a
+:class:`ReactContext` and returns ``(completion_code, residue)``.  The same
+function drives both execution engines:
+
+* the concrete interpreter (:mod:`repro.esterel.interp`) supplies a
+  context that executes data actions against real memory and resolves
+  presence via the per-instant fixed point;
+* the EFSM builder (:mod:`repro.efsm.build`) supplies a context that
+  *records* actions and forks on undetermined tests.
+
+Completion codes: 0 terminate, 1 pause, k+2 exit of trap ``k`` levels up.
+"""
+
+from __future__ import annotations
+
+from ..errors import InstantaneousLoopError
+from ..lang import ast
+from . import kernel as k
+
+
+class ReactContext:
+    """What the semantics needs from an execution engine."""
+
+    def signal_status(self, name):
+        """Presence of ``name`` in the current instant."""
+        raise NotImplementedError
+
+    def data_test(self, expr):
+        """Truth of a C condition in the current micro-state."""
+        raise NotImplementedError
+
+    def emit(self, name, value_expr):
+        """Perform/record an emission."""
+        raise NotImplementedError
+
+    def action(self, stmt):
+        """Perform/record an atomic data statement."""
+        raise NotImplementedError
+
+    def delta_pause(self):
+        """Note that a ``Pause(delta=True)`` was reached (paper fn. 3)."""
+
+
+def eval_sig_expr(ctx, sig_expr):
+    """Evaluate a presence expression through the context."""
+    if isinstance(sig_expr, ast.SigRef):
+        return ctx.signal_status(sig_expr.name)
+    if isinstance(sig_expr, ast.SigNot):
+        return not eval_sig_expr(ctx, sig_expr.operand)
+    if isinstance(sig_expr, ast.SigAnd):
+        # No short-circuit: both sides are resolved so that symbolic
+        # exploration enumerates the same decisions on every path.
+        left = eval_sig_expr(ctx, sig_expr.left)
+        right = eval_sig_expr(ctx, sig_expr.right)
+        return left and right
+    if isinstance(sig_expr, ast.SigOr):
+        left = eval_sig_expr(ctx, sig_expr.left)
+        right = eval_sig_expr(ctx, sig_expr.right)
+        return left or right
+    raise TypeError("unknown signal expression %r" % (sig_expr,))
+
+
+def react(stmt, ctx):
+    """Run ``stmt`` for one instant; return ``(code, residue)``.
+
+    The residue is only meaningful when ``code == 1``; by convention it is
+    :data:`~repro.esterel.kernel.NOTHING` otherwise.
+    """
+    if isinstance(stmt, k.Nothing):
+        return 0, k.NOTHING
+
+    if isinstance(stmt, k.Pause):
+        if stmt.delta:
+            ctx.delta_pause()
+        return 1, k.NOTHING
+
+    if isinstance(stmt, k.Halt):
+        return 1, stmt
+
+    if isinstance(stmt, k.Emit):
+        ctx.emit(stmt.signal, stmt.value)
+        return 0, k.NOTHING
+
+    if isinstance(stmt, k.Action):
+        ctx.action(stmt.stmt)
+        return 0, k.NOTHING
+
+    if isinstance(stmt, k.Exit):
+        return stmt.depth + 2, k.NOTHING
+
+    if isinstance(stmt, k.IfData):
+        branch = stmt.then if ctx.data_test(stmt.cond) else stmt.otherwise
+        return react(branch, ctx)
+
+    if isinstance(stmt, k.Present):
+        branch = stmt.then if eval_sig_expr(ctx, stmt.cond) else stmt.otherwise
+        return react(branch, ctx)
+
+    if isinstance(stmt, k.Seq):
+        return _react_seq(stmt.stmts, ctx)
+
+    if isinstance(stmt, k.Loop):
+        return _react_loop(stmt, stmt.body, ctx, started=False)
+
+    if isinstance(stmt, k.Await):
+        # Non-immediate: the first instant always pauses.
+        return 1, k.AwaitActive(stmt.cond)
+
+    if isinstance(stmt, k.AwaitActive):
+        if eval_sig_expr(ctx, stmt.cond):
+            return 0, k.NOTHING
+        return 1, stmt
+
+    if isinstance(stmt, k.Par):
+        return _react_par([(b, True) for b in stmt.branches], ctx)
+
+    if isinstance(stmt, k.ParActive):
+        return _react_par(
+            [(b, False) for b in stmt.branches], ctx)
+
+    if isinstance(stmt, k.Trap):
+        return _react_trap(stmt.body, ctx)
+
+    if isinstance(stmt, k.Abort):
+        # First instant: the body runs unconditionally.
+        return _arm_abort(react(stmt.body, ctx), stmt.cond, stmt.handler,
+                          stmt.weak)
+
+    if isinstance(stmt, k.AbortActive):
+        if not stmt.weak and eval_sig_expr(ctx, stmt.cond):
+            # Strong abort: the body does not run this instant; the
+            # handler (if any) runs immediately.
+            handler = stmt.handler if stmt.handler is not None else k.NOTHING
+            return react(handler, ctx)
+        code, residue = react(stmt.body, ctx)
+        if stmt.weak and eval_sig_expr(ctx, stmt.cond):
+            # Weak abort: the body ran for the last time this instant.
+            if code == 1:
+                handler = stmt.handler if stmt.handler is not None \
+                    else k.NOTHING
+                return react(handler, ctx)
+            return code, k.NOTHING
+        return _arm_abort((code, residue), stmt.cond, stmt.handler, stmt.weak)
+
+    if isinstance(stmt, k.Suspend):
+        code, residue = react(stmt.body, ctx)
+        if code == 1:
+            return 1, k.SuspendActive(residue, stmt.cond)
+        return code, k.NOTHING
+
+    if isinstance(stmt, k.SuspendActive):
+        if eval_sig_expr(ctx, stmt.cond):
+            return 1, stmt  # frozen this instant
+        code, residue = react(stmt.body, ctx)
+        if code == 1:
+            return 1, k.SuspendActive(residue, stmt.cond)
+        return code, k.NOTHING
+
+    raise TypeError("unknown kernel statement %r" % (stmt,))
+
+
+def _arm_abort(result, cond, handler, weak):
+    code, residue = result
+    if code == 1:
+        return 1, k.AbortActive(residue, cond, handler, weak)
+    return code, k.NOTHING
+
+
+def _react_seq(stmts, ctx):
+    for index, stmt in enumerate(stmts):
+        code, residue = react(stmt, ctx)
+        if code == 0:
+            continue
+        if code == 1:
+            rest = stmts[index + 1:]
+            return 1, k.seq(residue, *rest)
+        return code, k.NOTHING
+    return 0, k.NOTHING
+
+
+def _react_loop(loop, first, ctx, started):
+    """Run a loop: ``first`` is the body residue (on resume) or the body
+    itself (on start).  A body that terminates twice without consuming an
+    instant is an instantaneous loop."""
+    current = first
+    restarted = False
+    while True:
+        code, residue = react(current, ctx)
+        if code == 1:
+            return 1, k.seq(residue, loop)
+        if code != 0:
+            return code, k.NOTHING
+        if restarted:
+            raise InstantaneousLoopError(
+                "loop body terminates without passing an instant boundary; "
+                "the Esterel compiler rejects such loops (extract the loop "
+                "as a data function or add await())")
+        restarted = True
+        current = loop.body
+
+
+def _react_par(branches, ctx):
+    """Run parallel branches left to right; combine with max-code."""
+    codes = []
+    residues = []
+    for branch, _fresh in branches:
+        if branch is None:  # already terminated in an earlier instant
+            codes.append(0)
+            residues.append(None)
+            continue
+        code, residue = react(branch, ctx)
+        codes.append(code)
+        residues.append(residue if code == 1 else None)
+    top = max(codes) if codes else 0
+    if top == 1:
+        return 1, k.ParActive(tuple(residues))
+    # 0: all done; >=2: an exit kills every sibling at the instant's end.
+    return top, k.NOTHING
+
+
+def _react_trap(body, ctx):
+    code, residue = react(body, ctx)
+    if code == 1:
+        return 1, k.Trap(residue)
+    if code == 0 or code == 2:
+        return 0, k.NOTHING
+    return code - 1, k.NOTHING

@@ -1,0 +1,72 @@
+"""ECL language front end: preprocessor, lexer, parser, AST, types.
+
+The paper's phase-1 input ("An ECL file is parsed ... using a standard
+C/C++ parser") is reproduced by :func:`parse_text`, which returns the AST
+(:class:`repro.lang.ast.Program`) plus the populated type table.
+"""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_text, parse_tokens
+from .preprocessor import Preprocessor, preprocess
+from .printer import Printer, to_text, type_text
+from .source import SourceBuffer, Span
+from .tokens import Token, TokenKind
+from .types import (
+    ArrayType,
+    BOOL,
+    BoolType,
+    CHAR,
+    Field,
+    INT,
+    IntType,
+    PURE,
+    PointerType,
+    PureType,
+    StructType,
+    TypeTable,
+    UCHAR,
+    UINT,
+    UnionType,
+    VOID,
+    VoidType,
+    WORD_SIZE,
+    common_type,
+)
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_text",
+    "parse_tokens",
+    "Preprocessor",
+    "preprocess",
+    "Printer",
+    "to_text",
+    "type_text",
+    "SourceBuffer",
+    "Span",
+    "Token",
+    "TokenKind",
+    "ArrayType",
+    "BOOL",
+    "BoolType",
+    "CHAR",
+    "Field",
+    "INT",
+    "IntType",
+    "PURE",
+    "PointerType",
+    "PureType",
+    "StructType",
+    "TypeTable",
+    "UCHAR",
+    "UINT",
+    "UnionType",
+    "VOID",
+    "VoidType",
+    "WORD_SIZE",
+    "common_type",
+]

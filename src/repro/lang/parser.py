@@ -1,0 +1,887 @@
+"""Recursive-descent parser for ECL.
+
+The grammar is the C89 statement/expression core plus the ECL additions:
+
+* ``module name (input|output [pure] type name, ...) { ... }``
+* local ``signal [pure] type name;`` declarations
+* the reactive statements ``emit``, ``emit_v``, ``await``, ``halt``,
+  ``present``, ``do ... abort/weak_abort/suspend``, ``par``
+
+Per the paper's footnote 2, file-scope variables are rejected ("currently
+there is no way to support global and static variables").
+
+``switch`` is accepted and desugared into an ``if``/``else`` chain; because
+the desugaring cannot express fall-through, every non-empty case must end
+in ``break`` or ``return``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError, ScopeError
+from . import ast
+from .lexer import tokenize
+from .preprocessor import preprocess
+from .tokens import Token, TokenKind
+from .types import (
+    ArrayType,
+    PURE,
+    PointerType,
+    StructType,
+    TypeTable,
+    UnionType,
+)
+
+# Binary operator precedence (C), highest binds tightest.
+_BINARY_PRECEDENCE = {
+    "*": 10, "/": 10, "%": 10,
+    "+": 9, "-": 9,
+    "<<": 8, ">>": 8,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "==": 6, "!=": 6,
+    "&": 5,
+    "^": 4,
+    "|": 3,
+    "&&": 2,
+    "||": 1,
+}
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="])
+
+_TYPE_KEYWORDS = frozenset(
+    ["void", "char", "short", "int", "long", "signed", "unsigned",
+     "bool", "struct", "union", "const"]
+)
+
+
+class Parser:
+    """Parses one token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens, types=None):
+        self.tokens = tokens
+        self.pos = 0
+        self.types = types if types is not None else TypeTable()
+        self._anon_counter = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+
+    def _peek(self, offset=0):
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self):
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _at_punct(self, spelling, offset=0):
+        return self._peek(offset).is_punct(spelling)
+
+    def _at_keyword(self, word, offset=0):
+        return self._peek(offset).is_keyword(word)
+
+    def _accept_punct(self, spelling):
+        if self._at_punct(spelling):
+            return self._next()
+        return None
+
+    def _accept_keyword(self, word):
+        if self._at_keyword(word):
+            return self._next()
+        return None
+
+    def _expect_punct(self, spelling):
+        token = self._peek()
+        if not token.is_punct(spelling):
+            raise ParseError("expected %r, found %r" % (spelling, str(token)), token.span)
+        return self._next()
+
+    def _expect_keyword(self, word):
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise ParseError("expected %r, found %r" % (word, str(token)), token.span)
+        return self._next()
+
+    def _expect_ident(self, what="identifier"):
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise ParseError("expected %s, found %r" % (what, str(token)), token.span)
+        return self._next()
+
+    def _error(self, message):
+        raise ParseError(message, self._peek().span)
+
+    # ------------------------------------------------------------------
+    # Program structure
+
+    def parse_program(self):
+        items = []
+        start = self._peek().span
+        while self._peek().kind is not TokenKind.EOF:
+            items.append(self._parse_top_level())
+        return ast.Program(span=start, items=tuple(items))
+
+    def _parse_top_level(self):
+        token = self._peek()
+        if token.is_keyword("typedef"):
+            return self._parse_typedef()
+        if token.is_keyword("module"):
+            return self._parse_module()
+        if token.is_keyword("static"):
+            raise ScopeError(
+                "static variables are not supported (paper footnote 2)", token.span
+            )
+        if token.is_keyword("struct") or token.is_keyword("union"):
+            # Could be a tag definition followed by ';', or a function
+            # returning a struct.  Decide by looking past the definition.
+            return self._parse_tag_or_function()
+        if self._looks_like_type():
+            return self._parse_function_or_global()
+        raise ParseError("expected a declaration, found %r" % str(token), token.span)
+
+    def _parse_typedef(self):
+        start = self._expect_keyword("typedef").span
+        base = self._parse_type_specifier()
+        name_token = self._expect_ident("typedef name")
+        declared = self._parse_array_suffix(base)
+        self._expect_punct(";")
+        if isinstance(declared, (StructType, UnionType)) \
+                and declared.tag.startswith("<"):
+            # Let printers render "packet_t" instead of "union <anon3>".
+            object.__setattr__(declared, "typedef_alias", name_token.value)
+        self.types.define_typedef(name_token.value, declared, name_token.span)
+        return ast.TypedefDecl(span=start.merge(name_token.span),
+                               name=name_token.value, type=declared)
+
+    def _parse_tag_or_function(self):
+        keyword = self._peek()
+        # "struct Tag { ... };"  => tag definition
+        # "struct Tag ident ..." => declaration using the tag
+        if (self._peek(1).kind is TokenKind.IDENT and self._at_punct("{", 2)) or \
+                self._at_punct("{", 1):
+            tag_type = self._parse_type_specifier()
+            self._expect_punct(";")
+            return ast.TagDecl(span=keyword.span, tag=tag_type.tag, type=tag_type)
+        return self._parse_function_or_global()
+
+    def _parse_function_or_global(self):
+        start = self._peek().span
+        base = self._parse_type_specifier()
+        while self._accept_punct("*"):
+            base = PointerType(base)
+        name_token = self._expect_ident("function or variable name")
+        if self._at_punct("("):
+            return self._parse_function(base, name_token, start)
+        raise ScopeError(
+            "global variables are not supported (paper footnote 2)",
+            name_token.span,
+        )
+
+    def _parse_function(self, return_type, name_token, start):
+        self._expect_punct("(")
+        params = []
+        if not self._at_punct(")"):
+            if self._at_keyword("void") and self._at_punct(")", 1):
+                self._next()
+            else:
+                while True:
+                    params.append(self._parse_func_param())
+                    if not self._accept_punct(","):
+                        break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FuncDef(
+            span=start.merge(body.span),
+            name=name_token.value,
+            return_type=return_type,
+            params=tuple(params),
+            body=body,
+        )
+
+    def _parse_func_param(self):
+        param_type = self._parse_type_specifier()
+        while self._accept_punct("*"):
+            param_type = PointerType(param_type)
+        name_token = self._expect_ident("parameter name")
+        param_type = self._parse_array_suffix(param_type)
+        if isinstance(param_type, ArrayType):
+            # C decays array parameters to pointers.
+            param_type = PointerType(param_type.element)
+        return ast.FuncParam(span=name_token.span, name=name_token.value,
+                             type=param_type)
+
+    # ------------------------------------------------------------------
+    # Modules
+
+    def _parse_module(self):
+        start = self._expect_keyword("module").span
+        name_token = self._expect_ident("module name")
+        self._expect_punct("(")
+        signals = []
+        if not self._at_punct(")"):
+            while True:
+                signals.append(self._parse_signal_param())
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.ModuleDecl(
+            span=start.merge(body.span),
+            name=name_token.value,
+            signals=tuple(signals),
+            body=body,
+        )
+
+    def _parse_signal_param(self):
+        token = self._peek()
+        if token.is_keyword("input"):
+            direction = "input"
+        elif token.is_keyword("output"):
+            direction = "output"
+        else:
+            raise ParseError(
+                "signal parameter must start with 'input' or 'output'", token.span
+            )
+        self._next()
+        if self._accept_keyword("pure"):
+            sig_type = PURE
+        else:
+            sig_type = self._parse_type_specifier()
+        name_token = self._expect_ident("signal name")
+        return ast.SignalParam(
+            span=token.span.merge(name_token.span),
+            direction=direction,
+            name=name_token.value,
+            type=sig_type,
+        )
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def _looks_like_type(self, offset=0):
+        token = self._peek(offset)
+        if token.kind is TokenKind.KEYWORD and token.value in _TYPE_KEYWORDS:
+            return True
+        if token.kind is TokenKind.IDENT and self.types.is_type_name(token.value):
+            # A typedef name starts a declaration only when followed by a
+            # declarator (identifier or '*'), not in "packet_t + 1".
+            follower = self._peek(offset + 1)
+            return follower.kind is TokenKind.IDENT or follower.is_punct("*")
+        return False
+
+    def _parse_type_specifier(self):
+        """Parse a type specifier (no declarator suffixes)."""
+        self._accept_keyword("const")  # accepted, ignored
+        token = self._peek()
+        if token.is_keyword("struct") or token.is_keyword("union"):
+            return self._parse_struct_or_union(token.value)
+        if token.kind is TokenKind.KEYWORD and token.value in _TYPE_KEYWORDS:
+            return self._parse_builtin_type()
+        if token.kind is TokenKind.IDENT and self.types.is_type_name(token.value):
+            self._next()
+            return self.types.lookup(token.value, token.span)
+        raise ParseError("expected a type, found %r" % str(token), token.span)
+
+    def _parse_builtin_type(self):
+        words = []
+        start = self._peek().span
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.KEYWORD and token.value in (
+                "void", "bool", "char", "short", "int", "long", "signed", "unsigned"
+            ):
+                words.append(token.value)
+                self._next()
+            elif token.is_keyword("const"):
+                self._next()
+            else:
+                break
+        if not words:
+            raise ParseError("expected a type", start)
+        name = " ".join(words)
+        # Normalize e.g. "unsigned char" / "long unsigned" orderings.
+        canonical = " ".join(sorted(words, key=_specifier_order))
+        try:
+            return self.types.lookup(canonical, start)
+        except Exception:
+            return self.types.lookup(name, start)
+
+    def _parse_struct_or_union(self, which):
+        keyword = self._next()  # struct | union
+        tag = None
+        if self._peek().kind is TokenKind.IDENT:
+            tag = self._next().value
+        if not self._at_punct("{"):
+            if tag is None:
+                raise ParseError("anonymous %s must have a body" % which, keyword.span)
+            return self.types.lookup_tag(tag, keyword.span)
+        self._expect_punct("{")
+        members = []
+        while not self._at_punct("}"):
+            member_base = self._parse_type_specifier()
+            while True:
+                member_type = member_base
+                while self._accept_punct("*"):
+                    member_type = PointerType(member_type)
+                member_name = self._expect_ident("member name")
+                member_type = self._parse_array_suffix(member_type)
+                members.append((member_name.value, member_type))
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(";")
+        self._expect_punct("}")
+        if tag is None:
+            self._anon_counter += 1
+            tag = "<anon%d>" % self._anon_counter
+        builder = StructType.build if which == "struct" else UnionType.build
+        tag_type = builder(tag, members)
+        if not tag.startswith("<"):
+            self.types.define_tag(tag, tag_type, keyword.span)
+        return tag_type
+
+    def _parse_array_suffix(self, base):
+        """Parse zero or more ``[const-expr]`` suffixes (innermost last)."""
+        lengths = []
+        while self._accept_punct("["):
+            if self._accept_punct("]"):
+                # Unsized "[]" — legal for parameters, which decay to
+                # pointers anyway.
+                lengths.append(0)
+                continue
+            expr = self._parse_expr()
+            self._expect_punct("]")
+            lengths.append(self._const_eval(expr))
+        result = base
+        for length in reversed(lengths):
+            result = ArrayType(result, length)
+        return result
+
+    def _const_eval(self, expr):
+        """Evaluate a constant expression used as an array length."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Unary) and expr.op == "-":
+            return -self._const_eval(expr.operand)
+        if isinstance(expr, ast.Unary) and expr.op == "+":
+            return self._const_eval(expr.operand)
+        if isinstance(expr, ast.Binary):
+            left = self._const_eval(expr.left)
+            right = self._const_eval(expr.right)
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b,
+                "%": lambda a, b: a % b,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op in ops:
+                return ops[expr.op](left, right)
+        raise ParseError("expected a constant expression", expr.span)
+
+    # ------------------------------------------------------------------
+    # Statements
+
+    def _parse_block(self):
+        start = self._expect_punct("{").span
+        body = []
+        while not self._at_punct("}"):
+            body.append(self._parse_statement())
+        end = self._expect_punct("}").span
+        return ast.Block(span=start.merge(end), body=tuple(body))
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.is_punct(";"):
+            self._next()
+            return ast.Block(span=token.span, body=())
+        if token.is_keyword("signal"):
+            return self._parse_signal_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("do"):
+            return self._parse_do()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("switch"):
+            return self._parse_switch()
+        if token.is_keyword("break"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Break(span=token.span)
+        if token.is_keyword("continue"):
+            self._next()
+            self._expect_punct(";")
+            return ast.Continue(span=token.span)
+        if token.is_keyword("return"):
+            self._next()
+            value = None if self._at_punct(";") else self._parse_expr()
+            self._expect_punct(";")
+            return ast.Return(span=token.span, value=value)
+        if token.is_keyword("static"):
+            raise ScopeError(
+                "static variables are not supported (paper footnote 2)", token.span
+            )
+        # Reactive statements.
+        if token.is_keyword("emit") or token.is_keyword("emit_v"):
+            return self._parse_emit()
+        if token.is_keyword("await"):
+            return self._parse_await()
+        if token.is_keyword("halt"):
+            self._next()
+            self._expect_punct("(")
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.Halt(span=token.span)
+        if token.is_keyword("present"):
+            return self._parse_present()
+        if token.is_keyword("par"):
+            return self._parse_par()
+        # Declarations.
+        if self._looks_like_type():
+            return self._parse_var_decl()
+        # Expression statement.
+        expr = self._parse_expr()
+        self._expect_punct(";")
+        return ast.ExprStmt(span=expr.span, expr=expr)
+
+    def _parse_signal_decl(self):
+        start = self._expect_keyword("signal").span
+        if self._accept_keyword("pure"):
+            sig_type = PURE
+        else:
+            sig_type = self._parse_type_specifier()
+        decls = []
+        while True:
+            name_token = self._expect_ident("signal name")
+            decls.append(ast.SignalDecl(
+                span=start.merge(name_token.span),
+                name=name_token.value, type=sig_type))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(span=start, body=tuple(decls))
+
+    def _parse_var_decl(self):
+        start = self._peek().span
+        base = self._parse_type_specifier()
+        decls = []
+        while True:
+            var_type = base
+            while self._accept_punct("*"):
+                var_type = PointerType(var_type)
+            name_token = self._expect_ident("variable name")
+            var_type = self._parse_array_suffix(var_type)
+            init = None
+            if self._accept_punct("="):
+                if self._at_punct("{"):
+                    raise ParseError(
+                        "brace initializers are not supported; assign elements "
+                        "explicitly", self._peek().span)
+                init = self._parse_assignment()
+            decls.append(ast.VarDecl(
+                span=start.merge(name_token.span),
+                name=name_token.value, type=var_type, init=init))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(span=start, body=tuple(decls))
+
+    def _parse_if(self):
+        start = self._expect_keyword("if").span
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        # The paper's Figure 1 uses "if (A) then ..."; accept optional 'then'.
+        if self._peek().is_ident("then"):
+            self._next()
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept_keyword("else"):
+            otherwise = self._parse_statement()
+        return ast.If(span=start, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_while(self):
+        start = self._expect_keyword("while").span
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.While(span=start, cond=cond, body=body)
+
+    def _parse_do(self):
+        """``do`` introduces either C do-while or the ECL pre-emption forms
+        ``do stmt abort(e)``, ``do stmt weak_abort(e)``, ``do stmt
+        suspend(e)`` (paper, statements 5-7)."""
+        start = self._expect_keyword("do").span
+        body = self._parse_statement()
+        token = self._peek()
+        if token.is_keyword("while"):
+            self._next()
+            self._expect_punct("(")
+            cond = self._parse_expr()
+            self._expect_punct(")")
+            self._expect_punct(";")
+            return ast.DoWhile(span=start, body=body, cond=cond)
+        if token.is_keyword("abort") or token.is_keyword("weak_abort"):
+            weak = token.value == "weak_abort"
+            self._next()
+            self._expect_punct("(")
+            cond = self._parse_signal_expr()
+            self._expect_punct(")")
+            handler = None
+            if self._accept_keyword("handle"):
+                handler = self._parse_statement()
+            else:
+                self._accept_punct(";")
+            return ast.Abort(span=start, body=body, cond=cond,
+                             handler=handler, weak=weak)
+        if token.is_keyword("suspend"):
+            self._next()
+            self._expect_punct("(")
+            cond = self._parse_signal_expr()
+            self._expect_punct(")")
+            self._accept_punct(";")
+            return ast.Suspend(span=start, body=body, cond=cond)
+        raise ParseError(
+            "expected 'while', 'abort', 'weak_abort' or 'suspend' after "
+            "'do' body", token.span)
+
+    def _parse_for(self):
+        start = self._expect_keyword("for").span
+        self._expect_punct("(")
+        init = None
+        if not self._at_punct(";"):
+            if self._looks_like_type():
+                init = self._parse_var_decl()
+            else:
+                expr = self._parse_expr()
+                self._expect_punct(";")
+                init = ast.ExprStmt(span=expr.span, expr=expr)
+        else:
+            self._next()
+        cond = None
+        if not self._at_punct(";"):
+            cond = self._parse_expr()
+        self._expect_punct(";")
+        step = None
+        if not self._at_punct(")"):
+            step = self._parse_expr()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        return ast.For(span=start, init=init, cond=cond, step=step, body=body)
+
+    def _parse_switch(self):
+        start = self._expect_keyword("switch").span
+        self._expect_punct("(")
+        scrutinee = self._parse_expr()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases = []  # (values or None-for-default, [stmts], span)
+        while not self._at_punct("}"):
+            token = self._peek()
+            if token.is_keyword("case"):
+                self._next()
+                value = self._parse_expr()
+                self._expect_punct(":")
+                values = [value]
+                while self._at_keyword("case"):
+                    self._next()
+                    values.append(self._parse_expr())
+                    self._expect_punct(":")
+                cases.append((values, [], token.span))
+            elif token.is_keyword("default"):
+                self._next()
+                self._expect_punct(":")
+                cases.append((None, [], token.span))
+            else:
+                if not cases:
+                    raise ParseError("statement before first case label",
+                                     token.span)
+                cases[-1][1].append(self._parse_statement())
+        self._expect_punct("}")
+        return self._desugar_switch(start, scrutinee, cases)
+
+    def _desugar_switch(self, span, scrutinee, cases):
+        """Rewrite switch into an if/else chain (no fall-through allowed)."""
+        default_body = None
+        chain = []
+        for values, stmts, case_span in cases:
+            if stmts and not isinstance(stmts[-1], (ast.Break, ast.Return)):
+                raise ParseError(
+                    "switch cases must end with 'break' or 'return' "
+                    "(fall-through is not supported)", case_span)
+            body_stmts = tuple(
+                s for s in stmts if not isinstance(s, ast.Break)
+            )
+            body = ast.Block(span=case_span, body=body_stmts)
+            if values is None:
+                default_body = body
+            else:
+                cond = None
+                for value in values:
+                    test = ast.Binary(span=case_span, op="==",
+                                      left=scrutinee, right=value)
+                    cond = test if cond is None else ast.Binary(
+                        span=case_span, op="||", left=cond, right=test)
+                chain.append((cond, body))
+        result = default_body
+        for cond, body in reversed(chain):
+            result = ast.If(span=span, cond=cond, then=body, otherwise=result)
+        return result if result is not None else ast.Block(span=span, body=())
+
+    # ------------------------------------------------------------------
+    # Reactive statements
+
+    def _parse_emit(self):
+        token = self._next()  # emit | emit_v
+        with_value = token.value == "emit_v"
+        self._expect_punct("(")
+        name_token = self._expect_ident("signal name")
+        value = None
+        if with_value:
+            self._expect_punct(",")
+            value = self._parse_assignment()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.Emit(span=token.span, signal=name_token.value, value=value)
+
+    def _parse_await(self):
+        start = self._expect_keyword("await").span
+        self._expect_punct("(")
+        cond = None
+        if not self._at_punct(")"):
+            cond = self._parse_signal_expr()
+        self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.Await(span=start, cond=cond)
+
+    def _parse_present(self):
+        start = self._expect_keyword("present").span
+        self._expect_punct("(")
+        cond = self._parse_signal_expr()
+        self._expect_punct(")")
+        then = self._parse_statement()
+        otherwise = None
+        if self._accept_keyword("else"):
+            otherwise = self._parse_statement()
+        return ast.Present(span=start, cond=cond, then=then,
+                           otherwise=otherwise)
+
+    def _parse_par(self):
+        start = self._expect_keyword("par").span
+        self._expect_punct("{")
+        branches = []
+        while not self._at_punct("}"):
+            branches.append(self._parse_statement())
+        end = self._expect_punct("}").span
+        if not branches:
+            raise ParseError("par must contain at least one branch", start)
+        return ast.Par(span=start.merge(end), branches=tuple(branches))
+
+    def _parse_signal_expr(self):
+        """Parse a presence expression: names combined with & | ~ (the
+        paper also shows && and ||; ! is accepted as a synonym of ~)."""
+        expr = self._parse_expr()
+        return self._to_signal_expr(expr)
+
+    def _to_signal_expr(self, expr):
+        if isinstance(expr, ast.Name):
+            return ast.SigRef(span=expr.span, name=expr.id)
+        if isinstance(expr, ast.Unary) and expr.op in ("~", "!"):
+            return ast.SigNot(span=expr.span,
+                              operand=self._to_signal_expr(expr.operand))
+        if isinstance(expr, ast.Binary) and expr.op in ("&", "&&"):
+            return ast.SigAnd(span=expr.span,
+                              left=self._to_signal_expr(expr.left),
+                              right=self._to_signal_expr(expr.right))
+        if isinstance(expr, ast.Binary) and expr.op in ("|", "||"):
+            return ast.SigOr(span=expr.span,
+                             left=self._to_signal_expr(expr.left),
+                             right=self._to_signal_expr(expr.right))
+        raise ParseError(
+            "signal expressions may only combine signal names with "
+            "&, | and ~", expr.span)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+
+    def _parse_expr(self):
+        expr = self._parse_assignment()
+        while self._at_punct(","):
+            comma = self._next()
+            right = self._parse_assignment()
+            expr = ast.Binary(span=comma.span, op=",", left=expr, right=right)
+        return expr
+
+    def _parse_assignment(self):
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment()
+            return ast.Assign(span=token.span, op=token.value,
+                              target=left, value=value)
+        return left
+
+    def _parse_conditional(self):
+        cond = self._parse_binary(1)
+        if self._accept_punct("?"):
+            then = self._parse_expr()
+            self._expect_punct(":")
+            otherwise = self._parse_conditional()
+            return ast.Cond(span=cond.span, cond=cond, then=then,
+                            otherwise=otherwise)
+        return cond
+
+    def _parse_binary(self, min_precedence):
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._next()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(span=token.span, op=token.value,
+                              left=left, right=right)
+
+    def _parse_unary(self):
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value in ("-", "+", "!", "~", "*", "&"):
+            self._next()
+            operand = self._parse_unary()
+            return ast.Unary(span=token.span, op=token.value, operand=operand)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._next()
+            target = self._parse_unary()
+            return ast.IncDec(span=token.span, op=token.value,
+                              target=target, postfix=False)
+        if token.is_keyword("sizeof"):
+            self._next()
+            if self._at_punct("(") and self._looks_like_type(1):
+                self._expect_punct("(")
+                size_type = self._parse_type_specifier()
+                size_type = self._parse_abstract_suffix(size_type)
+                self._expect_punct(")")
+                return ast.SizeofType(span=token.span, type=size_type)
+            operand = self._parse_unary()
+            return ast.SizeofExpr(span=token.span, operand=operand)
+        # Cast: '(' type ')' unary
+        if self._at_punct("(") and self._looks_like_cast():
+            self._expect_punct("(")
+            cast_type = self._parse_type_specifier()
+            cast_type = self._parse_abstract_suffix(cast_type)
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.Cast(span=token.span, type=cast_type, operand=operand)
+        return self._parse_postfix()
+
+    def _looks_like_cast(self):
+        """After '(' — is this a type name followed by ')' or '*'?"""
+        token = self._peek(1)
+        if token.kind is TokenKind.KEYWORD and token.value in _TYPE_KEYWORDS:
+            return True
+        if token.kind is TokenKind.IDENT and self.types.is_type_name(token.value):
+            follower = self._peek(2)
+            return follower.is_punct(")") or follower.is_punct("*")
+        return False
+
+    def _parse_abstract_suffix(self, base):
+        while self._accept_punct("*"):
+            base = PointerType(base)
+        return self._parse_array_suffix(base)
+
+    def _parse_postfix(self):
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_punct("["):
+                self._next()
+                index = self._parse_expr()
+                self._expect_punct("]")
+                expr = ast.Index(span=token.span, base=expr, index=index)
+            elif token.is_punct("."):
+                self._next()
+                name_token = self._expect_ident("member name")
+                expr = ast.Member(span=token.span, base=expr,
+                                  name=name_token.value, arrow=False)
+            elif token.is_punct("->"):
+                self._next()
+                name_token = self._expect_ident("member name")
+                expr = ast.Member(span=token.span, base=expr,
+                                  name=name_token.value, arrow=True)
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._next()
+                expr = ast.IncDec(span=token.span, op=token.value,
+                                  target=expr, postfix=True)
+            elif token.is_punct("(") and isinstance(expr, ast.Name):
+                self._next()
+                args = []
+                if not self._at_punct(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if not self._accept_punct(","):
+                            break
+                self._expect_punct(")")
+                expr = ast.Call(span=expr.span, func=expr.id, args=tuple(args))
+            else:
+                return expr
+
+    def _parse_primary(self):
+        token = self._peek()
+        if token.kind is TokenKind.INT_LITERAL or token.kind is TokenKind.CHAR_LITERAL:
+            self._next()
+            return ast.IntLit(span=token.span, value=token.value)
+        if token.kind is TokenKind.STRING_LITERAL:
+            self._next()
+            return ast.StrLit(span=token.span, value=token.value)
+        if token.kind is TokenKind.IDENT:
+            self._next()
+            return ast.Name(span=token.span, id=token.value)
+        if token.is_punct("("):
+            self._next()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        raise ParseError("expected an expression, found %r" % str(token),
+                         token.span)
+
+
+def _specifier_order(word):
+    order = ["unsigned", "signed", "long", "short", "char", "int", "void", "bool"]
+    return order.index(word) if word in order else len(order)
+
+
+def parse_tokens(tokens, types=None):
+    """Parse a token list into a Program."""
+    return Parser(tokens, types).parse_program()
+
+
+def parse_text(text, filename="<string>", types=None, include_paths=(),
+               predefined=None, run_preprocessor=True):
+    """Preprocess, lex and parse ECL source text.
+
+    Returns ``(program, type_table)``.
+    """
+    if run_preprocessor:
+        text = preprocess(text, filename, include_paths, predefined)
+    tokens = tokenize(text, filename)
+    table = types if types is not None else TypeTable()
+    program = parse_tokens(tokens, table)
+    return program, table

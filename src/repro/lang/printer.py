@@ -1,0 +1,325 @@
+"""Pretty-printer: AST -> C/ECL source text.
+
+Used by the C back-end (to emit extracted data functions almost verbatim,
+as the paper requires for the "possibly preserving the form of the incoming
+code" compilation style), by the glue-code generator, and by tests that
+round-trip parse -> print -> parse.
+"""
+
+from __future__ import annotations
+
+from ..errors import CodegenError
+from . import ast
+from .types import (
+    ArrayType,
+    BoolType,
+    IntType,
+    PointerType,
+    PureType,
+    StructType,
+    UnionType,
+    VoidType,
+)
+
+_INDENT = "    "
+
+# Precedence levels used to decide parenthesization when printing.
+_PRECEDENCE = {
+    ",": 0, "=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1, "%=": 1,
+    "&=": 1, "|=": 1, "^=": 1, "<<=": 1, ">>=": 1,
+    "?:": 2, "||": 3, "&&": 4, "|": 5, "^": 6, "&": 7,
+    "==": 8, "!=": 8, "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10, "+": 11, "-": 11, "*": 12, "/": 12, "%": 12,
+    "unary": 13, "postfix": 14, "primary": 15,
+}
+
+
+def type_text(ctype, declarator=""):
+    """Render a type, optionally around a declarator name.
+
+    ``type_text(ArrayType(CHAR, 4), "buf")`` -> ``"char buf[4]"``.
+    """
+    if isinstance(ctype, ArrayType):
+        suffix = ""
+        element = ctype
+        while isinstance(element, ArrayType):
+            suffix += "[%d]" % element.length
+            element = element.element
+        inner = (declarator + suffix) if declarator else suffix
+        return type_text(element, inner.strip())
+    if isinstance(ctype, PointerType):
+        inner = "*%s" % declarator if declarator else "*"
+        return type_text(ctype.target, inner)
+    base = _base_type_text(ctype)
+    return "%s %s" % (base, declarator) if declarator else base
+
+
+def _base_type_text(ctype):
+    if isinstance(ctype, (IntType, BoolType, VoidType, PureType)):
+        return str(ctype)
+    alias = getattr(ctype, "typedef_alias", None)
+    if alias is not None:
+        return alias
+    if isinstance(ctype, StructType):
+        return "struct %s" % ctype.tag
+    if isinstance(ctype, UnionType):
+        return "union %s" % ctype.tag
+    raise CodegenError("cannot print type %r" % (ctype,))
+
+
+def type_definition_text(ctype, typedef_name=None):
+    """Render a struct/union definition body, optionally as a typedef."""
+    if not isinstance(ctype, (StructType, UnionType)):
+        if typedef_name is None:
+            raise CodegenError("expected an aggregate type")
+        return "typedef %s;" % type_text(ctype, typedef_name)
+    keyword = "struct" if isinstance(ctype, StructType) else "union"
+    tag = "" if ctype.tag.startswith("<") else " " + ctype.tag
+    lines = ["%s%s {" % (keyword, tag)]
+    for member in ctype.fields:
+        lines.append(_INDENT + type_text(member.type, member.name) + ";")
+    lines.append("}")
+    body = "\n".join(lines)
+    if typedef_name is not None:
+        return "typedef %s %s;" % (body, typedef_name)
+    return body + ";"
+
+
+class Printer:
+    """Renders AST nodes back to source text."""
+
+    def expr(self, node, parent_precedence=0):
+        text, precedence = self._expr(node)
+        if precedence < parent_precedence:
+            return "(%s)" % text
+        return text
+
+    def _expr(self, node):
+        if isinstance(node, ast.IntLit):
+            return str(node.value), _PRECEDENCE["primary"]
+        if isinstance(node, ast.StrLit):
+            escaped = node.value.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+            return '"%s"' % escaped, _PRECEDENCE["primary"]
+        if isinstance(node, ast.Name):
+            return node.id, _PRECEDENCE["primary"]
+        if isinstance(node, ast.Unary):
+            operand = self.expr(node.operand, _PRECEDENCE["unary"])
+            return "%s%s" % (node.op, operand), _PRECEDENCE["unary"]
+        if isinstance(node, ast.IncDec):
+            target = self.expr(node.target, _PRECEDENCE["postfix"])
+            if node.postfix:
+                return "%s%s" % (target, node.op), _PRECEDENCE["postfix"]
+            return "%s%s" % (node.op, target), _PRECEDENCE["unary"]
+        if isinstance(node, ast.Binary):
+            precedence = _PRECEDENCE[node.op]
+            left = self.expr(node.left, precedence)
+            right = self.expr(node.right, precedence + 1)
+            if node.op == ",":
+                return "%s, %s" % (left, right), precedence
+            return "%s %s %s" % (left, node.op, right), precedence
+        if isinstance(node, ast.Assign):
+            precedence = _PRECEDENCE[node.op]
+            target = self.expr(node.target, precedence + 1)
+            value = self.expr(node.value, precedence)
+            return "%s %s %s" % (target, node.op, value), precedence
+        if isinstance(node, ast.Cond):
+            precedence = _PRECEDENCE["?:"]
+            cond = self.expr(node.cond, precedence + 1)
+            then = self.expr(node.then, 0)
+            otherwise = self.expr(node.otherwise, precedence)
+            return "%s ? %s : %s" % (cond, then, otherwise), precedence
+        if isinstance(node, ast.Call):
+            args = ", ".join(self.expr(a, 1) for a in node.args)
+            return "%s(%s)" % (node.func, args), _PRECEDENCE["postfix"]
+        if isinstance(node, ast.Index):
+            base = self.expr(node.base, _PRECEDENCE["postfix"])
+            return "%s[%s]" % (base, self.expr(node.index, 0)), _PRECEDENCE["postfix"]
+        if isinstance(node, ast.Member):
+            base = self.expr(node.base, _PRECEDENCE["postfix"])
+            connector = "->" if node.arrow else "."
+            return "%s%s%s" % (base, connector, node.name), _PRECEDENCE["postfix"]
+        if isinstance(node, ast.Cast):
+            operand = self.expr(node.operand, _PRECEDENCE["unary"])
+            return "(%s) %s" % (type_text(node.type), operand), _PRECEDENCE["unary"]
+        if isinstance(node, ast.SizeofType):
+            return "sizeof(%s)" % type_text(node.type), _PRECEDENCE["unary"]
+        if isinstance(node, ast.SizeofExpr):
+            operand = self.expr(node.operand, _PRECEDENCE["unary"])
+            return "sizeof %s" % operand, _PRECEDENCE["unary"]
+        raise CodegenError("cannot print expression %r" % (node,))
+
+    # ------------------------------------------------------------------
+
+    def sig_expr(self, node):
+        if isinstance(node, ast.SigRef):
+            return node.name
+        if isinstance(node, ast.SigNot):
+            return "~%s" % self._sig_atom(node.operand)
+        if isinstance(node, ast.SigAnd):
+            return "%s & %s" % (self._sig_atom(node.left),
+                                self._sig_atom(node.right))
+        if isinstance(node, ast.SigOr):
+            return "%s | %s" % (self._sig_atom(node.left),
+                                self._sig_atom(node.right))
+        raise CodegenError("cannot print signal expression %r" % (node,))
+
+    def _sig_atom(self, node):
+        text = self.sig_expr(node)
+        if isinstance(node, (ast.SigAnd, ast.SigOr)):
+            return "(%s)" % text
+        return text
+
+    # ------------------------------------------------------------------
+
+    def stmt(self, node, indent=0):
+        """Render a statement as a list of lines."""
+        pad = _INDENT * indent
+        if isinstance(node, ast.Block):
+            lines = [pad + "{"]
+            for child in node.body:
+                lines.extend(self.stmt(child, indent + 1))
+            lines.append(pad + "}")
+            return lines
+        if isinstance(node, ast.ExprStmt):
+            return [pad + self.expr(node.expr) + ";"]
+        if isinstance(node, ast.VarDecl):
+            text = type_text(node.type, node.name)
+            if node.init is not None:
+                text += " = " + self.expr(node.init, 1)
+            return [pad + text + ";"]
+        if isinstance(node, ast.SignalDecl):
+            if isinstance(node.type, PureType):
+                return [pad + "signal pure %s;" % node.name]
+            return [pad + "signal %s;" % type_text(node.type, node.name)]
+        if isinstance(node, ast.If):
+            lines = [pad + "if (%s)" % self.expr(node.cond)]
+            lines.extend(self._nested(node.then, indent))
+            if node.otherwise is not None:
+                lines.append(pad + "else")
+                lines.extend(self._nested(node.otherwise, indent))
+            return lines
+        if isinstance(node, ast.While):
+            lines = [pad + "while (%s)" % self.expr(node.cond)]
+            lines.extend(self._nested(node.body, indent))
+            return lines
+        if isinstance(node, ast.DoWhile):
+            lines = [pad + "do"]
+            lines.extend(self._nested(node.body, indent))
+            lines.append(pad + "while (%s);" % self.expr(node.cond))
+            return lines
+        if isinstance(node, ast.For):
+            init = ""
+            if isinstance(node.init, ast.ExprStmt):
+                init = self.expr(node.init.expr)
+            elif isinstance(node.init, ast.VarDecl):
+                init = self.stmt(node.init)[0].strip().rstrip(";")
+            cond = self.expr(node.cond) if node.cond is not None else ""
+            step = self.expr(node.step) if node.step is not None else ""
+            lines = [pad + "for (%s; %s; %s)" % (init, cond, step)]
+            lines.extend(self._nested(node.body, indent))
+            return lines
+        if isinstance(node, ast.Break):
+            return [pad + "break;"]
+        if isinstance(node, ast.Continue):
+            return [pad + "continue;"]
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                return [pad + "return;"]
+            return [pad + "return %s;" % self.expr(node.value)]
+        if isinstance(node, ast.Emit):
+            if node.value is None:
+                return [pad + "emit(%s);" % node.signal]
+            return [pad + "emit_v(%s, %s);" % (node.signal,
+                                               self.expr(node.value, 1))]
+        if isinstance(node, ast.Await):
+            if node.cond is None:
+                return [pad + "await();"]
+            return [pad + "await(%s);" % self.sig_expr(node.cond)]
+        if isinstance(node, ast.Halt):
+            return [pad + "halt();"]
+        if isinstance(node, ast.Present):
+            lines = [pad + "present (%s)" % self.sig_expr(node.cond)]
+            lines.extend(self._nested(node.then, indent))
+            if node.otherwise is not None:
+                lines.append(pad + "else")
+                lines.extend(self._nested(node.otherwise, indent))
+            return lines
+        if isinstance(node, ast.Abort):
+            keyword = "weak_abort" if node.weak else "abort"
+            lines = [pad + "do"]
+            lines.extend(self._nested(node.body, indent))
+            lines.append(pad + "%s (%s)" % (keyword, self.sig_expr(node.cond)))
+            if node.handler is not None:
+                lines.append(pad + "handle")
+                lines.extend(self._nested(node.handler, indent))
+            else:
+                lines[-1] += ";"
+            return lines
+        if isinstance(node, ast.Suspend):
+            lines = [pad + "do"]
+            lines.extend(self._nested(node.body, indent))
+            lines.append(pad + "suspend (%s);" % self.sig_expr(node.cond))
+            return lines
+        if isinstance(node, ast.Par):
+            lines = [pad + "par {"]
+            for branch in node.branches:
+                lines.extend(self.stmt(branch, indent + 1))
+            lines.append(pad + "}")
+            return lines
+        raise CodegenError("cannot print statement %r" % (node,))
+
+    def _nested(self, node, indent):
+        if isinstance(node, ast.Block):
+            return self.stmt(node, indent)
+        return self.stmt(node, indent + 1)
+
+    # ------------------------------------------------------------------
+
+    def module(self, node):
+        params = []
+        for signal in node.signals:
+            if isinstance(signal.type, PureType):
+                params.append("%s pure %s" % (signal.direction, signal.name))
+            else:
+                params.append("%s %s" % (
+                    signal.direction, type_text(signal.type, signal.name)))
+        header = "module %s (%s)" % (node.name, ", ".join(params))
+        return "\n".join([header] + self.stmt(node.body))
+
+    def function(self, node):
+        params = ", ".join(
+            type_text(p.type, p.name) for p in node.params) or "void"
+        header = "%s(%s)" % (type_text(node.return_type, node.name), params)
+        return "\n".join([header] + self.stmt(node.body))
+
+    def program(self, node):
+        chunks = []
+        for item in node.items:
+            if isinstance(item, ast.TypedefDecl):
+                chunks.append(type_definition_text(item.type, item.name))
+            elif isinstance(item, ast.TagDecl):
+                chunks.append(type_definition_text(item.type))
+            elif isinstance(item, ast.FuncDef):
+                chunks.append(self.function(item))
+            elif isinstance(item, ast.ModuleDecl):
+                chunks.append(self.module(item))
+        return "\n\n".join(chunks) + "\n"
+
+
+def to_text(node):
+    """Render any AST node to text (statements joined with newlines)."""
+    printer = Printer()
+    if isinstance(node, ast.Program):
+        return printer.program(node)
+    if isinstance(node, ast.ModuleDecl):
+        return printer.module(node)
+    if isinstance(node, ast.FuncDef):
+        return printer.function(node)
+    if isinstance(node, ast.SigExpr):
+        return printer.sig_expr(node)
+    if isinstance(node, ast.Stmt):
+        return "\n".join(printer.stmt(node))
+    if isinstance(node, ast.Expr):
+        return printer.expr(node)
+    raise CodegenError("cannot print node %r" % (node,))

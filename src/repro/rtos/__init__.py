@@ -1,0 +1,24 @@
+"""The simulated real-time kernel (Table 1's asynchronous substrate).
+
+* :mod:`repro.rtos.kernel` — deterministic priority scheduler;
+* :mod:`repro.rtos.services` — event flags, mailboxes, queues;
+* :mod:`repro.rtos.tasks` — module reactors as schedulable tasks.
+"""
+
+from .kernel import KernelStats, RtosKernel
+from .network import AsyncNetwork
+from .services import EventFlag, Mailbox, MessageQueue
+from .tasks import RtosTask
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "AsyncNetwork",
+    "KernelStats",
+    "RtosKernel",
+    "EventFlag",
+    "Mailbox",
+    "MessageQueue",
+    "RtosTask",
+    "TraceEvent",
+    "TraceRecorder",
+]

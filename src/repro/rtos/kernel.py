@@ -1,0 +1,160 @@
+"""A small deterministic real-time kernel (simulation).
+
+This reproduces the substrate of the paper's asynchronous rows in
+Table 1: "three source files, implemented as separate tasks under
+control of a simple real-time kernel" [1, the POLIS RTOS].  The kernel
+is event-driven and priority-scheduled:
+
+* each task owns event flags / mailboxes for its input signals;
+* posting to a task's input makes it *ready*; the scheduler always runs
+  the highest-priority ready task (FIFO among equals);
+* one dispatch = one synchronous reaction of the task's module over the
+  inputs pending at that moment;
+* emitted outputs are posted to consumer tasks (or to the environment),
+  possibly readying them — the cascade runs until no task is ready
+  ("run to completion" between environment events);
+* a reaction that pauses on ECL's ``await()`` requests a *self trigger*
+  (paper, footnote 3) so the task is rescheduled without a new event.
+
+Every kernel operation is counted; :mod:`repro.cost` turns the counts
+into MIPS-R3000-style cycles so that task time and RTOS time can be
+reported separately, as Table 1 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import RtosError
+
+
+@dataclass
+class KernelStats:
+    """Raw operation counts accumulated by the kernel."""
+
+    dispatches: int = 0
+    context_switches: int = 0
+    scheduler_invocations: int = 0
+    posts: int = 0
+    self_triggers: int = 0
+    idle_transitions: int = 0
+    lost_events: int = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+class RtosKernel:
+    """Priority scheduler over :class:`~repro.rtos.tasks.RtosTask`s."""
+
+    def __init__(self, name="rtos"):
+        self.name = name
+        self.tasks = []
+        self._by_name = {}
+        self.stats = KernelStats()
+        self._current = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def add_task(self, task):
+        if task.name in self._by_name:
+            raise RtosError("task %r already registered" % task.name)
+        task.kernel = self
+        self.tasks.append(task)
+        self._by_name[task.name] = task
+        return task
+
+    def task(self, name):
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise RtosError("no task named %r" % name)
+
+    def start(self):
+        """Initial dispatch: every task runs its start-up reaction (so
+        modules reach their first await, as the synchronous start-up
+        instant does)."""
+        if self._started:
+            raise RtosError("kernel already started")
+        self._started = True
+        for task in sorted(self.tasks, key=lambda t: -t.priority):
+            task.ready = True
+        self.run_until_idle()
+
+    # ------------------------------------------------------------------
+
+    def post_input(self, signal, value=None):
+        """Environment event: deliver to every task consuming ``signal``."""
+        if not self._started:
+            raise RtosError("kernel not started")
+        delivered = False
+        for task in self.tasks:
+            if task.accepts(signal):
+                task.deliver(signal, value)
+                delivered = True
+        if not delivered:
+            raise RtosError("no task consumes signal %r" % signal)
+        self.stats.posts += 1
+
+    def run_until_idle(self, max_dispatches=100000):
+        """Run ready tasks (highest priority first) to quiescence.
+
+        Returns the signals emitted to the environment during the
+        cascade, as ``{signal: last value or None}``.
+        """
+        external = {}
+        budget = max_dispatches
+        while True:
+            self.stats.scheduler_invocations += 1
+            candidate = self._pick()
+            if candidate is None:
+                self.stats.idle_transitions += 1
+                return external
+            if budget <= 0:
+                raise RtosError(
+                    "scheduler exceeded %d dispatches (livelock? an "
+                    "await() self-trigger loop never sleeps)"
+                    % max_dispatches)
+            budget -= 1
+            if candidate is not self._current:
+                self.stats.context_switches += 1
+                self._current = candidate
+            self.stats.dispatches += 1
+            emitted = candidate.dispatch()
+            for signal, value in emitted.items():
+                self._route(candidate, signal, value, external)
+
+    def _pick(self):
+        best = None
+        for task in self.tasks:
+            if not task.ready:
+                continue
+            if best is None or task.priority > best.priority:
+                best = task
+        return best
+
+    def _route(self, producer, signal, value, external):
+        self.stats.posts += 1
+        consumed = False
+        for task in self.tasks:
+            if task is producer:
+                continue
+            if task.accepts(signal):
+                task.deliver(signal, value)
+                consumed = True
+        if not consumed:
+            external[signal] = value
+
+    def note_self_trigger(self):
+        self.stats.self_triggers += 1
+
+    def note_lost_event(self):
+        self.stats.lost_events += 1
+
+    # ------------------------------------------------------------------
+
+    def total_lost_events(self):
+        return sum(task.lost_events() for task in self.tasks) \
+            + self.stats.lost_events

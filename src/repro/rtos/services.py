@@ -1,0 +1,121 @@
+"""RTOS synchronization services: event flags and mailboxes.
+
+The paper: "The ECL signal is conceptually closer to the event flag or
+mailbox synchronization services offered by several RTOSs".  In the
+asynchronous implementation each ECL signal is mapped to exactly these:
+a pure signal becomes an :class:`EventFlag`, a valued signal a
+one-place :class:`Mailbox` (the "bounded and small" buffering of CFSM
+networks the paper cites [1]); deeper :class:`MessageQueue`s are
+available for explicitly buffered designs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import RtosError
+
+
+class EventFlag:
+    """A latched binary event (pure-signal carrier)."""
+
+    def __init__(self, name):
+        self.name = name
+        self._set = False
+        self.post_count = 0
+        self.lost_count = 0
+
+    def post(self):
+        if self._set:
+            # A second event before consumption is lost (CFSM semantics).
+            self.lost_count += 1
+        self._set = True
+        self.post_count += 1
+
+    def consume(self):
+        """Read-and-clear; True if the event had been posted."""
+        was_set = self._set
+        self._set = False
+        return was_set
+
+    @property
+    def pending(self):
+        return self._set
+
+
+class Mailbox:
+    """A one-place overwrite mailbox (valued-signal carrier).
+
+    ``policy`` is ``"overwrite"`` (CFSM default: a fresh value replaces
+    an unconsumed one, which is counted as lost) or ``"error"``.
+    """
+
+    def __init__(self, name, policy="overwrite"):
+        if policy not in ("overwrite", "error"):
+            raise RtosError("unknown mailbox policy %r" % policy)
+        self.name = name
+        self.policy = policy
+        self._value = None
+        self._full = False
+        self.post_count = 0
+        self.lost_count = 0
+
+    def post(self, value):
+        if self._full:
+            if self.policy == "error":
+                raise RtosError("mailbox %r overflow" % self.name)
+            self.lost_count += 1
+        self._value = value
+        self._full = True
+        self.post_count += 1
+
+    def consume(self):
+        """Return ``(had_message, value)`` and clear the box."""
+        if not self._full:
+            return False, None
+        value = self._value
+        self._value = None
+        self._full = False
+        return True, value
+
+    @property
+    def pending(self):
+        return self._full
+
+
+class MessageQueue:
+    """A bounded FIFO for explicitly buffered connections."""
+
+    def __init__(self, name, capacity=8, policy="error"):
+        if capacity < 1:
+            raise RtosError("queue capacity must be >= 1")
+        if policy not in ("drop", "error"):
+            raise RtosError("unknown queue policy %r" % policy)
+        self.name = name
+        self.capacity = capacity
+        self.policy = policy
+        self._items = deque()
+        self.post_count = 0
+        self.lost_count = 0
+
+    def post(self, value):
+        if len(self._items) >= self.capacity:
+            if self.policy == "error":
+                raise RtosError("queue %r overflow" % self.name)
+            self.lost_count += 1
+            self.post_count += 1
+            return
+        self._items.append(value)
+        self.post_count += 1
+
+    def consume(self):
+        if not self._items:
+            return False, None
+        return True, self._items.popleft()
+
+    @property
+    def pending(self):
+        return bool(self._items)
+
+    def __len__(self):
+        return len(self._items)

@@ -1,0 +1,110 @@
+"""RTOS tasks wrapping compiled ECL modules.
+
+One :class:`RtosTask` is one module instance (interpreter- or
+EFSM-backed reactor) with its input signals mapped to event flags and
+one-place mailboxes (paper: ECL signals are "conceptually closer to the
+event flag or mailbox synchronization services offered by several
+RTOSs").  A dispatch drains whatever inputs are pending and runs exactly
+one synchronous reaction over them — the CFSM execution model of [1].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import RtosError
+from ..lang.types import PureType
+from .services import EventFlag, Mailbox
+
+
+class RtosTask:
+    """One schedulable task around a module reactor."""
+
+    def __init__(self, name, reactor, priority=1, bindings=None):
+        self.name = name
+        self.reactor = reactor
+        self.priority = priority
+        self.kernel = None
+        self.ready = False
+        #: formal input name -> carrier (EventFlag | Mailbox)
+        self._inputs = {}
+        #: network signal name -> formal input name
+        self._by_network = {}
+        #: formal output name -> network signal name
+        self._output_names = {}
+        binding = dict(bindings or {})
+        for param in reactor.module.params:
+            network = binding.get(param.name, param.name)
+            if param.direction == "input":
+                if isinstance(param.type, PureType):
+                    carrier = EventFlag("%s.%s" % (name, param.name))
+                else:
+                    carrier = Mailbox("%s.%s" % (name, param.name))
+                self._inputs[param.name] = carrier
+                self._by_network[network] = param.name
+            else:
+                self._output_names[param.name] = network
+        self.dispatch_count = 0
+        self.reaction_instants = 0
+
+    # ------------------------------------------------------------------
+
+    def accepts(self, network_signal):
+        return network_signal in self._by_network
+
+    def deliver(self, network_signal, value=None):
+        """Post an event/value into this task's input carrier."""
+        formal = self._by_network.get(network_signal)
+        if formal is None:
+            raise RtosError("task %r does not consume %r"
+                            % (self.name, network_signal))
+        carrier = self._inputs[formal]
+        if isinstance(carrier, EventFlag):
+            carrier.post()
+        else:
+            carrier.post(value)
+        self.ready = True
+
+    def dispatch(self):
+        """Run one reaction over the pending inputs.
+
+        Returns ``{network_signal: value-or-None}`` for every output
+        emitted by the reaction.
+        """
+        self.ready = False
+        pure = []
+        valued = {}
+        for formal, carrier in self._inputs.items():
+            if isinstance(carrier, EventFlag):
+                if carrier.consume():
+                    pure.append(formal)
+            else:
+                had, value = carrier.consume()
+                if had:
+                    valued[formal] = value
+        output = self.reactor.react(inputs=pure, values=valued)
+        self.dispatch_count += 1
+        self.reaction_instants += 1
+        if output.delta_requested and not output.terminated:
+            # await() pause: the task must run again without any input
+            # event (paper, footnote 3) — a scheduler-visible self trigger.
+            self.ready = True
+            if self.kernel is not None:
+                self.kernel.note_self_trigger()
+        emitted = {}
+        for formal in output.emitted:
+            emitted[self._output_names[formal]] = \
+                output.values.get(formal)
+        return emitted
+
+    # ------------------------------------------------------------------
+
+    def lost_events(self):
+        return sum(c.lost_count for c in self._inputs.values())
+
+    def carrier(self, formal):
+        return self._inputs[formal]
+
+    def __repr__(self):
+        return "<RtosTask %s prio=%d>" % (self.name, self.priority)

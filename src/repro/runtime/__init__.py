@@ -1,0 +1,29 @@
+"""Execution substrate: C data model, evaluator, signals, reactors.
+
+* :mod:`repro.runtime.memory` — byte-backed storage (unions alias!)
+* :mod:`repro.runtime.ceval` — the C expression/statement interpreter
+* :mod:`repro.runtime.signals` — presence+value signal slots
+* :mod:`repro.runtime.reactor` — synchronous execution of compiled modules
+* :mod:`repro.runtime.network` — lock-step synchronous composition
+"""
+
+from .ceval import BuiltinFunction, Env, Evaluator, call_function
+from .memory import AddressSpace, LValue, Variable, decode_scalar, encode_scalar
+from .signals import SignalSlot, SignalTable
+from .vcd import VcdRecorder, record_run
+
+__all__ = [
+    "AddressSpace",
+    "BuiltinFunction",
+    "Env",
+    "Evaluator",
+    "LValue",
+    "SignalSlot",
+    "SignalTable",
+    "Variable",
+    "VcdRecorder",
+    "record_run",
+    "call_function",
+    "decode_scalar",
+    "encode_scalar",
+]

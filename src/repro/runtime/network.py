@@ -1,0 +1,136 @@
+"""Synchronous (lock-step) composition of separately compiled modules.
+
+The paper's Figure 4 top level can be implemented "synchronously, by
+compiling it using ECL, thus resulting in a single EFSM" — that path is
+the translator's inlining.  This module provides the complementary
+harness: run several compiled reactors in lock step, one global instant
+at a time, with internal signals delivered *within* the instant along a
+fixed (causality) schedule: a signal emitted by an earlier reactor in
+the schedule is seen by later reactors in the same instant; an emission
+toward an earlier reactor is seen at the next instant (a one-instant
+delay, as in a registered hardware path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import EclError
+
+
+@dataclass
+class Wire:
+    """One network signal: a producer and any number of consumers.
+
+    ``producer`` is a node name or ``None`` for environment inputs;
+    consumers are (node, formal_name) pairs.
+    """
+
+    name: str
+    producer: object = None
+    consumers: List[tuple] = field(default_factory=list)
+
+
+class SyncNetwork:
+    """Lock-step composition of reactors (interpreter- or EFSM-backed)."""
+
+    def __init__(self):
+        self._nodes = {}      # name -> reactor
+        self._order = []
+        self._wires = {}      # network signal name -> Wire
+        self._bindings = {}   # node -> {formal -> network name}
+        self._pending = {}    # node -> {formal: value-or-None} next instant
+        self.instants = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+
+    def add_node(self, name, reactor, bindings=None):
+        """Register a reactor under ``name``.
+
+        ``bindings`` maps the module's formal signal names to network
+        signal names (defaults to identity).
+        """
+        if name in self._nodes:
+            raise EclError("network node %r already exists" % name)
+        self._nodes[name] = reactor
+        self._order.append(name)
+        binding = dict(bindings or {})
+        for param in reactor.module.params:
+            binding.setdefault(param.name, param.name)
+        self._bindings[name] = binding
+        self._pending[name] = {}
+        for param in reactor.module.params:
+            net_name = binding[param.name]
+            wire = self._wires.setdefault(net_name, Wire(net_name))
+            if param.direction == "output":
+                if wire.producer is not None:
+                    raise EclError(
+                        "network signal %r has two producers (%r and %r)"
+                        % (net_name, wire.producer, name))
+                wire.producer = name
+            else:
+                wire.consumers.append((name, param.name))
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def step(self, inputs=None, values=None):
+        """Run one global instant.
+
+        ``inputs``/``values`` name *network* signals driven by the
+        environment.  Returns ``{network_signal: value-or-None}`` for
+        every signal emitted toward the environment this instant.
+        """
+        driven = dict(self._pending)
+        self._pending = {name: {} for name in self._nodes}
+        for name in set(inputs or ()):
+            self._drive(driven, name, None)
+        for name, value in (values or {}).items():
+            self._drive(driven, name, value)
+        external = {}
+        position = {name: i for i, name in enumerate(self._order)}
+        for index, node_name in enumerate(self._order):
+            reactor = self._nodes[node_name]
+            slot_inputs = driven.get(node_name, {})
+            pure = [f for f, v in slot_inputs.items() if v is None]
+            valued = {f: v for f, v in slot_inputs.items() if v is not None}
+            output = reactor.react(inputs=pure, values=valued)
+            binding = self._bindings[node_name]
+            for formal in output.emitted:
+                net_name = binding[formal]
+                value = output.values.get(formal)
+                wire = self._wires[net_name]
+                if not wire.consumers:
+                    external[net_name] = value
+                for consumer, consumer_formal in wire.consumers:
+                    if position[consumer] > index:
+                        driven.setdefault(consumer, {})[consumer_formal] = \
+                            value
+                    else:
+                        # Back edge: delivered at the next instant.
+                        self._pending[consumer][consumer_formal] = value
+        self.instants += 1
+        return external
+
+    def _drive(self, driven, net_name, value):
+        wire = self._wires.get(net_name)
+        if wire is None:
+            raise EclError("unknown network signal %r" % net_name)
+        if wire.producer is not None:
+            raise EclError(
+                "network signal %r is driven by node %r, not the "
+                "environment" % (net_name, wire.producer))
+        for consumer, formal in wire.consumers:
+            driven.setdefault(consumer, {})[formal] = value
+
+    # ------------------------------------------------------------------
+
+    def node(self, name):
+        return self._nodes[name]
+
+    @property
+    def node_names(self):
+        return list(self._order)

@@ -1,0 +1,125 @@
+"""Signals: the only communication mechanism in ECL.
+
+A signal carries an *event* (presence/absence, per instant) and optionally
+a *value* (persistent across instants, updated by ``emit_v``).  The same
+name is overloaded in the language — presence in reactive contexts, value
+in C expressions (paper, ECL statement 4) — and :class:`SignalSlot` serves
+both readings.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvalError
+from ..lang.types import PureType
+from .memory import LValue, Variable
+
+
+class SignalSlot:
+    """Runtime state of one signal within one synchronous context.
+
+    The slot stores value bytes inside an :class:`AddressSpace` so that
+    aggregate-valued signals (the paper's ``packet_t outpkt``) behave like
+    any other C object, and so data-memory accounting sees them.
+    """
+
+    def __init__(self, name, ctype, space, direction="local"):
+        self.name = name
+        self.type = ctype
+        self.direction = direction
+        self.present = False
+        self.emitted = False  # emitted by this context in this instant
+        if isinstance(ctype, PureType):
+            self._storage = None
+        else:
+            self._storage = Variable("<sig:%s>" % name, ctype, space)
+
+    @property
+    def is_pure(self):
+        return self._storage is None
+
+    @property
+    def lvalue(self):
+        """The value storage as an LValue (None for pure signals)."""
+        if self._storage is None:
+            return None
+        return self._storage.lvalue
+
+    def load(self):
+        """Read the signal's value (C-expression context)."""
+        if self._storage is None:
+            raise EvalError(
+                "pure signal %r has no value (presence-only)" % self.name)
+        return self._storage.load()
+
+    def store(self, value):
+        if self._storage is None:
+            raise EvalError("cannot write a value to pure signal %r"
+                            % self.name)
+        self._storage.store(value)
+
+    def emit(self, value=None):
+        """Make the signal present this instant, optionally with a value."""
+        self.present = True
+        self.emitted = True
+        if value is not None:
+            self.store(value)
+        elif self._storage is not None and value is None:
+            # emit_v always supplies a value; a bare emit of a valued
+            # signal leaves the old value in place (Esterel behaviour).
+            pass
+
+    def set_input(self, value=None):
+        """Environment-side injection: mark present for the next reaction."""
+        self.present = True
+        if value is not None:
+            self.store(value)
+
+    def new_instant(self):
+        """Reset per-instant state (value persists across instants)."""
+        self.present = False
+        self.emitted = False
+
+    def __repr__(self):
+        state = "present" if self.present else "absent"
+        return "<SignalSlot %s %s>" % (self.name, state)
+
+
+class SignalTable:
+    """Name -> slot mapping for one synchronous context."""
+
+    def __init__(self):
+        self._slots = {}
+
+    def add(self, slot):
+        if slot.name in self._slots:
+            raise EvalError("signal %r redeclared" % slot.name)
+        self._slots[slot.name] = slot
+        return slot
+
+    def get(self, name):
+        return self._slots.get(name)
+
+    def __getitem__(self, name):
+        slot = self._slots.get(name)
+        if slot is None:
+            raise KeyError(name)
+        return slot
+
+    def __contains__(self, name):
+        return name in self._slots
+
+    def __iter__(self):
+        return iter(self._slots.values())
+
+    def names(self):
+        return list(self._slots.keys())
+
+    def new_instant(self):
+        for slot in self._slots.values():
+            slot.new_instant()
+
+    def inputs(self):
+        return [s for s in self._slots.values() if s.direction == "input"]
+
+    def outputs(self):
+        return [s for s in self._slots.values() if s.direction == "output"]

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public surface (deliverable b); each must
+execute without errors and print its headline results.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "protocol_stack.py",
+    "audio_buffer.py",
+    "legacy_migration.py",
+    "hardware_synthesis.py",
+    "verification_workflow.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), path
+    monkeypatch.syspath_prepend(os.path.dirname(path))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example %s printed nothing" % script
+
+
+def test_quickstart_shows_press(capsys, monkeypatch):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "press" in out
+    assert "Generated C" in out
+
+
+def test_protocol_stack_matches_good_only(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR,
+                                        "protocol_stack.py"))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "good       packet -> addr_match=True" in out
+    assert "bad header packet -> addr_match=False" in out
+
+
+def test_verification_workflow_finds_bug(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR,
+                                        "verification_workflow.py"))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "property holds" in out
+    assert "violation found" in out

@@ -1,0 +1,138 @@
+"""Property-based tests for the C data model (hypothesis).
+
+Invariants of the byte-accurate layout engine and the evaluator's
+C arithmetic, checked on randomly generated types and values.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.types import (
+    ArrayType,
+    BOOL,
+    CHAR,
+    INT,
+    IntType,
+    SHORT,
+    StructType,
+    UCHAR,
+    UINT,
+    UnionType,
+    USHORT,
+)
+from repro.runtime import AddressSpace, Variable
+from repro.runtime.memory import decode_scalar, encode_scalar
+
+SCALARS = st.sampled_from([CHAR, UCHAR, SHORT, USHORT, INT, UINT, BOOL])
+
+
+@st.composite
+def member_types(draw, depth=0):
+    base = draw(SCALARS)
+    if depth >= 2:
+        return base
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return base
+    if kind == 1:
+        return ArrayType(base, draw(st.integers(1, 8)))
+    members = draw(st.lists(member_types(depth=depth + 1),
+                            min_size=1, max_size=4))
+    named = [("f%d" % i, t) for i, t in enumerate(members)]
+    if kind == 2:
+        return StructType.build("s", named)
+    return UnionType.build("u", named)
+
+
+class TestLayoutInvariants:
+    @given(member_types())
+    def test_size_is_multiple_of_alignment(self, ctype):
+        assert ctype.size % ctype.align == 0
+
+    @given(st.lists(member_types(), min_size=1, max_size=6))
+    def test_struct_members_do_not_overlap(self, members):
+        struct = StructType.build("s", [("m%d" % i, t)
+                                        for i, t in enumerate(members)])
+        spans = sorted((f.offset, f.offset + f.type.size)
+                       for f in struct.fields)
+        for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    @given(st.lists(member_types(), min_size=1, max_size=6))
+    def test_struct_members_aligned(self, members):
+        struct = StructType.build("s", [("m%d" % i, t)
+                                        for i, t in enumerate(members)])
+        for field in struct.fields:
+            assert field.offset % field.type.align == 0
+
+    @given(st.lists(member_types(), min_size=1, max_size=6))
+    def test_struct_size_covers_members(self, members):
+        struct = StructType.build("s", [("m%d" % i, t)
+                                        for i, t in enumerate(members)])
+        end = max(f.offset + f.type.size for f in struct.fields)
+        assert struct.size >= end
+
+    @given(st.lists(member_types(), min_size=1, max_size=6))
+    def test_union_size_is_max(self, members):
+        union = UnionType.build("u", [("m%d" % i, t)
+                                      for i, t in enumerate(members)])
+        assert union.size >= max(t.size for t in members)
+        assert all(f.offset == 0 for f in union.fields)
+
+
+class TestScalarRoundTrip:
+    @given(SCALARS, st.integers(-2**40, 2**40))
+    def test_encode_decode_is_wrap(self, ctype, value):
+        raw = encode_scalar(value, ctype)
+        assert len(raw) == ctype.size
+        assert decode_scalar(raw, ctype) == ctype.wrap(value)
+
+    @given(SCALARS, st.integers(-2**40, 2**40))
+    def test_wrap_idempotent(self, ctype, value):
+        assert ctype.wrap(ctype.wrap(value)) == ctype.wrap(value)
+
+    @given(st.integers(-2**40, 2**40))
+    def test_wrap_range(self, value):
+        for ctype in (CHAR, UCHAR, SHORT, USHORT, INT, UINT):
+            wrapped = ctype.wrap(value)
+            assert ctype.min_value <= wrapped <= ctype.max_value
+
+
+class TestMemoryInvariants:
+    @given(st.lists(st.tuples(SCALARS, st.integers(-2**33, 2**33)),
+                    min_size=1, max_size=10))
+    def test_disjoint_variables_do_not_interfere(self, assignments):
+        space = AddressSpace()
+        variables = []
+        for index, (ctype, value) in enumerate(assignments):
+            var = Variable("v%d" % index, ctype, space)
+            var.store(value)
+            variables.append((var, ctype.wrap(value)))
+        # Every variable still holds its own (wrapped) value.
+        for var, expected in variables:
+            assert var.load() == expected
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_union_views_alias(self, raw):
+        space = AddressSpace()
+        length = len(raw)
+        union = UnionType.build("u", [
+            ("bytes", ArrayType(UCHAR, length)),
+            ("view", ArrayType(UCHAR, length)),
+        ])
+        var = Variable("u", union, space)
+        byte_view = var.lvalue.field("bytes")
+        for index, value in enumerate(raw):
+            byte_view.element(index).store(value)
+        other = var.lvalue.field("view")
+        assert [other.element(i).load() for i in range(length)] == list(raw)
+
+    @given(st.integers(1, 64), st.integers(1, 8))
+    def test_snapshot_restore_roundtrip(self, size, align):
+        space = AddressSpace()
+        address = space.alloc(size, align)
+        space.write_bytes(address, bytes(range(size % 256)) [:size])
+        before = space.read_bytes(address, size)
+        snapshot = space.snapshot()
+        space.write_bytes(address, b"\xff" * size)
+        space.restore(snapshot)
+        assert space.read_bytes(address, size) == before

@@ -1,0 +1,85 @@
+"""Property-based tests for the lexer and preprocessor."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import TokenKind, preprocess, tokenize
+
+IDENT = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True)
+NUMBER = st.integers(0, 2**31 - 1)
+
+
+class TestLexerRoundTrip:
+    @given(st.lists(st.one_of(IDENT, NUMBER), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_space_separated_tokens_roundtrip(self, items):
+        text = " ".join(str(item) for item in items)
+        tokens = tokenize(text)
+        assert tokens[-1].kind is TokenKind.EOF
+        values = [t.value for t in tokens[:-1]]
+        assert len(values) == len(items)
+        for item, value in zip(items, values):
+            assert value == item or str(value) == str(item)
+
+    @given(NUMBER)
+    @settings(max_examples=100, deadline=None)
+    def test_decimal_literals_exact(self, number):
+        token = tokenize(str(number))[0]
+        assert token.kind is TokenKind.INT_LITERAL
+        assert token.value == number
+
+    @given(NUMBER)
+    @settings(max_examples=100, deadline=None)
+    def test_hex_literals_exact(self, number):
+        token = tokenize(hex(number))[0]
+        assert token.value == number
+
+    @given(st.text(alphabet="abcdefXYZ 0123456789+-*/%&|^~!<>=(){}[];,.",
+                   max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_lexer_terminates_on_arbitrary_soup(self, text):
+        # Must either tokenize or raise LexError — never hang, never
+        # return junk kinds.
+        from repro.errors import LexError
+        try:
+            tokens = tokenize(text)
+        except LexError:
+            return
+        assert tokens[-1].kind is TokenKind.EOF
+        assert all(isinstance(t.kind, TokenKind) for t in tokens)
+
+    @given(st.lists(IDENT, min_size=1, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_spans_are_ordered(self, names):
+        text = "\n".join(names)
+        tokens = tokenize(text)
+        lines = [t.span.start.line for t in tokens[:-1]]
+        assert lines == sorted(lines)
+
+
+class TestPreprocessorProperties:
+    @given(IDENT, NUMBER)
+    @settings(max_examples=100, deadline=None)
+    def test_define_then_use(self, name, value):
+        out = preprocess("#define %s %d\nx = %s;" % (name, value, name))
+        assert str(value) in out
+
+    @given(st.text(alphabet="abcdef ();+*", max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_no_macros_means_identity_lines(self, body):
+        line = body.replace("\n", " ")
+        out = preprocess(line)
+        assert out == line
+
+    @given(IDENT, NUMBER)
+    @settings(max_examples=100, deadline=None)
+    def test_expansion_idempotent(self, name, value):
+        source = "#define %s %d\ny = %s + %s;" % (name, value, name, name)
+        once = preprocess(source)
+        again = preprocess(once)
+        assert preprocess(again) == again
+
+    @given(IDENT, NUMBER)
+    @settings(max_examples=100, deadline=None)
+    def test_strings_never_touched(self, name, value):
+        out = preprocess('#define %s %d\ns = "%s";' % (name, value, name))
+        assert '"%s"' % name in out

@@ -1,0 +1,130 @@
+"""Property-based algebraic laws of the Esterel kernel semantics.
+
+Random kernel terms are generated from a small combinator pool (pure
+signals only, loops always guarded by a pause so they cannot be
+instantaneous) and run on random input traces.  The laws:
+
+* ``seq(nothing, p)`` is equivalent to ``p``;
+* ``par`` is commutative for branches over disjoint signals;
+* ``loop(seq(p, pause))`` never terminates;
+* abort with an always-absent condition is transparent;
+* suspend with an always-absent condition is transparent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CausalityError
+from repro.esterel import KernelRunner, kernel as k
+from repro.lang import PURE, ast
+from repro.runtime import Env, SignalSlot, SignalTable
+
+INPUTS_A = ["i0", "i1"]
+OUTPUTS_A = ["oa0", "oa1"]
+OUTPUTS_B = ["ob0", "ob1"]
+
+
+def term_strategy(outputs, depth=2):
+    """Kernel terms emitting only ``outputs``, testing only INPUTS_A."""
+    leaf = st.one_of(
+        st.just(k.NOTHING),
+        st.just(k.Pause()),
+        st.sampled_from([k.Emit(name) for name in outputs]),
+        st.sampled_from([k.Await(ast.SigRef(name=name))
+                         for name in INPUTS_A]),
+    )
+    if depth == 0:
+        return leaf
+    sub = term_strategy(outputs, depth - 1)
+
+    def present(cond_name, then, otherwise):
+        return k.Present(ast.SigRef(name=cond_name), then, otherwise)
+
+    return st.one_of(
+        leaf,
+        st.builds(lambda a, b: k.seq(a, b), sub, sub),
+        st.builds(present, st.sampled_from(INPUTS_A), sub, sub),
+        st.builds(lambda body: k.Loop(k.seq(body, k.Pause())), sub),
+        st.builds(lambda body, cond: k.Abort(body, ast.SigRef(name=cond)),
+                  sub, st.sampled_from(INPUTS_A)),
+    )
+
+
+def trace_strategy():
+    instant = st.sets(st.sampled_from(INPUTS_A), max_size=2)
+    return st.lists(instant, min_size=1, max_size=12)
+
+
+def run_trace(stmt, trace, outputs):
+    env = Env()
+    table = SignalTable()
+    for name in INPUTS_A:
+        table.add(SignalSlot(name, PURE, env.space, "input"))
+    for name in outputs:
+        table.add(SignalSlot(name, PURE, env.space, "output"))
+    runner = KernelRunner(stmt, table, env)
+    history = []
+    for inputs in trace:
+        result = runner.step(inputs=inputs)
+        history.append((frozenset(result.emitted), result.terminated))
+        if result.terminated:
+            break
+    return history
+
+
+class TestKernelLaws:
+    @given(term_strategy(OUTPUTS_A), trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_nothing_is_seq_identity(self, term, trace):
+        plain = run_trace(term, trace, OUTPUTS_A)
+        padded = run_trace(k.seq(k.NOTHING, term, k.NOTHING), trace,
+                           OUTPUTS_A)
+        assert plain == padded
+
+    @given(term_strategy(OUTPUTS_A), term_strategy(OUTPUTS_B),
+           trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_par_commutative_for_disjoint_branches(self, left, right,
+                                                   trace):
+        outputs = OUTPUTS_A + OUTPUTS_B
+        forward = run_trace(k.par(left, right), trace, outputs)
+        backward = run_trace(k.par(right, left), trace, outputs)
+        assert forward == backward
+
+    @given(term_strategy(OUTPUTS_A), trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_guarded_loop_never_terminates(self, body, trace):
+        history = run_trace(k.Loop(k.seq(body, k.Pause())), trace,
+                            OUTPUTS_A)
+        assert all(not terminated for _e, terminated in history)
+
+    @given(term_strategy(OUTPUTS_A), trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_abort_on_dead_signal_transparent(self, term, trace):
+        # 'i1' never occurs in the filtered trace.
+        filtered = [instant - {"i1"} for instant in trace]
+        plain = run_trace(term, filtered, OUTPUTS_A)
+        aborted = run_trace(k.Abort(term, ast.SigRef(name="i1")),
+                            filtered, OUTPUTS_A)
+        assert plain == aborted
+
+    @given(term_strategy(OUTPUTS_A), trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_suspend_on_dead_signal_transparent(self, term, trace):
+        filtered = [instant - {"i1"} for instant in trace]
+        plain = run_trace(term, filtered, OUTPUTS_A)
+        suspended = run_trace(k.Suspend(term, ast.SigRef(name="i1")),
+                              filtered, OUTPUTS_A)
+        assert plain == suspended
+
+    @given(term_strategy(OUTPUTS_A), trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_determinism_same_trace_same_history(self, term, trace):
+        first = run_trace(term, trace, OUTPUTS_A)
+        second = run_trace(term, trace, OUTPUTS_A)
+        assert first == second
+
+    @given(term_strategy(OUTPUTS_A), trace_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_emissions_only_from_output_pool(self, term, trace):
+        for emitted, _terminated in run_trace(term, trace, OUTPUTS_A):
+            assert emitted <= set(OUTPUTS_A)

@@ -1,0 +1,302 @@
+"""Unit tests for the C expression/statement evaluator."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang import BOOL, INT, UCHAR, parse_text
+from repro.lang.types import UINT
+from repro.runtime import (
+    AddressSpace,
+    BuiltinFunction,
+    Env,
+    Evaluator,
+    SignalSlot,
+    call_function,
+)
+
+
+def eval_expr(text, setup="", variables=(), signals=(), functions=None):
+    """Helper: declare variables, run setup statements, evaluate text."""
+    src = "int f() { %s x = %s; return x; }" % (setup, text)
+    table = SignalSlotTable(signals)
+    env = Env(signal_resolver=table.get, functions=dict(functions or {}))
+    program, _ = parse_text("int __probe() { return 0; }")
+    evaluator = Evaluator(env)
+    for name, ctype, value in variables:
+        var = env.declare(name, ctype)
+        if value is not None:
+            var.store(value)
+    stmts, _ = parse_text("void g() { %s r = (%s); }" % (setup, text),
+                          run_preprocessor=False)
+    # Simpler: parse a function and interpret it.
+    program, _ = parse_text("int f() { %s return (%s); }" % (setup, text))
+    return call_function(env, program.functions()[0], [])
+
+
+class SignalSlotTable:
+    def __init__(self, slots):
+        self._slots = {s.name: s for s in slots}
+
+    def get(self, name):
+        return self._slots.get(name)
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert eval_expr("2 + 3 * 4") == 14
+
+    def test_division_truncates_toward_zero(self):
+        assert eval_expr("-7 / 2") == -3
+        assert eval_expr("7 / -2") == -3
+
+    def test_remainder_sign(self):
+        assert eval_expr("-7 % 2") == -1
+        assert eval_expr("7 % -2") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            eval_expr("1 / 0")
+
+    def test_int_overflow_wraps(self):
+        assert eval_expr("2147483647 + 1") == -2147483648
+
+    def test_shifts(self):
+        assert eval_expr("1 << 4") == 16
+        assert eval_expr("256 >> 4") == 16
+
+    def test_bitwise(self):
+        assert eval_expr("(0xF0 | 0x0F) & 0x3C ^ 1") == 0x3D
+
+    def test_comparisons_yield_int(self):
+        assert eval_expr("3 < 4") == 1
+        assert eval_expr("3 == 4") == 0
+
+    def test_logical_short_circuit(self):
+        # Would divide by zero if not short-circuited.
+        assert eval_expr("0 && (1 / 0)") == 0
+        assert eval_expr("1 || (1 / 0)") == 1
+
+    def test_unary(self):
+        assert eval_expr("-5") == -5
+        assert eval_expr("!3") == 0
+        assert eval_expr("!0") == 1
+        assert eval_expr("~0") == -1
+
+    def test_ternary(self):
+        assert eval_expr("1 ? 10 : 20") == 10
+        assert eval_expr("0 ? 10 : 20") == 20
+
+    def test_comma(self):
+        assert eval_expr("(1, 2, 3)") == 3
+
+
+class TestVariablesAndStatements:
+    def run_func(self, body, args=(), src_prefix=""):
+        program, _ = parse_text("%sint f() { %s }" % (src_prefix, body))
+        env = Env(functions={f.name: f for f in program.functions()})
+        return call_function(env, program.module_named if False else
+                             program.functions()[-1], list(args))
+
+    def test_local_declaration_and_assignment(self):
+        assert self.run_func("int x; x = 5; return x + 1;") == 6
+
+    def test_declaration_with_init(self):
+        assert self.run_func("int x = 41; return x + 1;") == 42
+
+    def test_uninitialized_is_zero(self):
+        assert self.run_func("int x; return x;") == 0
+
+    def test_char_wraps(self):
+        assert self.run_func("char c = 200; return c;") == -56
+
+    def test_unsigned_char_wraps(self):
+        assert self.run_func("unsigned char c = 0; c = c - 1; return c;") == 255
+
+    def test_compound_assignment(self):
+        assert self.run_func("int x = 10; x += 5; x <<= 1; return x;") == 30
+
+    def test_incdec(self):
+        assert self.run_func("int i = 3; i++; ++i; i--; return i;") == 4
+
+    def test_postfix_value(self):
+        assert self.run_func("int i = 3; int j = i++; return j * 10 + i;") == 34
+
+    def test_while_loop(self):
+        assert self.run_func(
+            "int i = 0; int s = 0; while (i < 5) { s += i; i++; } return s;"
+        ) == 10
+
+    def test_for_loop(self):
+        assert self.run_func(
+            "int s = 0; int i; for (i = 1; i <= 4; i++) s += i; return s;"
+        ) == 10
+
+    def test_do_while(self):
+        assert self.run_func(
+            "int i = 0; do { i++; } while (i < 3); return i;") == 3
+
+    def test_break_continue(self):
+        assert self.run_func(
+            "int s = 0; int i; for (i = 0; i < 10; i++) {"
+            " if (i == 5) break; if (i % 2) continue; s += i; } return s;"
+        ) == 6
+
+    def test_nested_scopes_shadowing(self):
+        assert self.run_func(
+            "int x = 1; { int x = 2; } return x;") == 1
+
+    def test_arrays(self):
+        assert self.run_func(
+            "int a[4]; int i; for (i = 0; i < 4; i++) a[i] = i * i;"
+            " return a[3];") == 9
+
+    def test_array_out_of_bounds(self):
+        with pytest.raises(EvalError):
+            self.run_func("int a[4]; return a[4];")
+
+    def test_struct_members(self):
+        assert self.run_func(
+            "pair_t p; p.a = 3; p.b = 4; return p.a * p.b;",
+            src_prefix="typedef struct { int a; int b; } pair_t;\n") == 12
+
+    def test_union_aliasing_runtime(self):
+        assert self.run_func(
+            "u_t u; u.word = 0x01020304; return u.bytes[0];",
+            src_prefix="typedef union { unsigned int word;"
+                       " unsigned char bytes[4]; } u_t;\n") == 4
+
+    def test_aggregate_cast_to_int(self):
+        # Figure 2's (int) inpkt.cooked.crc pattern.
+        assert self.run_func(
+            "c_t c; c.b[0] = 0x34; c.b[1] = 0x12; return (short) c;",
+            src_prefix="typedef struct { unsigned char b[2]; } c_t;\n"
+        ) == 0x1234
+
+    def test_paper_crc_loop(self):
+        body = (
+            "unsigned char pkt[8]; unsigned int crc = 0; int i;"
+            "for (i = 0; i < 8; i++) pkt[i] = i + 1;"
+            "for (i = 0; i < 8; i++) crc = (crc ^ pkt[i]) << 1;"
+            "return crc;"
+        )
+        expected = 0
+        data = [i + 1 for i in range(8)]
+        for byte in data:
+            expected = ((expected ^ byte) << 1) & 0xFFFFFFFF
+        assert self.run_func(body) == expected
+
+
+class TestPointers:
+    def run_func(self, body, src_prefix=""):
+        program, _ = parse_text("%sint f() { %s }" % (src_prefix, body))
+        env = Env(functions={f.name: f for f in program.functions()})
+        return call_function(env, program.functions()[-1], [])
+
+    def test_address_of_and_deref(self):
+        assert self.run_func("int x = 5; int *p; p = &x; *p = 7; return x;") == 7
+
+    def test_pointer_arithmetic(self):
+        assert self.run_func(
+            "int a[4]; int *p; a[2] = 9; p = a; return *(p + 2);") == 9
+
+    def test_function_with_pointer_param(self):
+        src = "void bump(int *p) { *p = *p + 1; }\n"
+        assert self.run_func(
+            "int x = 1; bump(&x); bump(&x); return x;", src_prefix=src) == 3
+
+    def test_array_decay_to_function(self):
+        src = "int sum(int a[], int n) { int s = 0; int i;" \
+              " for (i = 0; i < n; i++) s += a[i]; return s; }\n"
+        assert self.run_func(
+            "int v[3]; v[0] = 1; v[1] = 2; v[2] = 3; return sum(v, 3);",
+            src_prefix=src) == 6
+
+    def test_null_deref_caught(self):
+        with pytest.raises(EvalError):
+            self.run_func("int *p; p = 0; return *p;")
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = "int fact(int n) { if (n <= 1) return 1;" \
+              " return n * fact(n - 1); }\nint f() { return fact(6); }"
+        program, _ = parse_text(src)
+        env = Env(functions={f.name: f for f in program.functions()})
+        assert call_function(env, program.functions()[-1], []) == 720
+
+    def test_missing_return_defaults_to_zero(self):
+        program, _ = parse_text("int f() { }")
+        env = Env(functions={})
+        assert call_function(env, program.functions()[0], []) == 0
+
+    def test_wrong_arity(self):
+        program, _ = parse_text("int f(int a) { return a; }")
+        env = Env(functions={})
+        with pytest.raises(EvalError):
+            call_function(env, program.functions()[0], [1, 2])
+
+    def test_builtin_function(self):
+        program, _ = parse_text("int f() { return twice(21); }")
+        env = Env(functions={
+            "twice": BuiltinFunction("twice", INT, lambda v: v * 2),
+            "f": program.functions()[0]})
+        assert call_function(env, program.functions()[0], []) == 42
+
+    def test_unknown_function(self):
+        program, _ = parse_text("int f() { return nope(); }")
+        env = Env(functions={})
+        with pytest.raises(EvalError):
+            call_function(env, program.functions()[0], [])
+
+
+class TestSignalValueReads:
+    def test_signal_value_in_expression(self):
+        space = AddressSpace()
+        slot = SignalSlot("level", INT, space)
+        slot.store(40)
+        program, _ = parse_text("int f() { return level + 2; }")
+        env = Env(space=space, functions={},
+                  signal_resolver={"level": slot}.get)
+        assert call_function(env, program.functions()[0], []) == 42
+
+    def test_bool_signal_tilde_is_logical_not(self):
+        # Figure 3: if (~crc_ok) ...
+        space = AddressSpace()
+        slot = SignalSlot("crc_ok", BOOL, space)
+        slot.store(1)
+        program, _ = parse_text("int f() { return ~crc_ok; }")
+        env = Env(space=space, functions={},
+                  signal_resolver={"crc_ok": slot}.get)
+        assert call_function(env, program.functions()[0], []) == 0
+        slot.store(0)
+        assert call_function(env, program.functions()[0], []) == 1
+
+    def test_pure_signal_value_read_rejected(self):
+        space = AddressSpace()
+        slot = SignalSlot("go", __import__("repro.lang.types",
+                                           fromlist=["PURE"]).PURE, space)
+        program, _ = parse_text("int f() { return go; }")
+        env = Env(space=space, functions={},
+                  signal_resolver={"go": slot}.get)
+        with pytest.raises(EvalError):
+            call_function(env, program.functions()[0], [])
+
+
+class TestOperationCounting:
+    def test_counter_sees_operations(self):
+        class Counter:
+            def __init__(self):
+                self.counts = {}
+
+            def count(self, kind, amount=1):
+                self.counts[kind] = self.counts.get(kind, 0) + amount
+
+        counter = Counter()
+        program, _ = parse_text(
+            "int f() { int s = 0; int i;"
+            " for (i = 0; i < 10; i++) s += i; return s; }")
+        env = Env(functions={}, counter=counter)
+        call_function(env, program.functions()[0], [])
+        assert counter.counts.get("alu", 0) > 0
+        assert counter.counts.get("branch", 0) >= 10
+        assert counter.counts.get("mem", 0) > 0

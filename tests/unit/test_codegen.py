@@ -1,0 +1,177 @@
+"""Unit tests for the C/VHDL/Verilog back-ends and the glue bundle."""
+
+import pytest
+
+from repro.core import EclCompiler
+from repro.errors import CodegenError
+
+SCALAR = """
+module blink (input pure tick, output pure led)
+{
+    while (1) {
+        await (tick);
+        emit (led);
+        await (tick);
+    }
+}
+"""
+
+VALUED = """
+module scale (input int x, output int y)
+{
+    int gain;
+    gain = 3;
+    while (1) {
+        await (x);
+        emit_v (y, x * gain + 1);
+    }
+}
+"""
+
+WITH_DATA_LOOP = """
+module summer (input int x, output int s)
+{
+    int i;
+    int acc;
+    while (1) {
+        await (x);
+        for (i = 0, acc = 0; i < 4; i++) { acc = acc + x; }
+        emit_v (s, acc);
+    }
+}
+"""
+
+WITH_STRUCT = """
+typedef struct { int a; int b; } pair_t;
+module pick (input pair_t p, output int a)
+{
+    while (1) { await (p); emit_v (a, p.a); }
+}
+"""
+
+
+def module_of(src, name):
+    return EclCompiler().compile_text(src).module(name)
+
+
+class TestCBackend:
+    def test_header_has_context_struct(self):
+        bundle = module_of(SCALAR, "blink").c_code()
+        assert "blink_ctx_t" in bundle.header
+        assert "tick_present" in bundle.header
+        assert "led_present" in bundle.header
+
+    def test_source_has_react_and_reset(self):
+        bundle = module_of(SCALAR, "blink").c_code()
+        assert "void blink_reset(" in bundle.source
+        assert "void blink_react(" in bundle.source
+        assert "switch (ctx->__state)" in bundle.source
+
+    def test_variables_redirected_to_ctx(self):
+        bundle = module_of(VALUED, "scale").c_code()
+        assert "ctx->gain" in bundle.source
+        assert "ctx->x_value" in bundle.source
+        assert "ctx->y_value" in bundle.source
+
+    def test_data_loop_emitted_as_function(self):
+        bundle = module_of(WITH_DATA_LOOP, "summer").c_code()
+        assert "static void ecl_summer_data_1" in bundle.source
+        assert "ecl_summer_data_1(ctx);" in bundle.source
+
+    def test_struct_typedef_reproduced(self):
+        bundle = module_of(WITH_STRUCT, "pick").c_code()
+        assert "typedef struct" in bundle.header
+        assert "pair_t" in bundle.header
+
+    def test_every_state_has_case(self):
+        module = module_of(SCALAR, "blink")
+        bundle = module.c_code()
+        for state in module.efsm().states:
+            assert "case %d:" % state.index in bundle.source
+
+    def test_reactions_exit_via_common_epilogue(self):
+        bundle = module_of(SCALAR, "blink").c_code()
+        assert "ecl_done:" in bundle.source
+        assert "goto ecl_done;" in bundle.source
+
+    def test_shared_subtrees_emitted_once(self):
+        # The paper's protocol-stack product machine shares reaction
+        # code between states; the back-end must emit it behind labels.
+        from repro.designs import PROTOCOL_STACK_ECL
+        from repro.core import EclCompiler
+        design = EclCompiler().compile_text(PROTOCOL_STACK_ECL)
+        source = design.module("toplevel").c_code().source
+        assert "ecl_shared_0:" in source
+        assert source.count("goto ecl_shared_0;") >= 2
+
+
+class TestHardwareBackends:
+    def test_verilog_for_scalar_design(self):
+        text = module_of(SCALAR, "blink").verilog()
+        assert "module blink (" in text
+        assert "input wire tick_present" in text
+        assert "output reg led_present" in text
+        assert "endmodule" in text
+
+    def test_vhdl_for_scalar_design(self):
+        text = module_of(SCALAR, "blink").vhdl()
+        assert "entity blink is" in text
+        assert "architecture rtl of blink" in text
+
+    def test_valued_signals_get_vectors(self):
+        text = module_of(VALUED, "scale").verilog()
+        assert "[31:0] x_value" in text
+        assert "[31:0] y_value" in text
+
+    def test_data_loop_refused(self):
+        # "hardware only when the data-dominated C part is empty".
+        with pytest.raises(CodegenError) as err:
+            module_of(WITH_DATA_LOOP, "summer").verilog()
+        assert "data" in str(err.value)
+
+    def test_aggregate_signal_refused(self):
+        with pytest.raises(CodegenError):
+            module_of(WITH_STRUCT, "pick").vhdl()
+
+
+class TestGlueBundle:
+    def test_esterel_text_structure(self):
+        glue = module_of(SCALAR, "blink").glue()
+        assert glue.esterel_text.startswith("module blink:")
+        assert "input tick;" in glue.esterel_text
+        assert "await [tick]" in glue.esterel_text
+        assert "emit led" in glue.esterel_text
+        assert glue.esterel_text.rstrip().endswith("end module")
+
+    def test_local_signals_declared_in_esterel(self):
+        src = ("module m (input pure s, output pure t) {"
+               " signal pure mid;"
+               " while (1) { await(s); par { emit(mid);"
+               " present (mid) emit(t); } } }")
+        glue = module_of(src, "m").glue()
+        assert "signal mid in" in glue.esterel_text
+
+    def test_c_file_contains_data_functions(self):
+        glue = module_of(WITH_DATA_LOOP, "summer").glue()
+        assert "ecl_summer_data_1" in glue.c_text
+        assert "ecl_summer_data_1" in glue.header_text
+
+    def test_header_declares_valued_signals(self):
+        glue = module_of(VALUED, "scale").glue()
+        assert "x_value" in glue.header_text
+        assert "y_value" in glue.header_text
+
+    def test_user_functions_preserved_verbatim_shape(self):
+        src = ("int helper(int a) { return a * 2; }\n"
+               "module m (input int x, output int y) {"
+               " while (1) { await(x); emit_v(y, helper(x)); } }")
+        glue = module_of(src, "m").glue()
+        assert "helper" in glue.c_text
+
+
+class TestDotExport:
+    def test_dot_shape(self):
+        text = module_of(SCALAR, "blink").dot()
+        assert text.startswith("digraph blink")
+        assert "->" in text
+        assert "led" in text

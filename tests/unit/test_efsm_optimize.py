@@ -1,0 +1,131 @@
+"""Unit tests for the EFSM optimization passes."""
+
+import pytest
+
+from repro.ecl import translate_module
+from repro.efsm import (
+    build_efsm,
+    Efsm,
+    Leaf,
+    State,
+    TERMINATED,
+    TestSignal,
+    merge_equivalent_states,
+    optimize,
+    prune_unreachable,
+    reachable_states,
+    simplify_reactions,
+)
+from repro.lang import parse_text
+
+
+def compiled(body, signals="input pure s, input pure r, output pure t"):
+    src = "module m (%s) { %s }" % (signals, body)
+    program, types = parse_text(src)
+    return build_efsm(translate_module(program, types, "m"))
+
+
+def hand_machine():
+    """A machine with an unreachable state and two equivalent states."""
+    loop_a = State(0, TestSignal("s", Leaf(1), Leaf(0)))
+    loop_b = State(1, TestSignal("s", Leaf(0), Leaf(1)))
+    orphan = State(2, Leaf(2))
+    return Efsm(name="hand", states=[loop_a, loop_b, orphan], initial=0,
+                inputs=("s",))
+
+
+class TestReachability:
+    def test_reachable_set(self):
+        machine = hand_machine()
+        assert reachable_states(machine) == {0, 1}
+
+    def test_prune_drops_orphan(self):
+        machine = prune_unreachable(hand_machine())
+        assert machine.state_count == 2
+
+    def test_prune_renumbers_consistently(self):
+        pruned = prune_unreachable(hand_machine())
+        for state in pruned.states:
+            for node in [state.reaction]:
+                pass
+        assert pruned.initial == 0
+
+    def test_noop_when_all_reachable(self):
+        machine = compiled("while (1) { await(s); emit(t); }")
+        assert prune_unreachable(machine) is machine
+
+
+class TestSimplification:
+    def test_identical_branches_collapse(self):
+        # present(r) with the same outcome either way: the test of r
+        # must disappear.
+        machine = compiled(
+            "while (1) { await(s); present (r) emit(t); else emit(t); }")
+        simplified = simplify_reactions(machine)
+        assert "r" not in simplified.tested_inputs()
+
+    def test_shared_subtrees_interned(self):
+        machine = simplify_reactions(
+            compiled("while (1) { await(s | r); emit(t); }"))
+        # Both input branches lead to the same continuation object.
+        seen = {}
+        for state in machine.states:
+            node = state.reaction
+            if isinstance(node, TestSignal):
+                seen[state.index] = node
+        # at least one state has a signal test with shared structure
+        assert seen
+
+    def test_semantics_preserved(self):
+        from repro.analysis import compare_on_trace
+        from repro.ecl import translate_module as tm
+        src = ("module m (input pure s, input pure r, output pure t) {"
+               " while (1) { await(s & ~r); emit(t); } }")
+        program, types = parse_text(src)
+        kernel = tm(program, types, "m")
+        machine = optimize(build_efsm(kernel))
+        trace = [{}, {"s": None}, {"s": None, "r": None}, {"s": None}, {}]
+        assert compare_on_trace(kernel, machine, trace) is None
+
+
+class TestMerging:
+    def test_equivalent_states_merged(self):
+        machine = merge_equivalent_states(
+            prune_unreachable(hand_machine()))
+        assert machine.state_count == 1
+
+    def test_initial_state_tracked(self):
+        machine = merge_equivalent_states(prune_unreachable(hand_machine()))
+        assert machine.initial == 0
+
+    def test_distinct_states_kept(self):
+        machine = compiled(
+            "while (1) { await(s); emit(t); await(r); }")
+        merged = merge_equivalent_states(machine)
+        assert merged.state_count >= 2
+
+
+class TestFullPipeline:
+    def test_never_grows(self):
+        raw = compiled(
+            "while (1) { await(s); present (r) emit(t); else emit(t); }")
+        optimized = optimize(raw)
+        assert optimized.state_count <= raw.state_count
+        assert optimized.transition_count() <= raw.transition_count()
+
+    def test_product_machine_shrinks(self):
+        from repro.designs import PROTOCOL_STACK_ECL
+        program, types = parse_text(PROTOCOL_STACK_ECL)
+        raw = build_efsm(translate_module(program, types, "toplevel"))
+        optimized = optimize(raw)
+        assert optimized.transition_count() < raw.transition_count()
+
+    def test_optimized_equivalent_on_paper_design(self):
+        from repro.analysis import compare_on_trace
+        from repro.designs import PROTOCOL_STACK_ECL
+        program, types = parse_text(PROTOCOL_STACK_ECL)
+        kernel = translate_module(program, types, "toplevel")
+        optimized = optimize(build_efsm(kernel))
+        packet = bytes([(0x40 + j) & 0xFF for j in range(6)] + [0] * 58)
+        trace = [{}] + [{"in_byte": b} for b in packet] + [{}] * 12
+        assert compare_on_trace(kernel, optimized, trace) is None

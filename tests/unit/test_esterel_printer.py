@@ -1,0 +1,118 @@
+"""Unit tests for the Esterel source printer (phase-1 artifact)."""
+
+import pytest
+
+from repro.esterel import kernel as k, to_esterel
+from repro.esterel.printer import EsterelPrinter
+from repro.errors import CodegenError
+from repro.lang import ast
+
+
+def sig(name):
+    return ast.SigRef(name=name)
+
+
+class TestStatements:
+    def test_atoms(self):
+        assert to_esterel(k.NOTHING) == "nothing"
+        assert to_esterel(k.Pause()) == "pause"
+        assert to_esterel(k.Halt()) == "halt"
+
+    def test_emit(self):
+        assert to_esterel(k.Emit("s")) == "emit s"
+
+    def test_emit_with_value(self):
+        assert to_esterel(k.Emit("v", ast.IntLit(value=7))) == "emit v(7)"
+
+    def test_await(self):
+        assert to_esterel(k.Await(sig("s"))) == "await [s]"
+
+    def test_await_boolean_expression(self):
+        cond = ast.SigAnd(left=sig("a"),
+                          right=ast.SigNot(operand=sig("b")))
+        assert to_esterel(k.Await(cond)) == "await [a and not b]"
+
+    def test_seq_with_semicolons(self):
+        text = to_esterel(k.seq(k.Emit("a"), k.Emit("b")))
+        assert text == "emit a;\nemit b"
+
+    def test_loop(self):
+        text = to_esterel(k.Loop(k.Pause()))
+        assert text == "loop\n  pause\nend loop"
+
+    def test_present_else(self):
+        text = to_esterel(k.Present(sig("s"), k.Emit("a"), k.Emit("b")))
+        assert "present [s] then" in text
+        assert "else" in text
+        assert text.endswith("end present")
+
+    def test_par_brackets(self):
+        text = to_esterel(k.par(k.Emit("a"), k.Emit("b")))
+        assert text.startswith("[")
+        assert "||" in text
+        assert text.endswith("]")
+
+    def test_abort(self):
+        text = to_esterel(k.Abort(k.Halt(), sig("s")))
+        assert text.startswith("abort")
+        assert text.endswith("when [s]")
+
+    def test_weak_abort(self):
+        text = to_esterel(k.Abort(k.Halt(), sig("s"), weak=True))
+        assert text.startswith("weak abort")
+
+    def test_abort_with_handler(self):
+        text = to_esterel(k.Abort(k.Halt(), sig("s"),
+                                  handler=k.Emit("h")))
+        assert "when case [s] do" in text
+        assert "emit h" in text
+
+    def test_suspend(self):
+        text = to_esterel(k.Suspend(k.Halt(), sig("s")))
+        assert text.startswith("suspend")
+        assert text.endswith("when [s]")
+
+    def test_trap_exit_labels_match(self):
+        text = to_esterel(k.Trap(k.Exit(0)))
+        assert "trap T0 in" in text
+        assert "exit T0" in text
+
+    def test_nested_trap_labels(self):
+        text = to_esterel(k.Trap(k.Trap(k.Exit(1))))
+        assert "trap T0 in" in text
+        assert "trap T1 in" in text
+        assert "exit T0" in text  # depth 1 from inside = outer trap
+
+    def test_action_as_host_call_with_comment(self):
+        program_stmt = ast.ExprStmt(expr=ast.Assign(
+            op="=", target=ast.Name(id="x"), value=ast.IntLit(value=1)))
+        text = to_esterel(k.Action(program_stmt))
+        assert "call ecl_action()" in text
+        assert "x = 1;" in text
+
+    def test_residues_not_printable(self):
+        with pytest.raises(CodegenError):
+            to_esterel(k.AwaitActive(sig("s")))
+
+
+class TestModuleText:
+    def test_interface_declared(self):
+        from repro.lang.types import INT, PURE
+        params = (
+            ast.SignalParam(direction="input", name="go", type=PURE),
+            ast.SignalParam(direction="output", name="level", type=INT),
+        )
+        printer = EsterelPrinter()
+        text = printer.module_text("m", params, k.Halt())
+        assert text.startswith("module m:")
+        assert "input go;" in text
+        assert "output level : integer;" in text
+        assert text.rstrip().endswith("end module")
+
+    def test_local_signal_block(self):
+        from repro.lang.types import PURE
+        printer = EsterelPrinter()
+        text = printer.module_text("m", (), k.Emit("mid"),
+                                   local_signals=[("mid", PURE)])
+        assert "signal mid in" in text
+        assert "end signal" in text

@@ -1,0 +1,448 @@
+"""Unit tests for the Esterel kernel semantics (react + interpreter).
+
+These tests build kernel terms directly and run them with
+:class:`repro.esterel.KernelRunner`, checking the classic Esterel
+behaviours: pause boundaries, await non-immediacy, parallel max-code
+combination, trap/exit, strong/weak abort, suspend freezing, and the
+causality/instantaneous-loop rejections.
+"""
+
+import pytest
+
+from repro.errors import CausalityError, EvalError, InstantaneousLoopError
+from repro.esterel import KernelRunner, kernel as k
+from repro.lang import INT, PURE, ast, parse_text
+from repro.runtime import Env, SignalTable, SignalSlot
+
+
+def sig(name):
+    return ast.SigRef(name=name)
+
+
+def sig_and(a, b):
+    return ast.SigAnd(left=sig(a), right=sig(b))
+
+
+def sig_not(a):
+    return ast.SigNot(operand=sig(a))
+
+
+def make_runner(stmt, inputs=(), outputs=(), locals_=()):
+    env = Env()
+    table = SignalTable()
+    for name in inputs:
+        table.add(SignalSlot(name, PURE, env.space, "input"))
+    for name in outputs:
+        table.add(SignalSlot(name, PURE, env.space, "output"))
+    for name in locals_:
+        table.add(SignalSlot(name, PURE, env.space, "local"))
+    return KernelRunner(stmt, table, env)
+
+
+def expr(text):
+    """Parse a C expression (via a throwaway function body)."""
+    program, _ = parse_text("int f() { return (%s); }" % text)
+    return program.functions()[0].body.body[0].value
+
+
+def action(text):
+    """Parse a C statement into an Action kernel node."""
+    program, _ = parse_text("void f() { %s }" % text)
+    return k.Action(program.functions()[0].body.body[0])
+
+
+class TestBasics:
+    def test_nothing_terminates(self):
+        runner = make_runner(k.NOTHING)
+        assert runner.step().terminated
+
+    def test_pause_takes_one_instant(self):
+        runner = make_runner(k.Pause())
+        assert not runner.step().terminated
+        assert runner.step().terminated
+
+    def test_halt_never_terminates(self):
+        runner = make_runner(k.Halt())
+        for _ in range(5):
+            assert not runner.step().terminated
+
+    def test_emit_is_instantaneous(self):
+        runner = make_runner(k.Emit("o"), outputs=["o"])
+        result = runner.step()
+        assert result.terminated
+        assert "o" in result.emitted
+
+    def test_seq_runs_in_one_instant(self):
+        runner = make_runner(
+            k.seq(k.Emit("a"), k.Emit("b")), outputs=["a", "b"])
+        result = runner.step()
+        assert result.emitted == {"a", "b"}
+        assert result.terminated
+
+    def test_seq_residue_resumes_mid_sequence(self):
+        runner = make_runner(
+            k.seq(k.Emit("a"), k.Pause(), k.Emit("b")), outputs=["a", "b"])
+        first = runner.step()
+        assert first.emitted == {"a"}
+        second = runner.step()
+        assert second.emitted == {"b"}
+        assert second.terminated
+
+    def test_delta_pause_flag(self):
+        runner = make_runner(k.Pause(delta=True))
+        assert runner.step().delta_requested
+
+    def test_plain_pause_no_delta_flag(self):
+        runner = make_runner(k.Pause())
+        assert not runner.step().delta_requested
+
+    def test_step_after_termination_is_noop(self):
+        runner = make_runner(k.NOTHING)
+        runner.step()
+        assert runner.step().terminated
+
+
+class TestAwait:
+    def test_await_is_non_immediate(self):
+        # Paper, statement 2: "ends the current instant and waits ... in
+        # some later instant".
+        runner = make_runner(k.Await(sig("s")), inputs=["s"])
+        result = runner.step(inputs=["s"])  # same instant: missed
+        assert not result.terminated
+        assert runner.step(inputs=["s"]).terminated
+
+    def test_await_waits_until_occurrence(self):
+        runner = make_runner(k.Await(sig("s")), inputs=["s"])
+        runner.step()
+        for _ in range(3):
+            assert not runner.step().terminated
+        assert runner.step(inputs=["s"]).terminated
+
+    def test_await_boolean_expression(self):
+        runner = make_runner(k.Await(sig_and("a", "b")), inputs=["a", "b"])
+        runner.step()
+        assert not runner.step(inputs=["a"]).terminated
+        assert runner.step(inputs=["a", "b"]).terminated
+
+    def test_await_negation(self):
+        runner = make_runner(k.Await(sig_not("a")), inputs=["a"])
+        runner.step(inputs=["a"])
+        assert not runner.step(inputs=["a"]).terminated
+        assert runner.step().terminated
+
+
+class TestPresent:
+    def test_present_then(self):
+        runner = make_runner(
+            k.Present(sig("s"), k.Emit("o"), k.NOTHING),
+            inputs=["s"], outputs=["o"])
+        assert runner.step(inputs=["s"]).emitted == {"o"}
+
+    def test_present_else(self):
+        runner = make_runner(
+            k.Present(sig("s"), k.NOTHING, k.Emit("o")),
+            inputs=["s"], outputs=["o"])
+        assert runner.step().emitted == {"o"}
+
+    def test_unknown_signal_rejected(self):
+        runner = make_runner(k.Present(sig("zz"), k.NOTHING, k.NOTHING))
+        with pytest.raises(EvalError):
+            runner.step()
+
+
+class TestLoop:
+    def test_loop_pause_runs_forever(self):
+        runner = make_runner(k.Loop(k.seq(k.Emit("o"), k.Pause())),
+                             outputs=["o"])
+        for _ in range(4):
+            result = runner.step()
+            assert not result.terminated
+            assert result.emitted == {"o"}
+
+    def test_instantaneous_loop_rejected(self):
+        runner = make_runner(k.Loop(k.Emit("o")), outputs=["o"])
+        with pytest.raises(InstantaneousLoopError):
+            runner.step()
+
+    def test_loop_restart_within_instant_is_fine(self):
+        # loop { pause; emit } — resuming terminates the body and restarts
+        # it once; that is legal as long as the restart pauses.
+        runner = make_runner(k.Loop(k.seq(k.Pause(), k.Emit("o"))),
+                             outputs=["o"])
+        assert runner.step().emitted == set()
+        assert runner.step().emitted == {"o"}
+        assert runner.step().emitted == {"o"}
+
+
+class TestPar:
+    def test_par_waits_for_all(self):
+        # pause | (pause; pause): the right branch resumes at instant 2,
+        # pauses again, and terminates at instant 3.
+        stmt = k.par(k.Pause(), k.seq(k.Pause(), k.Pause()))
+        runner = make_runner(stmt)
+        assert not runner.step().terminated
+        assert not runner.step().terminated
+        assert runner.step().terminated
+
+    def test_par_broadcast_same_instant(self):
+        # One branch emits, the other sees it in the same instant.
+        stmt = k.par(
+            k.Emit("mid"),
+            k.Present(sig("mid"), k.Emit("o"), k.NOTHING),
+        )
+        runner = make_runner(stmt, outputs=["o"], locals_=["mid"])
+        assert "o" in runner.step().emitted
+
+    def test_par_broadcast_right_to_left(self):
+        # The emitter is *after* the tester: the fixed point still finds it.
+        stmt = k.par(
+            k.Present(sig("mid"), k.Emit("o"), k.NOTHING),
+            k.Emit("mid"),
+        )
+        runner = make_runner(stmt, outputs=["o"], locals_=["mid"])
+        result = runner.step()
+        assert "o" in result.emitted
+        assert result.rounds > 1  # needed a second round to learn 'mid'
+
+    def test_terminated_branch_does_not_rerun(self):
+        stmt = k.par(
+            k.Emit("a"),
+            k.seq(k.Pause(), k.Emit("b")),
+        )
+        runner = make_runner(stmt, outputs=["a", "b"])
+        assert runner.step().emitted == {"a"}
+        result = runner.step()
+        assert result.emitted == {"b"}  # 'a' not re-emitted
+        assert result.terminated
+
+
+class TestTrapExit:
+    def test_exit_terminates_trap(self):
+        stmt = k.Trap(k.seq(k.Exit(0), k.Emit("never")))
+        runner = make_runner(stmt, outputs=["never"])
+        result = runner.step()
+        assert result.terminated
+        assert result.emitted == set()
+
+    def test_exit_kills_parallel_sibling(self):
+        stmt = k.Trap(k.par(k.Exit(0), k.Halt()))
+        runner = make_runner(stmt)
+        assert runner.step().terminated
+
+    def test_nested_traps_de_bruijn(self):
+        # Exit(1) escapes both traps.
+        stmt = k.seq(
+            k.Trap(k.Trap(k.Exit(1))),
+            k.Emit("after"),
+        )
+        runner = make_runner(stmt, outputs=["after"])
+        result = runner.step()
+        assert result.terminated
+        assert result.emitted == {"after"}
+
+    def test_exit_in_later_instant(self):
+        stmt = k.Trap(k.seq(k.Pause(), k.Exit(0)))
+        runner = make_runner(stmt)
+        assert not runner.step().terminated
+        assert runner.step().terminated
+
+    def test_outer_exit_wins_in_par(self):
+        # Two simultaneous exits: the outermost trap's wins.
+        inner_emit = k.Emit("inner_handler")
+        stmt = k.seq(
+            k.Trap(k.seq(k.Trap(k.par(k.Exit(0), k.Exit(1))), inner_emit)),
+            k.Emit("outer_done"),
+        )
+        runner = make_runner(stmt, outputs=["inner_handler", "outer_done"])
+        result = runner.step()
+        assert result.emitted == {"outer_done"}
+
+
+class TestAbort:
+    def abort_stmt(self, weak=False, handler=None):
+        body = k.Loop(k.seq(k.Emit("tick"), k.Pause()))
+        return k.Abort(body, sig("s"), handler=handler, weak=weak)
+
+    def test_strong_abort_not_immediate(self):
+        # Paper, statement 5: triggers in a *later* instant.
+        runner = make_runner(self.abort_stmt(), inputs=["s"],
+                             outputs=["tick"])
+        result = runner.step(inputs=["s"])
+        assert not result.terminated
+        assert result.emitted == {"tick"}
+
+    def test_strong_abort_blocks_body_in_trigger_instant(self):
+        runner = make_runner(self.abort_stmt(), inputs=["s"],
+                             outputs=["tick"])
+        runner.step()
+        result = runner.step(inputs=["s"])
+        assert result.terminated
+        assert result.emitted == set()  # body got no instant
+
+    def test_weak_abort_lets_body_run_last_instant(self):
+        runner = make_runner(self.abort_stmt(weak=True), inputs=["s"],
+                             outputs=["tick"])
+        runner.step()
+        result = runner.step(inputs=["s"])
+        assert result.terminated
+        assert result.emitted == {"tick"}
+
+    def test_abort_handler_runs_on_preemption(self):
+        handler = k.Emit("handled")
+        runner = make_runner(self.abort_stmt(handler=handler),
+                             inputs=["s"], outputs=["tick", "handled"])
+        runner.step()
+        result = runner.step(inputs=["s"])
+        assert result.terminated
+        assert result.emitted == {"handled"}
+
+    def test_handler_skipped_on_normal_termination(self):
+        body = k.seq(k.Pause(), k.Emit("done"))
+        stmt = k.Abort(body, sig("s"), handler=k.Emit("handled"))
+        runner = make_runner(stmt, inputs=["s"],
+                             outputs=["done", "handled"])
+        runner.step()
+        result = runner.step()
+        assert result.terminated
+        assert result.emitted == {"done"}
+
+    def test_abort_restarts_loop_like_paper_reset(self):
+        # while(1){ do { await byte...} abort(reset) } — Figure 1's shape.
+        body = k.seq(k.Await(sig("b")), k.Emit("got"))
+        stmt = k.Loop(k.Abort(body, sig("reset")))
+        runner = make_runner(stmt, inputs=["b", "reset"], outputs=["got"])
+        runner.step()
+        runner.step(inputs=["reset"])   # abort, loop restarts the await
+        result = runner.step(inputs=["b"])
+        assert result.emitted == {"got"}
+
+
+class TestSuspend:
+    def counter_stmt(self):
+        return k.Suspend(
+            k.Loop(k.seq(k.Emit("tick"), k.Pause())), sig("s"))
+
+    def test_suspend_freezes_body(self):
+        runner = make_runner(self.counter_stmt(), inputs=["s"],
+                             outputs=["tick"])
+        assert runner.step().emitted == {"tick"}
+        assert runner.step(inputs=["s"]).emitted == set()  # frozen (^Z)
+        assert runner.step().emitted == {"tick"}            # resumes
+
+    def test_suspend_first_instant_runs(self):
+        runner = make_runner(self.counter_stmt(), inputs=["s"],
+                             outputs=["tick"])
+        assert runner.step(inputs=["s"]).emitted == {"tick"}
+
+
+class TestDataActions:
+    def make_env_runner(self, stmt, var_names=("x",)):
+        env = Env()
+        for name in var_names:
+            env.declare(name, INT)
+        table = SignalTable()
+        table.add(SignalSlot("o", PURE, env.space, "output"))
+        table.add(SignalSlot("s", PURE, env.space, "input"))
+        return KernelRunner(stmt, table, env), env
+
+    def test_action_executes(self):
+        runner, env = self.make_env_runner(action("x = 42;"))
+        runner.step()
+        assert env.lookup("x").load() == 42
+
+    def test_ifdata_branches_on_memory(self):
+        stmt = k.seq(
+            action("x = 5;"),
+            k.IfData(expr("x > 3"), k.Emit("o"), k.NOTHING),
+        )
+        runner, _ = self.make_env_runner(stmt)
+        assert runner.step().emitted == {"o"}
+
+    def test_data_loop_state_survives_instants(self):
+        # x increments once per instant across pauses.
+        stmt = k.Loop(k.seq(action("x = x + 1;"), k.Pause()))
+        runner, env = self.make_env_runner(stmt)
+        for _ in range(3):
+            runner.step()
+        assert env.lookup("x").load() == 3
+
+    def test_fixpoint_rerun_does_not_double_execute_actions(self):
+        # Emitter after the data action: the second round must not leave
+        # x incremented twice.
+        stmt = k.par(
+            k.Present(sig("mid"), action("x = x + 1;"), action("x = x + 1;")),
+            k.Emit("mid"),
+        )
+        env = Env()
+        env.declare("x", INT)
+        table = SignalTable()
+        table.add(SignalSlot("mid", PURE, env.space, "local"))
+        runner = KernelRunner(stmt, table, env)
+        result = runner.step()
+        assert result.rounds > 1
+        assert env.lookup("x").load() == 1
+
+
+class TestCausality:
+    def test_paradox_raises(self):
+        # present s else emit s — no consistent status for s.
+        stmt = k.Present(sig("s"), k.NOTHING, k.Emit("s"))
+        runner = make_runner(stmt, locals_=["s"])
+        with pytest.raises(CausalityError):
+            runner.step()
+
+    def test_self_justifying_emission_accepted(self):
+        # present s then emit s — logically coherent both ways; our
+        # absent-by-default iteration picks "absent", which is the
+        # constructive answer.
+        stmt = k.Present(sig("s"), k.Emit("s"), k.NOTHING)
+        runner = make_runner(stmt, locals_=["s"])
+        assert runner.step().emitted == set()
+
+    def test_chain_of_dependencies_converges(self):
+        stmt = k.par(
+            k.Present(sig("b"), k.Emit("c"), k.NOTHING),
+            k.Present(sig("a"), k.Emit("b"), k.NOTHING),
+            k.Emit("a"),
+        )
+        runner = make_runner(stmt, locals_=["a", "b", "c"])
+        assert runner.step().emitted == {"a", "b", "c"}
+
+
+class TestEmitValues:
+    def test_emit_value_readable_after_instant(self):
+        env = Env()
+        table = SignalTable()
+        table.add(SignalSlot("v", INT, env.space, "output"))
+        runner = KernelRunner(k.Emit("v", expr("21 * 2")), table, env)
+        runner.step()
+        assert table["v"].load() == 42
+
+    def test_value_persists_across_instants(self):
+        env = Env()
+        table = SignalTable()
+        table.add(SignalSlot("v", INT, env.space, "output"))
+        stmt = k.seq(k.Emit("v", expr("7")), k.Pause(), k.Pause())
+        runner = KernelRunner(stmt, table, env)
+        runner.step()
+        runner.step()
+        assert table["v"].load() == 7  # presence gone, value persists
+        assert not table["v"].present
+
+    def test_emit_v_on_pure_signal_rejected(self):
+        runner = make_runner(k.Emit("o", expr("1")), outputs=["o"])
+        with pytest.raises(EvalError):
+            runner.step()
+
+    def test_bare_emit_on_valued_signal_rejected(self):
+        env = Env()
+        table = SignalTable()
+        table.add(SignalSlot("v", INT, env.space, "output"))
+        runner = KernelRunner(k.Emit("v"), table, env)
+        with pytest.raises(EvalError):
+            runner.step()
+
+    def test_emit_input_rejected(self):
+        runner = make_runner(k.Emit("s"), inputs=["s"])
+        with pytest.raises(EvalError):
+            runner.step()

@@ -1,0 +1,143 @@
+"""Unit tests for the byte-backed address space and l-values."""
+
+import pytest
+
+from repro.errors import EvalError
+from repro.lang import ArrayType, CHAR, INT, StructType, UCHAR, UINT, UnionType
+from repro.runtime import AddressSpace, LValue, Variable
+from repro.runtime.memory import decode_scalar, encode_scalar
+
+
+class TestAddressSpace:
+    def test_zero_initialized(self):
+        space = AddressSpace()
+        address = space.alloc(8)
+        assert space.read_bytes(address, 8) == b"\x00" * 8
+
+    def test_alignment(self):
+        space = AddressSpace()
+        space.alloc(1)
+        address = space.alloc(4, align=4)
+        assert address % 4 == 0
+
+    def test_null_page_protected(self):
+        space = AddressSpace()
+        with pytest.raises(EvalError):
+            space.read_bytes(0, 4)
+        with pytest.raises(EvalError):
+            space.write_bytes(0, b"\x01")
+
+    def test_allocated_bytes_accounting(self):
+        space = AddressSpace()
+        space.alloc(10)
+        assert space.allocated_bytes >= 10
+
+    def test_snapshot_restore(self):
+        space = AddressSpace()
+        address = space.alloc(4)
+        space.write_scalar(address, INT, 42)
+        saved = space.snapshot()
+        space.write_scalar(address, INT, 99)
+        space.restore(saved)
+        assert space.read_scalar(address, INT) == 42
+
+
+class TestScalarEncoding:
+    def test_roundtrip_int(self):
+        for value in (0, 1, -1, 2**31 - 1, -(2**31)):
+            assert decode_scalar(encode_scalar(value, INT), INT) == value
+
+    def test_little_endian(self):
+        assert encode_scalar(0x01020304, INT) == b"\x04\x03\x02\x01"
+
+    def test_unsigned_wrap_on_encode(self):
+        assert decode_scalar(encode_scalar(-1, UINT), UINT) == 2**32 - 1
+
+
+class TestVariablesAndLValues:
+    def test_scalar_store_load(self):
+        space = AddressSpace()
+        var = Variable("x", INT, space)
+        var.store(-7)
+        assert var.load() == -7
+
+    def test_char_wraps(self):
+        space = AddressSpace()
+        var = Variable("c", CHAR, space)
+        var.store(200)
+        assert var.load() == 200 - 256
+
+    def test_array_element_access(self):
+        space = AddressSpace()
+        var = Variable("a", ArrayType(INT, 4), space)
+        var.lvalue.element(2).store(5)
+        assert var.lvalue.element(2).load() == 5
+        assert var.lvalue.element(0).load() == 0
+
+    def test_array_bounds_checked(self):
+        space = AddressSpace()
+        var = Variable("a", ArrayType(INT, 4), space)
+        with pytest.raises(EvalError):
+            var.lvalue.element(4)
+        with pytest.raises(EvalError):
+            var.lvalue.element(-1)
+
+    def test_struct_field_access(self):
+        space = AddressSpace()
+        s = StructType.build("s", [("a", CHAR), ("b", INT)])
+        var = Variable("v", s, space)
+        var.lvalue.field("b").store(77)
+        assert var.lvalue.field("b").load() == 77
+        assert var.lvalue.field("a").load() == 0
+
+    def test_aggregate_copy(self):
+        space = AddressSpace()
+        s = StructType.build("s", [("a", INT), ("b", INT)])
+        src = Variable("src", s, space)
+        dst = Variable("dst", s, space)
+        src.lvalue.field("a").store(1)
+        src.lvalue.field("b").store(2)
+        dst.store(src.load())
+        assert dst.lvalue.field("a").load() == 1
+        assert dst.lvalue.field("b").load() == 2
+
+    def test_scalar_into_aggregate_rejected(self):
+        space = AddressSpace()
+        s = StructType.build("s", [("a", INT)])
+        var = Variable("v", s, space)
+        with pytest.raises(EvalError):
+            var.store(3)
+
+
+class TestUnionAliasing:
+    """The property Figure 1 of the paper depends on."""
+
+    def _packet_type(self):
+        view1 = StructType.build("v1", [("packet", ArrayType(UCHAR, 8))])
+        view2 = StructType.build("v2", [
+            ("header", ArrayType(UCHAR, 2)),
+            ("data", ArrayType(UCHAR, 4)),
+            ("crc", ArrayType(UCHAR, 2)),
+        ])
+        return UnionType.build("pkt", [("raw", view1), ("cooked", view2)])
+
+    def test_write_raw_read_cooked(self):
+        space = AddressSpace()
+        pkt = Variable("p", self._packet_type(), space)
+        raw = pkt.lvalue.field("raw").field("packet")
+        for i in range(8):
+            raw.element(i).store(i + 1)
+        cooked = pkt.lvalue.field("cooked")
+        assert cooked.field("header").element(0).load() == 1
+        assert cooked.field("data").element(0).load() == 3
+        assert cooked.field("crc").element(1).load() == 8
+
+    def test_cast_crc_bytes_to_int(self):
+        # (int) inpkt.cooked.crc — reinterpret the leading bytes.
+        space = AddressSpace()
+        pkt = Variable("p", self._packet_type(), space)
+        crc = pkt.lvalue.field("cooked").field("crc")
+        crc.element(0).store(0x34)
+        crc.element(1).store(0x12)
+        raw = space.read_bytes(crc.address, 2)
+        assert int.from_bytes(raw, "little") == 0x1234

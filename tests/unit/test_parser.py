@@ -1,0 +1,304 @@
+"""Unit tests for the ECL parser."""
+
+import pytest
+
+from repro.errors import ParseError, ScopeError
+from repro.lang import ast, parse_text, to_text
+from repro.lang.types import PureType
+
+
+def parse(src, **kw):
+    program, _ = parse_text(src, **kw)
+    return program
+
+
+def parse_module_body(body):
+    src = "module m (input pure s, output pure t) { %s }" % body
+    return parse(src).module_named("m").body
+
+
+def first_stmt(body):
+    return parse_module_body(body).body[0]
+
+
+class TestTopLevel:
+    def test_module_with_signals(self):
+        program = parse(
+            "module m (input pure reset, input int x, output bool ok) {}")
+        module = program.module_named("m")
+        assert [s.direction for s in module.signals] == [
+            "input", "input", "output"]
+        assert isinstance(module.signals[0].type, PureType)
+        assert str(module.signals[1].type) == "int"
+
+    def test_function_definition(self):
+        program = parse("int add(int a, int b) { return a + b; }")
+        function = program.functions()[0]
+        assert function.name == "add"
+        assert len(function.params) == 2
+
+    def test_typedef_then_use(self):
+        program = parse("typedef unsigned char byte;\n"
+                        "module m (input byte b, output pure o) {}")
+        assert str(program.module_named("m").signals[0].type) == \
+            "unsigned char"
+
+    def test_struct_definition_and_use(self):
+        program = parse(
+            "typedef struct { int a; int b; } pair_t;\n"
+            "module m (input pair_t p, output pure o) {}")
+        sig_type = program.module_named("m").signals[0].type
+        assert sig_type.field_named("b").offset == 4
+
+    def test_global_variable_rejected(self):
+        with pytest.raises(ScopeError):
+            parse("int counter;")
+
+    def test_static_rejected(self):
+        with pytest.raises(ScopeError):
+            parse("static int counter;")
+
+    def test_missing_module_paren(self):
+        with pytest.raises(ParseError):
+            parse("module m { }")
+
+    def test_unknown_module_lookup(self):
+        with pytest.raises(KeyError):
+            parse("module m (input pure a, output pure b) {}").module_named("x")
+
+
+class TestReactiveStatements:
+    def test_emit_pure(self):
+        stmt = first_stmt("emit(t);")
+        assert isinstance(stmt, ast.Emit)
+        assert stmt.signal == "t"
+        assert stmt.value is None
+
+    def test_emit_v(self):
+        stmt = first_stmt("emit_v(t, 1 + 2);")
+        assert isinstance(stmt, ast.Emit)
+        assert stmt.value is not None
+
+    def test_await_signal(self):
+        stmt = first_stmt("await(s);")
+        assert isinstance(stmt, ast.Await)
+        assert isinstance(stmt.cond, ast.SigRef)
+
+    def test_await_empty_delta(self):
+        stmt = first_stmt("await();")
+        assert isinstance(stmt, ast.Await)
+        assert stmt.cond is None
+
+    def test_await_boolean_expression(self):
+        stmt = first_stmt("await(s & ~t);")
+        assert isinstance(stmt.cond, ast.SigAnd)
+        assert isinstance(stmt.cond.right, ast.SigNot)
+
+    def test_await_or(self):
+        stmt = first_stmt("await(s | t);")
+        assert isinstance(stmt.cond, ast.SigOr)
+
+    def test_halt(self):
+        assert isinstance(first_stmt("halt();"), ast.Halt)
+
+    def test_present_else(self):
+        stmt = first_stmt("present(s) { emit(t); } else { halt(); }")
+        assert isinstance(stmt, ast.Present)
+        assert stmt.otherwise is not None
+
+    def test_do_abort(self):
+        stmt = first_stmt("do { halt(); } abort(s);")
+        assert isinstance(stmt, ast.Abort)
+        assert not stmt.weak
+        assert stmt.handler is None
+
+    def test_do_abort_handle(self):
+        stmt = first_stmt("do { halt(); } abort(s) handle { emit(t); }")
+        assert stmt.handler is not None
+
+    def test_do_weak_abort(self):
+        stmt = first_stmt("do { halt(); } weak_abort(s);")
+        assert stmt.weak
+
+    def test_do_suspend(self):
+        stmt = first_stmt("do { halt(); } suspend(s);")
+        assert isinstance(stmt, ast.Suspend)
+
+    def test_do_while_still_c(self):
+        stmt = first_stmt("do { x; } while (0);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_par(self):
+        stmt = first_stmt("par { emit(t); halt(); }")
+        assert isinstance(stmt, ast.Par)
+        assert len(stmt.branches) == 2
+
+    def test_empty_par_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module_body("par { }")
+
+    def test_local_signal_pure(self):
+        stmt = first_stmt("signal pure kill;")
+        assert isinstance(stmt, ast.SignalDecl)
+        assert isinstance(stmt.type, PureType)
+
+    def test_local_signal_typed(self):
+        stmt = first_stmt("signal int level;")
+        assert str(stmt.type) == "int"
+
+    def test_signal_expr_rejects_arithmetic(self):
+        with pytest.raises(ParseError):
+            parse_module_body("await(s + 1);")
+
+    def test_module_instantiation_is_call(self):
+        stmt = first_stmt("sub(s, t);")
+        assert isinstance(stmt, ast.ExprStmt)
+        assert isinstance(stmt.expr, ast.Call)
+
+
+class TestCStatements:
+    def test_if_then_paper_syntax(self):
+        # Figure 1 of the paper writes "if (A) then emit(OUT);".
+        stmt = first_stmt("if (1) then emit(t);")
+        assert isinstance(stmt, ast.If)
+
+    def test_for_loop(self):
+        stmt = first_stmt("int i; for (i = 0; i < 4; i++) { }")
+        body = parse_module_body("int i; for (i = 0; i < 4; i++) { }")
+        loop = body.body[1]
+        assert isinstance(loop, ast.For)
+        assert loop.cond is not None
+
+    def test_for_with_decl_init(self):
+        stmt = first_stmt("for (int i = 0; i < 4; i++) { }")
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_comma_separated_decls(self):
+        block = parse_module_body("int a, b;")
+        inner = block.body[0]
+        assert isinstance(inner, ast.Block)
+        assert len(inner.body) == 2
+
+    def test_array_decl_with_macro_length(self):
+        block = parse_module_body("int a[3 + 2];")
+        assert block.body[0].type.length == 5
+
+    def test_switch_desugars_to_if_chain(self):
+        stmt = first_stmt(
+            "int x; switch (x) { case 1: emit(t); break;"
+            " default: halt(); break; }")
+        body = parse_module_body(
+            "int x; switch (x) { case 1: emit(t); break;"
+            " default: halt(); break; }")
+        assert isinstance(body.body[1], ast.If)
+
+    def test_switch_fallthrough_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module_body(
+                "int x; switch (x) { case 1: x = 1; case 2: break; }")
+
+    def test_break_continue_return(self):
+        body = parse_module_body(
+            "while (1) { break; } while (1) { continue; } return;")
+        assert isinstance(body.body[0].body.body[0], ast.Break)
+        assert isinstance(body.body[1].body.body[0], ast.Continue)
+        assert isinstance(body.body[2], ast.Return)
+
+    def test_brace_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_module_body("int a[2] = {1, 2};")
+
+
+class TestExpressions:
+    def expr(self, text):
+        stmt = first_stmt("x = %s;" % text)
+        return stmt.expr.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_xor(self):
+        # Figure 2: (crc ^ byte) << 1
+        expr = self.expr("(a ^ b) << 1")
+        assert expr.op == "<<"
+
+    def test_assignment_right_associative(self):
+        stmt = first_stmt("a = b = 1;")
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_ternary(self):
+        assert isinstance(self.expr("a ? b : c"), ast.Cond)
+
+    def test_member_chain(self):
+        expr = self.expr("pkt.raw.data[3]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Member)
+
+    def test_arrow(self):
+        expr = self.expr("p->next")
+        assert expr.arrow
+
+    def test_cast(self):
+        expr = self.expr("(int) c")
+        assert isinstance(expr, ast.Cast)
+
+    def test_cast_to_typedef(self):
+        program = parse(
+            "typedef unsigned char byte;\n"
+            "module m (input pure s, output pure t) { int x; x = (byte) x; }")
+        stmt = program.module_named("m").body.body[1]
+        assert isinstance(stmt.expr.value, ast.Cast)
+
+    def test_parenthesized_call_not_cast(self):
+        expr = self.expr("(f)(1)" if False else "f(1)")
+        assert isinstance(expr, ast.Call)
+
+    def test_sizeof_type(self):
+        assert isinstance(self.expr("sizeof(int)"), ast.SizeofType)
+
+    def test_sizeof_expr(self):
+        assert isinstance(self.expr("sizeof x"), ast.SizeofExpr)
+
+    def test_unary_chain(self):
+        expr = self.expr("-~!x")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+
+    def test_postfix_incdec(self):
+        expr = self.expr("i++")
+        assert isinstance(expr, ast.IncDec) and expr.postfix
+
+    def test_prefix_incdec(self):
+        expr = self.expr("--i")
+        assert isinstance(expr, ast.IncDec) and not expr.postfix
+
+
+class TestRoundTrip:
+    """parse -> print -> parse yields the same tree shape."""
+
+    def roundtrip(self, src):
+        program = parse(src)
+        text = to_text(program)
+        again = parse(text)
+        assert to_text(again) == text
+        return again
+
+    def test_module_roundtrip(self):
+        self.roundtrip(
+            "module m (input pure s, input int v, output pure t) {\n"
+            "  int x;\n"
+            "  while (1) { do { await(s); x = v + 1; emit(t); } abort(s); }\n"
+            "}")
+
+    def test_function_roundtrip(self):
+        self.roundtrip("int f(int a) { return a * 2 + 1; }")
+
+    def test_paper_figures_roundtrip(self):
+        from repro.designs import PROTOCOL_STACK_ECL
+        program = parse(PROTOCOL_STACK_ECL)
+        text = to_text(program)
+        again = parse(text)
+        assert [m.name for m in again.modules()] == [
+            "assemble", "checkcrc", "prochdr", "toplevel"]

@@ -1,0 +1,145 @@
+"""Unit tests for the C/ECL pretty-printer."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.lang import (
+    ArrayType,
+    CHAR,
+    INT,
+    PointerType,
+    StructType,
+    UCHAR,
+    UnionType,
+    parse_text,
+    to_text,
+    type_text,
+)
+from repro.lang.printer import type_definition_text
+
+
+def print_expr(text):
+    program, _ = parse_text("int f() { return (%s); }" % text)
+    return to_text(program.functions()[0].body.body[0].value)
+
+
+def reparse_same(text):
+    assert print_expr(print_expr(text) if False else text) == \
+        print_expr(text)
+
+
+class TestTypeText:
+    def test_scalar(self):
+        assert type_text(INT) == "int"
+        assert type_text(UCHAR, "x") == "unsigned char x"
+
+    def test_array(self):
+        assert type_text(ArrayType(CHAR, 4), "buf") == "char buf[4]"
+
+    def test_nested_array(self):
+        matrix = ArrayType(ArrayType(INT, 3), 2)
+        assert type_text(matrix, "m") == "int m[2][3]"
+
+    def test_pointer(self):
+        assert type_text(PointerType(INT), "p") == "int *p"
+
+    def test_struct_reference(self):
+        struct = StructType.build("pair", [("a", INT)])
+        assert type_text(struct, "v") == "struct pair v"
+
+    def test_typedef_alias_preferred(self):
+        union = UnionType.build("<anon1>", [("a", INT)])
+        object.__setattr__(union, "typedef_alias", "packet_t")
+        assert type_text(union, "p") == "packet_t p"
+
+    def test_definition_text(self):
+        struct = StructType.build("pair", [("a", INT), ("b", CHAR)])
+        text = type_definition_text(struct, "pair_t")
+        assert text.startswith("typedef struct pair {")
+        assert "int a;" in text
+        assert text.endswith("} pair_t;")
+
+
+class TestExpressionPrinting:
+    def test_precedence_parentheses_inserted(self):
+        # (a + b) * c must keep its parentheses.
+        assert print_expr("(a + b) * c") == "(a + b) * c"
+
+    def test_no_redundant_parentheses(self):
+        assert print_expr("a + b * c") == "a + b * c"
+
+    def test_shift_of_xor_kept(self):
+        # Figure 2's expression shape.
+        assert print_expr("(crc ^ b) << 1") == "(crc ^ b) << 1"
+
+    def test_nested_ternary(self):
+        assert print_expr("a ? b : c ? d : e") == "a ? b : c ? d : e"
+
+    def test_unary_spacing(self):
+        assert print_expr("-x + ~y") == "-x + ~y"
+
+    def test_assignment_chain(self):
+        assert print_expr("a = b = 1") == "a = b = 1"
+
+    def test_member_and_index(self):
+        assert print_expr("p.raw.data[i + 1]") == "p.raw.data[i + 1]"
+
+    def test_cast(self):
+        assert print_expr("(unsigned short) x") == "(unsigned short) x"
+
+    def test_call_args(self):
+        assert print_expr("f(a, b + 1)") == "f(a, b + 1)"
+
+    def test_string_literal_escaped(self):
+        program, _ = parse_text(
+            'int f() { return g("a\\"b\\n"); }',
+            run_preprocessor=False)
+        text = to_text(program.functions()[0].body.body[0].value)
+        assert text == 'g("a\\"b\\n")'
+
+
+class TestStatementPrinting:
+    def roundtrip(self, body):
+        src = ("module m (input pure s, input int v, output pure t,"
+               " output int w) { %s }" % body)
+        program, _ = parse_text(src)
+        printed = to_text(program)
+        again, _ = parse_text(printed)
+        assert to_text(again) == printed
+        return printed
+
+    def test_reactive_statements_roundtrip(self):
+        printed = self.roundtrip(
+            "await(s); emit(t); emit_v(w, v + 1); halt();")
+        assert "await(s);" in printed
+        assert "emit_v(w, v + 1);" in printed
+
+    def test_abort_handle_roundtrip(self):
+        printed = self.roundtrip(
+            "do { halt(); } abort(s) handle { emit(t); }")
+        assert "handle" in printed
+
+    def test_weak_abort_roundtrip(self):
+        printed = self.roundtrip("do { halt(); } weak_abort(s);")
+        assert "weak_abort (s);" in printed
+
+    def test_suspend_roundtrip(self):
+        printed = self.roundtrip("do { halt(); } suspend(s);")
+        assert "suspend (s);" in printed
+
+    def test_par_roundtrip(self):
+        printed = self.roundtrip("par { emit(t); halt(); }")
+        assert "par {" in printed
+
+    def test_signal_expr_roundtrip(self):
+        printed = self.roundtrip("await(s & ~(s | s));")
+        assert "await(s & ~(s | s));" in printed
+
+    def test_for_with_empty_slots(self):
+        printed = self.roundtrip("for (;;) { await(s); }")
+        assert "for (; ; )" in printed
+
+    def test_do_while_roundtrip(self):
+        printed = self.roundtrip(
+            "int i; i = 0; do { i++; } while (i < 3);")
+        assert "while (i < 3);" in printed

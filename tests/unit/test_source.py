@@ -1,0 +1,72 @@
+"""Unit tests for source-text bookkeeping (spans and positions)."""
+
+from repro.errors import ParseError
+from repro.lang import parse_text
+from repro.lang.source import Position, SourceBuffer, Span
+
+
+class TestSourceBuffer:
+    def test_position_at_start(self):
+        buffer = SourceBuffer("abc\ndef")
+        assert buffer.position_at(0) == Position(1, 1)
+
+    def test_position_after_newline(self):
+        buffer = SourceBuffer("abc\ndef")
+        assert buffer.position_at(4) == Position(2, 1)
+        assert buffer.position_at(6) == Position(2, 3)
+
+    def test_position_clamped(self):
+        buffer = SourceBuffer("ab")
+        assert buffer.position_at(-5) == Position(1, 1)
+        assert buffer.position_at(99).line == 1
+
+    def test_empty_buffer(self):
+        buffer = SourceBuffer("")
+        assert buffer.position_at(0) == Position(1, 1)
+
+    def test_line_text(self):
+        buffer = SourceBuffer("first\nsecond\nthird")
+        assert buffer.line_text(2) == "second"
+        assert buffer.line_text(3) == "third"
+        assert buffer.line_text(9) == ""
+
+    def test_span_rendering(self):
+        buffer = SourceBuffer("hello", filename="x.ecl")
+        span = buffer.span(0, 5)
+        assert str(span) == "x.ecl:1:1"
+
+
+class TestSpanMerge:
+    def test_merge_orders_endpoints(self):
+        first = Span.point("f", 1, 1)
+        second = Span.point("f", 3, 7)
+        merged = first.merge(second)
+        assert merged.start == Position(1, 1)
+        assert merged.end == Position(3, 7)
+        # Order independence.
+        assert second.merge(first).start == Position(1, 1)
+
+    def test_merge_none(self):
+        span = Span.point("f", 2, 2)
+        assert span.merge(None) is span
+
+
+class TestDiagnosticsCarrySpans:
+    def test_parse_error_has_line(self):
+        source = "module m (input pure s,\n  output pure t) {\n  @@\n}"
+        try:
+            parse_text(source, "bad.ecl")
+        except Exception as error:
+            assert "bad.ecl:3" in str(error)
+        else:
+            raise AssertionError("expected a syntax error")
+
+    def test_parse_error_points_at_token(self):
+        source = "module m (input pure s) { await(); halt() }"
+        try:
+            parse_text(source, "oops.ecl")
+        except ParseError as error:
+            assert error.span is not None
+            assert "oops.ecl" in str(error)
+        else:
+            raise AssertionError("expected a parse error")

@@ -1,0 +1,141 @@
+"""Unit tests for the reactive/data splitter (paper, Section 4)."""
+
+import pytest
+
+from repro.ecl import is_reactive, split_module
+from repro.lang import ast, parse_text
+
+
+def module_of(body, header=""):
+    src = "%smodule m (input pure s, input int v, output pure t) { %s }" \
+        % (header, body)
+    program, _ = parse_text(src)
+    return program.module_named("m")
+
+
+def split(body, header="", **kw):
+    return split_module(module_of(body, header), **kw)
+
+
+class TestClassification:
+    def test_data_loop_detected(self):
+        report = split("int i; int a; for (i = 0; i < 8; i++) a += i;")
+        assert report.extracted_count == 1
+        assert report.data_blocks[0].kind == "loop"
+
+    def test_reactive_loop_not_extracted(self):
+        report = split("while (1) { await(s); emit(t); }")
+        assert report.extracted_count == 0
+        assert report.reactive_statements > 0
+
+    def test_paper_figure2_crc_loop_is_data(self):
+        # Figure 2: "for (i = 0, crc = 0; ...)" contains no halting
+        # statement -> data loop.
+        body = (
+            "int i; unsigned int crc;"
+            "while (1) { await(s);"
+            " for (i = 0, crc = 0; i < 4; i++) { crc = (crc ^ v) << 1; }"
+            " emit(t); }"
+        )
+        report = split(body)
+        assert report.extracted_count == 1
+
+    def test_loop_with_await_inside_is_reactive(self):
+        # Figure 1's byte loop pauses on every iteration.
+        report = split(
+            "int cnt; for (cnt = 0; cnt < 4; cnt++) { await(s); }")
+        assert report.extracted_count == 0
+
+    def test_await_empty_keeps_loop_reactive(self):
+        # "This mechanism can also be used to force a loop to be
+        # implemented as a sequence of EFSM transitions" (stmt 2).
+        report = split(
+            "int i; for (i = 0; i < 4; i++) { await(); }")
+        assert report.extracted_count == 0
+
+    def test_nested_data_loop_extracted_once(self):
+        report = split(
+            "int i; int j; int a;"
+            "while (1) { await(s);"
+            " for (i = 0; i < 3; i++) for (j = 0; j < 3; j++) a += i * j;"
+            " }")
+        assert report.extracted_count == 1
+
+    def test_do_while_data_loop(self):
+        report = split("int i; i = 0; do { i++; } while (i < 5);")
+        assert report.extracted_count == 1
+
+    def test_module_call_counts_as_reactive(self):
+        src = (
+            "module sub (input pure a, output pure b) { halt(); }\n"
+            "module m (input pure s, output pure t) {"
+            " while (1) { sub(s, t); } }"
+        )
+        program, _ = parse_text(src)
+        report = split_module(program.module_named("m"),
+                              module_names={"sub"})
+        assert report.extracted_count == 0
+
+    def test_extraction_disabled(self):
+        report = split("int i; for (i = 0; i < 8; i++) i = i;",
+                       extract_data_loops=False)
+        assert report.extracted_count == 0
+        assert report.data_statements >= 1
+
+
+class TestFreeNames:
+    def test_free_names_exclude_locals(self):
+        report = split(
+            "int total; while (1) { await(s);"
+            " for (int i = 0; i < 8; i++) total += i; }")
+        block = report.data_blocks[0]
+        assert "total" in block.free_names
+        assert "i" not in block.free_names
+
+    def test_signal_value_read_is_free(self):
+        report = split(
+            "int acc; while (1) { await(s);"
+            " for (int i = 0; i < 8; i++) acc += v; }")
+        assert "v" in report.data_blocks[0].free_names
+
+
+class TestIsReactive:
+    def params(self):
+        return {"module_names": frozenset()}
+
+    def make(self, body):
+        return module_of(body).body.body[0]
+
+    def test_emit_is_reactive(self):
+        assert is_reactive(self.make("emit(t);"))
+
+    def test_assignment_is_not(self):
+        assert not is_reactive(self.make("int x; x = 1;"))
+
+    def test_deeply_nested_await_found(self):
+        stmt = self.make(
+            "if (1) { if (2) { while (1) { await(s); } } }")
+        assert is_reactive(stmt)
+
+    def test_signal_decl_is_reactive(self):
+        assert is_reactive(self.make("signal pure k;"))
+
+
+class TestReportSummary:
+    def test_summary_text(self):
+        report = split("int i; for (i = 0; i < 8; i++) i = i;")
+        text = report.summary()
+        assert "module m" in text
+        assert "1 extracted" in text
+
+    def test_block_for_identity(self):
+        module = module_of(
+            "int i; while (1) { await(s);"
+            " for (i = 0; i < 8; i++) i = i; }")
+        report = split_module(module)
+        loop = None
+        for node in ast.walk(module.body):
+            if isinstance(node, ast.For):
+                loop = node
+        assert report.block_for(loop) is report.data_blocks[0]
+        assert report.block_for(module.body) is None

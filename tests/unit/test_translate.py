@@ -1,0 +1,293 @@
+"""Unit tests for the ECL -> Esterel kernel translation."""
+
+import pytest
+
+from repro.ecl import translate_module
+from repro.errors import InstantaneousLoopError, TranslationError
+from repro.esterel import kernel as k
+from repro.lang import parse_text
+
+
+def translate(body, header="", signals="input pure s, input int v, "
+              "output pure t, output int w", name="m", extra=""):
+    src = "%smodule %s (%s) { %s }\n%s" % (header, name, signals, body,
+                                           extra)
+    program, types = parse_text(src)
+    return translate_module(program, types, name)
+
+
+class TestBasicStatements:
+    def test_emit_pure(self):
+        module = translate("emit(t);")
+        assert isinstance(module.body, k.Emit)
+        assert module.body.signal == "t"
+
+    def test_emit_valued(self):
+        module = translate("emit_v(w, v + 1);")
+        assert module.body.value is not None
+
+    def test_emit_unknown_signal(self):
+        with pytest.raises(TranslationError):
+            translate("emit(zz);")
+
+    def test_emit_input_rejected(self):
+        with pytest.raises(TranslationError):
+            translate("emit(s);")
+
+    def test_emit_v_on_pure_rejected(self):
+        with pytest.raises(TranslationError):
+            translate("emit_v(t, 1);")
+
+    def test_bare_emit_on_valued_rejected(self):
+        with pytest.raises(TranslationError):
+            translate("emit(w);")
+
+    def test_await_signal(self):
+        module = translate("await(s);")
+        assert isinstance(module.body, k.Await)
+
+    def test_await_empty_is_delta_pause(self):
+        module = translate("await();")
+        assert isinstance(module.body, k.Pause)
+        assert module.body.delta
+
+    def test_await_undeclared_signal(self):
+        with pytest.raises(TranslationError):
+            translate("await(zz);")
+
+    def test_halt(self):
+        module = translate("halt();")
+        assert isinstance(module.body, k.Halt)
+
+    def test_present(self):
+        module = translate("present (s) { emit(t); } else { halt(); }")
+        assert isinstance(module.body, k.Present)
+
+    def test_abort_with_handler(self):
+        module = translate(
+            "do { halt(); } abort(s) handle { emit(t); }")
+        assert isinstance(module.body, k.Abort)
+        assert module.body.handler is not None
+        assert not module.body.weak
+
+    def test_weak_abort(self):
+        module = translate("do { halt(); } weak_abort(s);")
+        assert module.body.weak
+
+    def test_suspend(self):
+        module = translate("do { halt(); } suspend(s);")
+        assert isinstance(module.body, k.Suspend)
+
+    def test_par(self):
+        module = translate("par { emit(t); halt(); }")
+        assert isinstance(module.body, k.Par)
+
+
+class TestVariables:
+    def test_variables_hoisted(self):
+        module = translate("int x; { int y; y = 1; }")
+        names = [name for name, _t in module.variables]
+        assert "x" in names and "y" in names
+
+    def test_initializer_becomes_action(self):
+        module = translate("int x = 5;")
+        assert isinstance(module.body, k.Action)
+
+    def test_shadowing_renamed(self):
+        module = translate("int x = 1; { int x = 2; } emit(t);")
+        names = [name for name, _t in module.variables]
+        assert len(names) == 2
+        assert len(set(names)) == 2
+
+    def test_shadowed_use_points_at_renamed_var(self):
+        module = translate(
+            "int x = 1; { int x; x = 2; emit_v(w, x); }")
+        # The inner emit must reference the renamed inner variable.
+        emits = _collect(module.body, k.Emit)
+        value_names = {e.value.id for e in emits if hasattr(e.value, "id")}
+        inner = [n for n, _t in module.variables if n != "x"]
+        assert value_names == set(inner)
+
+    def test_local_signal_hoisted(self):
+        module = translate("signal pure kill; emit(kill);")
+        assert ("kill", module.local_signals[0][1]) == \
+            module.local_signals[0]
+
+
+class TestControlFlow:
+    def test_while_one_is_plain_loop(self):
+        module = translate("while (1) { await(s); }")
+        loops = _collect(module.body, k.Loop)
+        assert loops
+        # No data test generated for the constant condition.
+        assert not _collect(module.body, k.IfData)
+
+    def test_while_zero_vanishes(self):
+        module = translate("while (0) { await(s); } emit(t);")
+        assert isinstance(module.body, k.Emit)
+
+    def test_while_data_cond_gets_ifdata(self):
+        module = translate("int x; while (x < 3) { await(s); }")
+        assert _collect(module.body, k.IfData)
+
+    def test_break_exits_loop(self):
+        module = translate(
+            "while (1) { await(s); break; } emit(t);")
+        assert _collect(module.body, k.Exit)
+
+    def test_continue_in_loop(self):
+        module = translate(
+            "while (1) { await(s); continue; }")
+        assert _collect(module.body, k.Exit)
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(TranslationError):
+            translate("break;")
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(TranslationError):
+            translate("continue;")
+
+    def test_break_does_not_cross_par(self):
+        with pytest.raises(TranslationError):
+            translate("while (1) { par { break; await(s); } }")
+
+    def test_return_exits_module(self):
+        module = translate("await(s); return; emit(t);")
+        assert isinstance(module.body, k.Trap)
+
+    def test_return_value_rejected(self):
+        with pytest.raises(TranslationError):
+            translate("return 3;")
+
+    def test_for_loop_with_await(self):
+        module = translate(
+            "int i; for (i = 0; i < 4; i++) { await(s); }")
+        assert _collect(module.body, k.Loop)
+        assert _collect(module.body, k.Await)
+
+    def test_instantaneous_reactive_loop_rejected(self):
+        with pytest.raises(InstantaneousLoopError):
+            translate("while (1) { emit(t); }")
+
+    def test_data_if_becomes_ifdata(self):
+        module = translate("int x; if (x > 0) emit(t); else halt();")
+        assert isinstance(module.body, k.IfData)
+
+
+class TestDataLoops:
+    def test_data_loop_becomes_action(self):
+        module = translate(
+            "int i; int a; while (1) { await(s);"
+            " for (i = 0; i < 8; i++) a += i; }")
+        assert len(module.data_blocks) == 1
+        assert _collect(module.body, k.Action)
+
+    def test_extraction_can_be_disabled(self):
+        src = ("module m (input pure s, output pure t) {"
+               " int i; while (1) { await(s);"
+               " for (i = 0; i < 8; i++) i = i; } }")
+        program, types = parse_text(src)
+        module = translate_module(program, types, "m",
+                                  extract_data_loops=False)
+        assert module.data_blocks == []
+        assert _collect(module.body, k.Action)  # still atomic
+
+
+class TestInstantiation:
+    HEADER = (
+        "module sub (input pure go, output pure done) {"
+        " while (1) { await(go); emit(done); } }\n"
+    )
+
+    def test_inline_renames_locals(self):
+        module = translate("sub(s, t);", header=self.HEADER)
+        assert module.inlined_instances
+
+    def test_two_instances_disjoint(self):
+        src = self.HEADER + (
+            "module sub2 (input pure go, output pure done) {"
+            " int n; while (1) { await(go); n++; emit(done); } }\n"
+            "module m (input pure s, output pure t, output pure u) {"
+            " par { sub2(s, t); sub2(s, u); } }")
+        program, types = parse_text(src)
+        module = translate_module(program, types, "m")
+        names = [name for name, _t in module.variables]
+        assert len(names) == 2 and len(set(names)) == 2
+
+    def test_two_instances_driving_same_signal_rejected(self):
+        # The paper's single-writer rule applies across instances too.
+        src = self.HEADER + (
+            "module m (input pure s, output pure t) {"
+            " par { sub(s, t); sub(s, t); } }")
+        program, types = parse_text(src)
+        with pytest.raises(TranslationError):
+            translate_module(program, types, "m")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(TranslationError):
+            translate("sub(s);", header=self.HEADER)
+
+    def test_argument_must_be_signal_name(self):
+        with pytest.raises(TranslationError):
+            translate("sub(s, 1 + 2);", header=self.HEADER)
+
+    def test_output_cannot_drive_enclosing_input(self):
+        with pytest.raises(TranslationError):
+            translate("sub(s, s);", header=self.HEADER)
+
+    def test_type_mismatch(self):
+        header = ("module subv (input int x, output pure done) {"
+                  " await(x); emit(done); }\n")
+        with pytest.raises(TranslationError):
+            translate("subv(s, t);", header=header)
+
+    def test_recursive_instantiation_rejected(self):
+        src = ("module a (input pure x, output pure y) { a(x, y); }")
+        program, types = parse_text(src)
+        with pytest.raises(TranslationError):
+            translate_module(program, types, "a")
+
+    def test_paper_toplevel_inlines_three_modules(self):
+        from repro.designs import PROTOCOL_STACK_ECL
+        program, types = parse_text(PROTOCOL_STACK_ECL)
+        module = translate_module(program, types, "toplevel")
+        assert len(module.inlined_instances) == 3
+        locals_ = {name for name, _t in module.local_signals}
+        assert "packet" in locals_ and "crc_ok" in locals_
+
+
+class TestBranchScheduling:
+    def test_emitter_scheduled_before_tester(self):
+        # The tester comes first in source; causality scheduling must
+        # move the emitter branch ahead.
+        module = translate(
+            "signal pure mid;"
+            "par {"
+            "  { present (mid) emit(t); }"
+            "  { emit(mid); }"
+            "}")
+        par = _collect(module.body, k.Par)[0]
+        assert isinstance(par.branches[0], k.Emit)
+
+
+def _collect(stmt, node_type):
+    found = []
+
+    def visit(node):
+        if node is None or not isinstance(node, k.KStmt):
+            return
+        if isinstance(node, node_type):
+            found.append(node)
+        for attr in ("then", "otherwise", "body", "handler"):
+            child = getattr(node, attr, None)
+            if isinstance(child, k.KStmt):
+                visit(child)
+        for attr in ("stmts", "branches"):
+            children = getattr(node, attr, None)
+            if children:
+                for child in children:
+                    visit(child)
+
+    visit(stmt)
+    return found

@@ -1,0 +1,161 @@
+"""Unit tests for the C type system layout rules."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.lang import (
+    ArrayType,
+    BOOL,
+    CHAR,
+    INT,
+    IntType,
+    PointerType,
+    StructType,
+    TypeTable,
+    UCHAR,
+    UINT,
+    UnionType,
+    common_type,
+)
+from repro.lang.types import SHORT, USHORT
+
+
+class TestIntTypes:
+    def test_sizes(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+
+    def test_signed_ranges(self):
+        assert CHAR.min_value == -128
+        assert CHAR.max_value == 127
+        assert UCHAR.min_value == 0
+        assert UCHAR.max_value == 255
+
+    def test_wrap_unsigned(self):
+        assert UCHAR.wrap(256) == 0
+        assert UCHAR.wrap(-1) == 255
+
+    def test_wrap_signed_twos_complement(self):
+        assert CHAR.wrap(128) == -128
+        assert CHAR.wrap(255) == -1
+        assert INT.wrap(2**31) == -(2**31)
+
+    def test_bool_wrap(self):
+        assert BOOL.wrap(17) == 1
+        assert BOOL.wrap(0) == 0
+
+
+class TestArrayLayout:
+    def test_size(self):
+        assert ArrayType(UCHAR, 64).size == 64
+        assert ArrayType(INT, 3).size == 12
+
+    def test_alignment_follows_element(self):
+        assert ArrayType(INT, 2).align == 4
+        assert ArrayType(CHAR, 5).align == 1
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TypeError_):
+            ArrayType(INT, -1)
+
+    def test_nested_arrays(self):
+        matrix = ArrayType(ArrayType(INT, 4), 3)
+        assert matrix.size == 48
+
+
+class TestStructLayout:
+    def test_padding_between_members(self):
+        s = StructType.build("s", [("c", CHAR), ("i", INT)])
+        assert s.field_named("c").offset == 0
+        assert s.field_named("i").offset == 4
+        assert s.size == 8
+
+    def test_tail_padding(self):
+        s = StructType.build("s", [("i", INT), ("c", CHAR)])
+        assert s.size == 8  # padded to align 4
+
+    def test_packed_chars(self):
+        s = StructType.build("s", [("a", CHAR), ("b", CHAR)])
+        assert s.size == 2
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(TypeError_):
+            StructType.build("s", [("a", INT), ("a", CHAR)])
+
+    def test_unknown_field(self):
+        s = StructType.build("s", [("a", INT)])
+        with pytest.raises(TypeError_):
+            s.field_named("nope")
+
+
+class TestUnionLayout:
+    def test_all_members_at_offset_zero(self):
+        u = UnionType.build("u", [("a", INT), ("b", ArrayType(CHAR, 7))])
+        assert all(f.offset == 0 for f in u.fields)
+
+    def test_size_is_max_padded(self):
+        u = UnionType.build("u", [("a", INT), ("b", ArrayType(CHAR, 7))])
+        assert u.size == 8  # 7 rounded up to int alignment
+
+    def test_paper_packet_union(self):
+        # Figure 1: two views of a 64-byte packet.
+        view1 = StructType.build("v1", [("packet", ArrayType(UCHAR, 64))])
+        view2 = StructType.build("v2", [
+            ("header", ArrayType(UCHAR, 6)),
+            ("data", ArrayType(UCHAR, 56)),
+            ("crc", ArrayType(UCHAR, 2)),
+        ])
+        packet = UnionType.build("packet_t", [("raw", view1), ("cooked", view2)])
+        assert view1.size == view2.size == packet.size == 64
+        assert view2.field_named("crc").offset == 62
+
+
+class TestPointerTypes:
+    def test_word_sized(self):
+        assert PointerType(INT).size == 4
+
+    def test_scalar(self):
+        assert PointerType(CHAR).is_scalar()
+
+
+class TestTypeTable:
+    def test_builtin_lookup(self):
+        table = TypeTable()
+        assert table.lookup("int") is INT
+        assert table.lookup("unsigned char") is UCHAR
+
+    def test_typedef(self):
+        table = TypeTable()
+        table.define_typedef("byte", UCHAR)
+        assert table.lookup("byte") is UCHAR
+        assert table.is_type_name("byte")
+
+    def test_typedef_redefinition_rejected(self):
+        table = TypeTable()
+        table.define_typedef("byte", UCHAR)
+        with pytest.raises(TypeError_):
+            table.define_typedef("byte", CHAR)
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError_):
+            TypeTable().lookup("mystery_t")
+
+
+class TestCommonType:
+    def test_int_int(self):
+        assert common_type(INT, INT) is INT
+
+    def test_small_types_promote_to_int(self):
+        assert common_type(CHAR, CHAR).size == 4
+
+    def test_unsigned_wins_at_same_width(self):
+        assert common_type(UINT, INT) is UINT
+
+    def test_bool_promotes(self):
+        assert common_type(BOOL, BOOL) is INT
+
+    def test_non_scalar_rejected(self):
+        s = StructType.build("s", [("a", INT)])
+        with pytest.raises(TypeError_):
+            common_type(s, INT)
