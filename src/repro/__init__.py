@@ -4,8 +4,11 @@ System-Level Design" (Lavagno & Sentovich, DAC 1999).
 Public API (stable):
 
 * :func:`repro.lang.parse_text` — preprocess + lex + parse ECL source.
-* :class:`repro.core.EclCompiler` — the full three-phase compiler
-  (split, Esterel, EFSM, back-ends).
+* :class:`repro.pipeline.Pipeline` — the staged compiler: named stages,
+  content-addressed artifact cache, pluggable backend registry, and
+  batched parallel design builds.
+* :class:`repro.core.EclCompiler` — the legacy three-phase façade
+  (split, Esterel, EFSM, back-ends), now a shim over the pipeline.
 * :mod:`repro.runtime` / :mod:`repro.rtos` — synchronous and RTOS-based
   execution substrates.
 * :mod:`repro.cost` — the MIPS-R3000-style memory/timing model behind the

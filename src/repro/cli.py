@@ -4,8 +4,15 @@ Subcommands::
 
     eclc info design.ecl                  # modules, split report, sizes
     eclc compile design.ecl -m top --emit c -o outdir
-    eclc simulate design.ecl -m top --trace stimuli.txt
+    eclc build design.ecl -o outdir       # all modules, batched/parallel
+    eclc simulate design.ecl -m top --trace stimuli.txt [--vcd out.vcd]
     eclc dot design.ecl -m top            # Graphviz to stdout
+
+``--emit`` choices are derived from the pipeline's backend registry
+(:mod:`repro.pipeline.registry`), so a newly registered emitter shows up
+here without CLI changes.  ``build`` uses the staged pipeline directly:
+modules compile concurrently and unchanged modules are served from the
+artifact cache (``--cache-dir``, default off).
 
 Trace files for ``simulate`` have one instant per line: blank line = no
 inputs; otherwise space-separated ``name`` (pure event) or ``name=value``
@@ -20,6 +27,8 @@ import sys
 
 from .core.compiler import EclCompiler
 from .errors import EclError
+from .pipeline import ArtifactCache, CompileOptions, Pipeline
+from .pipeline.registry import DEFAULT_REGISTRY
 
 
 def main(argv=None):
@@ -30,9 +39,14 @@ def main(argv=None):
     except EclError as error:
         print("eclc: error: %s" % error, file=sys.stderr)
         return 1
+    except OSError as error:
+        print("eclc: error: %s" % error, file=sys.stderr)
+        return 1
 
 
 def _build_parser():
+    emit_names = DEFAULT_REGISTRY.names()
+
     parser = argparse.ArgumentParser(
         prog="eclc",
         description="ECL compiler (DAC 1999 reproduction)")
@@ -46,11 +60,26 @@ def _build_parser():
     compile_.add_argument("file")
     compile_.add_argument("-m", "--module", required=True)
     compile_.add_argument(
-        "--emit", default="c",
-        choices=["c", "vhdl", "verilog", "esterel", "dot", "all"])
+        "--emit", default="c", choices=emit_names + ["all"])
     compile_.add_argument("-o", "--outdir", default=".")
     compile_.add_argument("--no-optimize", action="store_true")
     compile_.set_defaults(handler=_cmd_compile)
+
+    build = sub.add_parser(
+        "build", help="batch-compile every module (parallel, cached)")
+    build.add_argument("file")
+    build.add_argument(
+        "--emit", default="c",
+        help="comma-separated backends (default: c; available: %s)"
+             % ", ".join(emit_names))
+    build.add_argument("-o", "--outdir", default=".")
+    build.add_argument("-m", "--module", action="append", default=None,
+                       help="restrict to this module (repeatable)")
+    build.add_argument("-j", "--jobs", type=int, default=None)
+    build.add_argument("--cache-dir", default=None,
+                       help="persistent artifact cache directory")
+    build.add_argument("--no-optimize", action="store_true")
+    build.set_defaults(handler=_cmd_build)
 
     simulate = sub.add_parser("simulate", help="run a module on a trace")
     simulate.add_argument("file")
@@ -58,6 +87,8 @@ def _build_parser():
     simulate.add_argument("--trace", required=True)
     simulate.add_argument("--engine", default="efsm",
                           choices=["efsm", "interp"])
+    simulate.add_argument("--vcd", default=None, metavar="PATH",
+                          help="dump the reaction trace as a VCD file")
     simulate.set_defaults(handler=_cmd_simulate)
 
     dot = sub.add_parser("dot", help="print the EFSM as Graphviz")
@@ -69,7 +100,10 @@ def _build_parser():
 
 
 def _load(args):
-    compiler = EclCompiler()
+    options = CompileOptions()
+    if getattr(args, "no_optimize", False):
+        options.optimize = False
+    compiler = EclCompiler(options)
     return compiler.compile_file(args.file)
 
 
@@ -87,49 +121,48 @@ def _cmd_info(args):
     return 0
 
 
-def _cmd_compile(args, _emitters=None):
+def _cmd_compile(args):
     design = _load(args)
     module = design.module(args.module)
     os.makedirs(args.outdir, exist_ok=True)
-    wanted = ["c", "vhdl", "verilog", "esterel", "dot"] \
-        if args.emit == "all" else [args.emit]
+    wanted = DEFAULT_REGISTRY.names() if args.emit == "all" \
+        else [args.emit]
     written = []
     for kind in wanted:
         try:
-            written.extend(_emit(module, kind, args.outdir))
+            files = module.emit(kind)
         except EclError as error:
             if args.emit == "all":
                 print("eclc: skipping %s: %s" % (kind, error),
                       file=sys.stderr)
             else:
                 raise
+        else:
+            for filename in sorted(files):
+                written.append(_write(args.outdir, filename,
+                                      files[filename]))
     for path in written:
         print("wrote %s" % path)
     return 0
 
 
-def _emit(module, kind, outdir):
-    name = module.name
-    if kind == "c":
-        bundle = module.c_code()
-        return [
-            _write(outdir, name + ".h", bundle.header),
-            _write(outdir, name + ".c", bundle.source),
-        ]
-    if kind == "vhdl":
-        return [_write(outdir, name + ".vhd", module.vhdl())]
-    if kind == "verilog":
-        return [_write(outdir, name + ".v", module.verilog())]
-    if kind == "esterel":
-        glue = module.glue()
-        return [
-            _write(outdir, name + ".strl", glue.esterel_text),
-            _write(outdir, name + "_data.c", glue.c_text),
-            _write(outdir, name + "_data.h", glue.header_text),
-        ]
-    if kind == "dot":
-        return [_write(outdir, name + ".dot", module.dot())]
-    raise AssertionError(kind)
+def _cmd_build(args):
+    emit = [kind.strip() for kind in args.emit.split(",") if kind.strip()]
+    options = CompileOptions()
+    if args.no_optimize:
+        options.optimize = False
+    cache = ArtifactCache.persistent(args.cache_dir) \
+        if args.cache_dir else ArtifactCache.memory()
+    pipeline = Pipeline(options=options, cache=cache)
+    with open(args.file) as handle:
+        text = handle.read()
+    report = pipeline.compile_design(
+        text, filename=args.file, modules=args.module, emit=emit,
+        jobs=args.jobs)
+    for path in report.write_files(args.outdir):
+        print("wrote %s" % path)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _write(outdir, filename, text):
@@ -143,6 +176,10 @@ def _cmd_simulate(args):
     design = _load(args)
     module = design.module(args.module)
     reactor = module.reactor(engine=args.engine)
+    recorder = None
+    if args.vcd:
+        from .runtime.vcd import VcdRecorder
+        recorder = VcdRecorder.for_reactor(reactor)
     with open(args.trace) as handle:
         lines = handle.readlines()
     for lineno, line in enumerate(lines, start=1):
@@ -151,6 +188,8 @@ def _cmd_simulate(args):
             continue
         pure, valued = _parse_instant(line, lineno)
         output = reactor.react(inputs=pure, values=valued)
+        if recorder is not None:
+            recorder.sample(inputs=pure, values=valued, output=output)
         emitted = []
         for signal in sorted(output.emitted):
             if signal in output.values:
@@ -161,6 +200,10 @@ def _cmd_simulate(args):
         if output.terminated:
             print("module terminated")
             break
+    if recorder is not None:
+        with open(args.vcd, "w") as handle:
+            handle.write(recorder.render())
+        print("wrote %s" % args.vcd)
     return 0
 
 

@@ -1,14 +1,23 @@
 """Back-ends (the paper's phase 3): software and hardware synthesis.
 
-* :mod:`repro.codegen.py_backend` — executable automaton (simulation);
+* :mod:`repro.codegen.py_backend` — executable automaton (simulation)
+  and a standalone-Python-module emitter;
 * :mod:`repro.codegen.c_backend` — C software synthesis;
 * :mod:`repro.codegen.vhdl_backend` / :mod:`repro.codegen.verilog_backend`
   — RTL, available only when "the data-dominated C part is empty"
-  (paper, ECL Overview).
+  (paper, ECL Overview);
+* :mod:`repro.codegen.esterel_backend` / :mod:`repro.codegen.dot_backend`
+  — phase-1 Esterel glue and Graphviz, as registered emitters.
+
+Every module here registers an emitter into
+:data:`repro.pipeline.registry.DEFAULT_REGISTRY` under its ``--emit``
+name (``c``, ``py``, ``vhdl``, ``verilog``, ``esterel``, ``dot``).
 """
 
+from . import dot_backend  # noqa: F401  (registers "dot")
+from . import esterel_backend  # noqa: F401  (registers "esterel")
 from .c_backend import CBackend, CModule, generate_c
-from .py_backend import EfsmReactor
+from .py_backend import EfsmReactor, generate_python
 from .verilog_backend import VerilogBackend, generate_verilog
 from .vhdl_backend import VhdlBackend, generate_vhdl
 
@@ -17,6 +26,7 @@ __all__ = [
     "CModule",
     "generate_c",
     "EfsmReactor",
+    "generate_python",
     "VerilogBackend",
     "generate_verilog",
     "VhdlBackend",

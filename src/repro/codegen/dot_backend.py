@@ -1,0 +1,17 @@
+"""``dot`` backend: Graphviz rendering of the EFSM as an emitter.
+
+Wraps :func:`repro.efsm.dot.to_dot` as a registered pipeline backend so
+the EFSM visualisation is reachable through the same registry as the
+synthesis back-ends.
+"""
+
+from __future__ import annotations
+
+from ..efsm.dot import to_dot
+from ..pipeline.registry import backend
+
+
+@backend("dot", requires=("efsm",), extensions=(".dot",),
+         description="Graphviz rendering of the EFSM")
+def _emit_dot(build):
+    return {build.name + ".dot": to_dot(build.efsm)}

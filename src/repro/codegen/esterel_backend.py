@@ -1,0 +1,25 @@
+"""``esterel`` backend: the paper's phase-1 artifacts as an emitter.
+
+Phase 1 of the ECL flow produces three files per module — the Esterel
+program for the reactive part, plus a C file and header carrying the
+extracted data part (:mod:`repro.ecl.glue`).  This module wraps that
+glue generator as a registered pipeline backend so batch builds and
+``eclc compile --emit esterel`` reach it through the registry.
+"""
+
+from __future__ import annotations
+
+from ..ecl.glue import generate_glue
+from ..pipeline.registry import backend
+
+
+@backend("esterel", requires=("kernel", "types"),
+         extensions=(".strl", ".c", ".h"),
+         description="phase-1 Esterel program + C data glue")
+def _emit_esterel(build):
+    glue = generate_glue(build.kernel, build.types)
+    return {
+        build.name + ".strl": glue.esterel_text,
+        build.name + "_data.c": glue.c_text,
+        build.name + "_data.h": glue.header_text,
+    }

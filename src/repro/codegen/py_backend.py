@@ -134,3 +134,58 @@ class EfsmReactor:
         self.state = self.efsm.initial
         self.terminated = False
         self.instants = 0
+
+
+# ----------------------------------------------------------------------
+# Standalone-module emitter.
+
+_PY_TEMPLATE = '''\
+"""Auto-generated Python reactor for ECL module ``%(name)s``.
+
+Produced by the ``py`` backend of the repro-ecl pipeline.  The compiled
+EFSM is embedded below (pickled, base64); loading it requires the
+``repro`` package on the import path.
+
+    from %(name)s import reactor
+    r = reactor()
+    out = r.react(inputs=["some_signal"])
+"""
+
+import base64
+import pickle
+
+_EFSM_PICKLE = (
+%(blob)s
+)
+
+
+def load_efsm():
+    """The embedded :class:`repro.efsm.machine.Efsm`."""
+    return pickle.loads(base64.b64decode(_EFSM_PICKLE))
+
+
+def reactor(counter=None, builtins=None):
+    """A fresh runnable :class:`repro.codegen.py_backend.EfsmReactor`."""
+    from repro.codegen.py_backend import EfsmReactor
+    return EfsmReactor(load_efsm(), counter=counter, builtins=builtins)
+'''
+
+
+def generate_python(efsm):
+    """Render the EFSM as a standalone importable Python module."""
+    import base64
+    import pickle
+
+    encoded = base64.b64encode(pickle.dumps(efsm)).decode("ascii")
+    chunks = [encoded[i:i + 64] for i in range(0, len(encoded), 64)]
+    blob = "\n".join('    "%s"' % chunk for chunk in chunks)
+    return _PY_TEMPLATE % {"name": efsm.name, "blob": blob}
+
+
+from ..pipeline.registry import backend as _backend  # noqa: E402
+
+
+@_backend("py", requires=("efsm",), extensions=(".py",),
+          description="standalone Python reactor module (simulation)")
+def _emit_py(build):
+    return {build.name + ".py": generate_python(build.efsm)}

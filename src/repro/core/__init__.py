@@ -1,7 +1,9 @@
 """The paper's primary contribution, end to end.
 
 :class:`EclCompiler` drives parse → split → Esterel kernel → EFSM →
-back-ends; :func:`run_partition` reproduces the synchronous/asynchronous
+back-ends (as a compatibility shim over :mod:`repro.pipeline`, which
+adds artifact caching, pluggable emitters and batched parallel builds);
+:func:`run_partition` reproduces the synchronous/asynchronous
 implementation trade-off of Section 4.
 """
 

@@ -7,72 +7,49 @@
     >>> c_code = module.c_code()            # software synthesis
     >>> esterel = module.glue().esterel_text  # phase-1 artifact
 
-Phase 1 (parse + split + translate) happens eagerly per requested
-module; phase 2 (EFSM) and phase 3 (back-ends) are cached lazily.
+This façade is a thin compatibility shim over the staged
+:mod:`repro.pipeline` subsystem: every phase runs as a named pipeline
+stage whose artifact lands in the pipeline's :class:`ArtifactCache`, so
+the lazy-caching behaviour of the original driver (phase 1 eager per
+module, phases 2-3 on demand) falls out of the cache for free.  New
+code should prefer :class:`repro.pipeline.Pipeline` directly — it adds
+pluggable emitters, persistent caching, and batched parallel builds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
-
 from ..codegen.c_backend import generate_c
-from ..codegen.py_backend import EfsmReactor
+from ..codegen.py_backend import generate_python
 from ..codegen.verilog_backend import generate_verilog
 from ..codegen.vhdl_backend import generate_vhdl
-from ..ecl.check import check_module, errors_of, warnings_of
+from ..ecl.check import warnings_of
 from ..ecl.glue import generate_glue
-from ..ecl.splitter import split_module
-from ..ecl.translate import translate_module
-from ..efsm.build import build_efsm
 from ..efsm.dot import to_dot
-from ..efsm.optimize import optimize as optimize_efsm
-from ..errors import CompileError, EclError
-from ..lang.parser import parse_text
-from ..runtime.reactor import Reactor
+from ..pipeline.pipeline import DesignBuild, Pipeline
+from ..pipeline.stages import CompileOptions
 
-
-@dataclass
-class CompileOptions:
-    """Knobs for the compilation pipeline (ablation hooks included)."""
-
-    #: Extract data loops as C functions (paper's splitter heuristic);
-    #: turning this off is the bench_ablation_splitter experiment.
-    extract_data_loops: bool = True
-    #: Run the EFSM optimization passes (bench_ablation_optimize).
-    optimize: bool = True
-    #: State budget for the symbolic builder.
-    max_states: int = 4096
-    #: Run the static semantic checker before translation.
-    check: bool = True
-    #: Treat checker warnings as errors.
-    strict: bool = False
+__all__ = [
+    "CompileOptions",
+    "CompiledDesign",
+    "CompiledModule",
+    "EclCompiler",
+]
 
 
 class CompiledModule:
-    """One module's compilation products, built on demand."""
+    """One module's compilation products, built on demand.
+
+    Thin wrapper over a :class:`repro.pipeline.ModuleHandle`: the
+    checker runs (and raises) at construction time, phase 1 is eager,
+    phases 2-3 are cache-backed stages.
+    """
 
     def __init__(self, design, name):
         self._design = design
         self.name = name
-        options = design.options
-        self.diagnostics = []
-        if options.check:
-            self.diagnostics = check_module(design.program, design.types,
-                                            name)
-            errors = errors_of(self.diagnostics)
-            if options.strict:
-                errors = self.diagnostics
-            if errors:
-                raise CompileError(
-                    "module %s has %d problem(s):\n%s"
-                    % (name, len(errors),
-                       "\n".join("  " + str(d) for d in errors)))
-        self.kernel = translate_module(
-            design.program, design.types, name,
-            extract_data_loops=options.extract_data_loops)
-        self._efsm = None
-        self._efsm_raw = None
+        self._handle = design._build.module(name)
+        self.diagnostics = self._handle.check()
+        self.kernel = self._handle.kernel()
 
     @property
     def warnings(self):
@@ -83,33 +60,23 @@ class CompiledModule:
 
     def efsm(self, optimized=None):
         """The module's EFSM (optimized by default per options)."""
-        wants_optimized = self._design.options.optimize \
-            if optimized is None else optimized
-        if self._efsm_raw is None:
-            self._efsm_raw = build_efsm(
-                self.kernel, max_states=self._design.options.max_states)
-        if not wants_optimized:
-            return self._efsm_raw
-        if self._efsm is None:
-            self._efsm = optimize_efsm(self._efsm_raw)
-        return self._efsm
+        return self._handle.efsm(optimized)
 
     # -- phase 3 --------------------------------------------------------
 
     def reactor(self, engine="efsm", counter=None, builtins=None):
         """A runnable instance: ``engine`` is "efsm" (compiled automaton)
         or "interp" (reference kernel interpreter)."""
-        if engine == "efsm":
-            return EfsmReactor(self.efsm(), counter=counter,
-                               builtins=builtins)
-        if engine == "interp":
-            return Reactor(self.kernel, counter=counter, builtins=builtins)
-        raise CompileError("unknown engine %r (use 'efsm' or 'interp')"
-                           % engine)
+        return self._handle.reactor(engine=engine, counter=counter,
+                                    builtins=builtins)
 
     def c_code(self):
         """Generated C header/source (phase 3, software)."""
         return generate_c(self.efsm(), self._design.types)
+
+    def py_code(self):
+        """Generated standalone Python reactor module."""
+        return generate_python(self.efsm())
 
     def vhdl(self):
         """Generated VHDL (only when the data part is empty)."""
@@ -127,31 +94,32 @@ class CompiledModule:
         """Graphviz rendering of the EFSM."""
         return to_dot(self.efsm())
 
+    def emit(self, backend_name):
+        """Registered backend output for this module (filename →
+        text); see :mod:`repro.pipeline.registry`."""
+        return self._handle.emit(backend_name)
+
     def split_report(self):
         """The splitter's classification of this module's source."""
-        module_names = {m.name for m in self._design.program.modules()}
-        return split_module(
-            self._design.program.module_named(self.name),
-            module_names,
-            extract_data_loops=self._design.options.extract_data_loops)
+        return self._handle.split_report()
 
 
 class CompiledDesign:
     """A compiled translation unit: source program + per-module products."""
 
-    def __init__(self, program, types, options):
+    def __init__(self, program, types, options, build=None):
         self.program = program
         self.types = types
         self.options = options
-        self._modules: Dict[str, CompiledModule] = {}
+        if build is None:
+            build = DesignBuild.from_parsed(Pipeline(options), program,
+                                            types)
+        self._build = build
+        self._modules = {}
 
     def module(self, name):
         if name not in self._modules:
-            if not any(m.name == name for m in self.program.modules()):
-                raise CompileError(
-                    "no module named %r (available: %s)"
-                    % (name, ", ".join(m.name for m in
-                                       self.program.modules()) or "none"))
+            self._build.require_module(name)
             self._modules[name] = CompiledModule(self, name)
         return self._modules[name]
 
@@ -161,21 +129,36 @@ class CompiledDesign:
 
 
 class EclCompiler:
-    """Front door of the reproduction."""
+    """Front door of the reproduction (legacy façade over the pipeline)."""
 
-    def __init__(self, options=None):
-        self.options = options if options is not None else CompileOptions()
+    def __init__(self, options=None, pipeline=None):
+        if pipeline is None:
+            pipeline = Pipeline(options)
+        elif options is not None:
+            raise ValueError(
+                "pass either options or a pipeline, not both — a "
+                "Pipeline already carries its CompileOptions")
+        self.pipeline = pipeline
+
+    @property
+    def options(self):
+        """The pipeline's options; assignment writes through, so the
+        legacy ``compiler.options = CompileOptions(...)`` idiom still
+        affects subsequent compiles."""
+        return self.pipeline.options
+
+    @options.setter
+    def options(self, value):
+        self.pipeline.options = value
 
     def compile_text(self, text, filename="<string>", include_paths=(),
                      predefined=None):
         """Compile ECL source text into a :class:`CompiledDesign`."""
-        try:
-            program, types = parse_text(
-                text, filename, include_paths=include_paths,
-                predefined=predefined)
-        except EclError:
-            raise
-        return CompiledDesign(program, types, self.options)
+        build = self.pipeline.compile_text(
+            text, filename, include_paths=include_paths,
+            predefined=predefined)
+        program, types = build.ensure_parsed()
+        return CompiledDesign(program, types, self.options, build=build)
 
     def compile_file(self, path, include_paths=()):
         with open(path) as handle:

@@ -1,0 +1,366 @@
+"""The staged ECL pipeline: stages in, content-addressed artifacts out.
+
+:class:`Pipeline` is the front door of the redesigned driver layer::
+
+    from repro.pipeline import ArtifactCache, Pipeline
+
+    pipe = Pipeline(cache=ArtifactCache.persistent())
+    report = pipe.compile_design(source, emit=("c", "dot"))
+    report.write_files("out/")
+    print(report.summary())
+
+* ``compile_text`` / ``compile_file`` return a lazy :class:`DesignBuild`
+  whose :class:`ModuleHandle`\\ s run individual stages on demand;
+* ``compile_design`` batch-compiles every module concurrently
+  (``concurrent.futures``) and returns a structured
+  :class:`~repro.pipeline.report.BuildReport`;
+* every stage result is keyed on (source digest, options digest, stage,
+  module) in the :class:`~repro.pipeline.cache.ArtifactCache`, so a
+  warm recompile of an unchanged design touches no parser, no
+  translator and no EFSM builder — only the cache.
+
+The legacy :class:`repro.core.EclCompiler` facade is a thin shim over
+this module.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from ..errors import CodegenError, CompileError, EclError
+from ..runtime.reactor import Reactor
+from .artifacts import ArtifactKey, digest_design_inputs, digest_options
+from .cache import ArtifactCache
+from .registry import DEFAULT_REGISTRY, EmitInput
+from .report import BuildReport, ModuleBuild, StageTiming
+from .stages import (
+    CompileOptions,
+    EMIT_STAGE_PREFIX,
+    raise_for_diagnostics,
+    run_check,
+    run_efsm,
+    run_modules,
+    run_optimize,
+    run_parse,
+    run_split,
+    run_translate,
+    warning_texts,
+)
+
+#: Upper bound on the default worker count for batch builds.
+DEFAULT_MAX_JOBS = 8
+
+
+class Pipeline:
+    """Staged compiler with pluggable emitters and artifact caching."""
+
+    def __init__(self, options=None, cache=None, registry=None):
+        self.options = options if options is not None else CompileOptions()
+        self.cache = cache if cache is not None else ArtifactCache.memory()
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+
+    @property
+    def options_digest(self):
+        """Digest of the *current* option values — computed per use, so
+        mutating ``pipeline.options`` after construction keys future
+        stages correctly instead of serving artifacts of the old
+        options."""
+        return digest_options(self.options)
+
+    # -- entry points --------------------------------------------------
+
+    def compile_text(self, text, filename="<string>", include_paths=(),
+                     predefined=None):
+        """A lazy :class:`DesignBuild` for one translation unit."""
+        return DesignBuild(self, text, filename,
+                           include_paths=include_paths,
+                           predefined=predefined)
+
+    def compile_file(self, path, include_paths=()):
+        with open(path) as handle:
+            text = handle.read()
+        return self.compile_text(text, filename=str(path),
+                                 include_paths=include_paths)
+
+    def compile_design(self, text, filename="<design>", modules=None,
+                       emit=("c",), jobs=None, include_paths=(),
+                       predefined=None):
+        """Batch-compile every module of ``text`` concurrently.
+
+        ``emit`` names registered backends; hardware backends that
+        refuse a module (non-empty data part) are recorded as skips.
+        Returns a :class:`BuildReport`; module failures are captured
+        per module, they do not abort the batch.
+        """
+        started = perf_counter()
+        design = self.compile_text(text, filename,
+                                   include_paths=include_paths,
+                                   predefined=predefined)
+        backends = [self.registry.get(kind) for kind in emit]
+        names = list(modules) if modules is not None \
+            else list(design.module_names)
+        jobs = self._job_count(jobs, len(names))
+        builds = []
+        if names:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                futures = [pool.submit(self._build_module, design, name,
+                                       backends)
+                           for name in names]
+                builds = [future.result() for future in futures]
+        return BuildReport(
+            design=filename,
+            source_digest=design.source_digest,
+            options_digest=self.options_digest,
+            modules=builds,
+            elapsed=perf_counter() - started,
+            jobs=jobs,
+            cache_stats=self.cache.stats.as_dict(),
+        )
+
+    @staticmethod
+    def _job_count(jobs, module_count):
+        if jobs is None:
+            jobs = min(DEFAULT_MAX_JOBS, os.cpu_count() or 1)
+        return max(1, min(jobs, max(1, module_count)))
+
+    def _build_module(self, design, name, backends):
+        started = perf_counter()
+        handle = design.module(name)
+        build = ModuleBuild(module=name)
+        try:
+            diagnostics = handle.check()
+            build.warnings = warning_texts(diagnostics)
+            for backend in backends:
+                try:
+                    files = handle.emit(backend.name)
+                except CodegenError as error:
+                    build.skipped[backend.name] = str(error)
+                else:
+                    build.emitted[backend.name] = tuple(sorted(files))
+                    build.files.update(files)
+        except EclError as error:
+            build.ok = False
+            build.error = str(error)
+        build.timings = list(handle.timings)
+        build.elapsed = perf_counter() - started
+        return build
+
+
+class DesignBuild:
+    """One translation unit moving through the pipeline, lazily.
+
+    Parsing happens at most once (thread-safe) and only when a stage
+    actually needs the syntax tree — a fully cache-warm build never
+    parses at all.
+    """
+
+    def __init__(self, pipeline, text, filename="<string>",
+                 include_paths=(), predefined=None, parsed=None):
+        self.pipeline = pipeline
+        self.text = text
+        self.filename = filename
+        self.include_paths = tuple(include_paths)
+        self.predefined = predefined
+        # The digest covers the text, the include/predefine options and
+        # every #include-reachable file, so edits anywhere in the
+        # translation unit's inputs invalidate its artifacts.
+        self.source_digest = digest_design_inputs(
+            text, filename, include_paths=self.include_paths,
+            predefined=predefined) if text is not None \
+            else "adopted:" + uuid.uuid4().hex
+        self._parsed = parsed
+        self._parse_lock = threading.Lock()
+        self._handles: Dict[str, ModuleHandle] = {}
+        self._handles_lock = threading.Lock()
+
+    @classmethod
+    def from_parsed(cls, pipeline, program, types, filename="<parsed>"):
+        """Adopt an already-parsed program (legacy driver entry)."""
+        return cls(pipeline, None, filename, parsed=(program, types))
+
+    # -- parse stage ---------------------------------------------------
+
+    def ensure_parsed(self):
+        if self._parsed is None:
+            with self._parse_lock:
+                if self._parsed is None:
+                    self._parsed = run_parse(
+                        self.text, self.filename,
+                        include_paths=self.include_paths,
+                        predefined=self.predefined)
+        return self._parsed
+
+    @property
+    def program(self):
+        return self.ensure_parsed()[0]
+
+    @property
+    def types(self):
+        return self.ensure_parsed()[1]
+
+    @property
+    def module_names(self):
+        """Module names, from the cache when warm (no parse needed)."""
+        key = self._design_key("modules")
+        artifact = self.pipeline.cache.get(key)
+        if artifact is None:
+            payload = run_modules(self.program)
+            artifact = self.pipeline.cache.put(key, payload, kind="names")
+        return list(artifact.payload)
+
+    def _design_key(self, stage):
+        return ArtifactKey(self.source_digest,
+                           self.pipeline.options_digest, stage, "")
+
+    def require_module(self, name):
+        """Parse if needed and fail with the legacy message when the
+        module does not exist."""
+        program = self.program
+        if not any(m.name == name for m in program.modules()):
+            raise CompileError(
+                "no module named %r (available: %s)"
+                % (name, ", ".join(m.name for m in program.modules())
+                   or "none"))
+        return program
+
+    def module(self, name) -> "ModuleHandle":
+        """The (lazily validated) stage runner for one module."""
+        with self._handles_lock:
+            if name not in self._handles:
+                self._handles[name] = ModuleHandle(self, name)
+            return self._handles[name]
+
+
+class ModuleHandle:
+    """Runs the per-module stages of one design, cache-backed.
+
+    Stage timings are inclusive: a stage that forces an uncached
+    prerequisite (``optimize`` forcing ``efsm``) carries that cost in
+    its own entry, while the prerequisite is reported separately too.
+    """
+
+    def __init__(self, design, name):
+        self.design = design
+        self.name = name
+        self.timings: List[StageTiming] = []
+        self._timed = set()
+
+    # -- stage driver --------------------------------------------------
+
+    def _stage(self, stage, compute, kind="", key_stage=None):
+        pipeline = self.design.pipeline
+        key = ArtifactKey(self.design.source_digest,
+                          pipeline.options_digest,
+                          key_stage or stage, self.name)
+        started = perf_counter()
+        artifact = pipeline.cache.get(key)
+        if artifact is None:
+            payload = compute()
+            artifact = pipeline.cache.put(key, payload, kind=kind)
+            hit = False
+        else:
+            hit = True
+        if stage not in self._timed:
+            self._timed.add(stage)
+            self.timings.append(
+                StageTiming(stage, perf_counter() - started, hit))
+        return artifact.payload
+
+    # -- core stages ---------------------------------------------------
+
+    def diagnostics(self):
+        """Stage ``check``: the module's checker diagnostics."""
+        def compute():
+            program = self.design.require_module(self.name)
+            return run_check(program, self.design.types, self.name,
+                             self.design.pipeline.options)
+        return self._stage("check", compute, kind="diagnostics")
+
+    def check(self):
+        """Run the checker and raise :class:`CompileError` on errors
+        (or on warnings too, under ``strict``)."""
+        diagnostics = self.diagnostics()
+        raise_for_diagnostics(self.name, diagnostics,
+                              self.design.pipeline.options.strict)
+        return diagnostics
+
+    def warnings(self):
+        return warning_texts(self.diagnostics())
+
+    def split_report(self):
+        """Stage ``split``: reactive/data classification."""
+        def compute():
+            program = self.design.require_module(self.name)
+            return run_split(program, self.name,
+                             self.design.pipeline.options)
+        return self._stage("split", compute, kind="split-report")
+
+    def kernel(self):
+        """Stage ``translate``: the Esterel kernel module."""
+        def compute():
+            program = self.design.require_module(self.name)
+            return run_translate(program, self.design.types, self.name,
+                                 self.design.pipeline.options)
+        return self._stage("translate", compute, kind="kernel")
+
+    def raw_efsm(self):
+        """Stage ``efsm``: the unoptimized automaton."""
+        def compute():
+            return run_efsm(self.kernel(), self.design.pipeline.options)
+        return self._stage("efsm", compute, kind="efsm")
+
+    def efsm(self, optimized=None):
+        """The module's EFSM (optimized by default per options)."""
+        wants_optimized = self.design.pipeline.options.optimize \
+            if optimized is None else optimized
+        if not wants_optimized:
+            return self.raw_efsm()
+        def compute():
+            return run_optimize(self.raw_efsm())
+        return self._stage("optimize", compute, kind="efsm")
+
+    # -- emitters ------------------------------------------------------
+
+    def emit(self, backend_name):
+        """Stage ``emit:<backend>``: the backend's file bundle
+        (filename → text) for this module."""
+        backend = self.design.pipeline.registry.get(backend_name)
+        def compute():
+            build = EmitInput(name=self.name)
+            if "source" in backend.requires:
+                build.source = self.design.text or ""
+            if "types" in backend.requires:
+                build.types = self.design.types
+            if "kernel" in backend.requires:
+                build.kernel = self.kernel()
+            if "efsm" in backend.requires:
+                build.efsm = self.efsm()
+            files = backend.emit(build)
+            return dict(files)
+        # The key carries the emitter's fingerprint so a replaced or
+        # upgraded backend never serves its predecessor's artifacts;
+        # timings keep the plain stage name.
+        stage = EMIT_STAGE_PREFIX + backend.name
+        return self._stage(
+            stage, compute, kind="files",
+            key_stage="%s@%s" % (stage, backend.fingerprint[:16]))
+
+    # -- runnables -----------------------------------------------------
+
+    def reactor(self, engine="efsm", counter=None, builtins=None):
+        """A runnable instance: ``engine`` is "efsm" (compiled
+        automaton) or "interp" (reference kernel interpreter)."""
+        if engine == "efsm":
+            from ..codegen.py_backend import EfsmReactor
+            return EfsmReactor(self.efsm(), counter=counter,
+                               builtins=builtins)
+        if engine == "interp":
+            return Reactor(self.kernel(), counter=counter,
+                           builtins=builtins)
+        raise CompileError("unknown engine %r (use 'efsm' or 'interp')"
+                           % engine)
