@@ -4,12 +4,11 @@ Not a paper table — operational data for users of the reproduction
 (how expensive is each phase on the paper's own design).
 """
 
-import pytest
 
-from repro.core import CompileOptions, EclCompiler
+from repro.core import EclCompiler
 from repro.designs import PROTOCOL_STACK_ECL
 from repro.ecl import translate_module
-from repro.efsm import build_efsm, optimize
+from repro.efsm import build_efsm
 from repro.lang import parse_text
 
 

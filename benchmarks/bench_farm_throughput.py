@@ -1,0 +1,113 @@
+"""Farm throughput benchmark: serial vs multi-process reactions/sec.
+
+Operational data for :mod:`repro.farm`: the same batch of EFSM
+simulation jobs over the paper's two workloads (protocol stack, audio
+buffer) is executed twice — inline in one process (the serial
+baseline) and sharded over a ``ProcessPoolExecutor`` farm — and both
+throughputs land in ``benchmarks/out/BENCH_farm.json`` for the CI
+regression gate.
+
+The acceptance bar (>= 2x farm speedup over serial) is asserted only
+on machines with >= 4 cores; below that the numbers are still
+reported but the floor cannot physically hold.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_farm_throughput.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_farm_throughput.py -q
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.designs import AUDIO_BUFFER_ECL, PROTOCOL_STACK_ECL
+from repro.farm import SimulationFarm, expand_jobs
+
+from workloads import ensure_out_dir, OUT_DIR
+
+#: Batch shape; override via environment for bigger CI machines.
+#: Sized so simulation work dominates the one-off parent compile by a
+#: wide margin — the speedup floor then measures sharding, not setup.
+JOBS_PER_CELL = int(os.environ.get("FARM_BENCH_TRACES", "48"))
+TRACE_LENGTH = int(os.environ.get("FARM_BENCH_LENGTH", "640"))
+
+DESIGNS = {"stack": PROTOCOL_STACK_ECL, "buffer": AUDIO_BUFFER_ECL}
+CELLS = [("stack", "toplevel"), ("buffer", "audio_buffer")]
+
+#: The speedup floor only applies at this core count and above.
+MIN_CORES_FOR_FLOOR = 4
+SPEEDUP_FLOOR = 2.0
+
+
+def batch_jobs():
+    return expand_jobs(CELLS, engines=("efsm",), traces=JOBS_PER_CELL,
+                       length=TRACE_LENGTH)
+
+
+def run_batch(workers):
+    farm = SimulationFarm(DESIGNS, workers=workers)
+    report = farm.run(batch_jobs())
+    assert report.ok, report.summary()
+    return report
+
+
+def measure():
+    cores = os.cpu_count() or 1
+    serial = run_batch(workers=1)
+    farm = run_batch(workers=min(8, cores))
+    speedup = farm.reactions_per_sec / max(1e-9,
+                                           serial.reactions_per_sec)
+    return {
+        "benchmark": "farm_throughput",
+        "cores": cores,
+        "jobs": serial.total,
+        "trace_length": TRACE_LENGTH,
+        "reactions": serial.reactions,
+        "serial": {
+            "workers": 1,
+            "elapsed": serial.elapsed,
+            "reactions_per_sec": serial.reactions_per_sec,
+        },
+        "farm": {
+            "workers": farm.workers,
+            "chunks": farm.chunks,
+            "elapsed": farm.elapsed,
+            "reactions_per_sec": farm.reactions_per_sec,
+        },
+        "speedup": speedup,
+    }
+
+
+def write_report(data, path=None):
+    ensure_out_dir()
+    path = path or os.path.join(OUT_DIR, "BENCH_farm.json")
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return path
+
+
+def test_farm_throughput_and_floor():
+    data = measure()
+    path = write_report(data)
+    print("\nfarm throughput: serial %.0f r/s, farm(%d) %.0f r/s "
+          "(x%.2f) -> %s"
+          % (data["serial"]["reactions_per_sec"],
+             data["farm"]["workers"],
+             data["farm"]["reactions_per_sec"],
+             data["speedup"], path))
+    assert data["reactions"] == data["jobs"] * TRACE_LENGTH
+    if data["cores"] >= MIN_CORES_FOR_FLOOR:
+        assert data["speedup"] >= SPEEDUP_FLOOR, (
+            "farm speedup x%.2f below the x%.1f floor on %d cores"
+            % (data["speedup"], SPEEDUP_FLOOR, data["cores"]))
+
+
+if __name__ == "__main__":
+    test_farm_throughput_and_floor()
+    print("ok")

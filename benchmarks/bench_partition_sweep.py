@@ -10,7 +10,6 @@ paper advocates — and writes the combined table to
 
 import os
 
-import pytest
 
 from repro.core import explore_partitions
 from repro.cost import Table1, format_table1

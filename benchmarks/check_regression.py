@@ -1,0 +1,108 @@
+"""CI benchmark-regression gate: current results vs committed baselines.
+
+Compares the two benchmark artifacts against their committed
+baselines and fails (exit 1) on a >2x regression:
+
+* ``BENCH_reaction.json`` (pytest-benchmark format): each benchmark's
+  mean seconds must not exceed twice the baseline mean;
+* ``BENCH_farm.json`` (:mod:`benchmarks.bench_farm_throughput`):
+  serial and farm reactions/sec must not drop below half the
+  baseline.
+
+The factor-2 band absorbs runner-to-runner hardware noise while still
+catching the algorithmic regressions the gate exists for.  Baselines
+live in ``benchmarks/baselines/``; refresh them deliberately (copy the
+current artifact over the baseline in the same PR that justifies the
+new numbers).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--out benchmarks/out] [--baselines benchmarks/baselines]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+#: A result may be at most this many times worse than its baseline.
+REGRESSION_FACTOR = 2.0
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def reaction_means(data):
+    """``{benchmark name: mean seconds}`` from pytest-benchmark JSON."""
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in data.get("benchmarks", [])}
+
+
+def check_reaction(current, baseline, failures):
+    means = reaction_means(current)
+    for name, base_mean in sorted(reaction_means(baseline).items()):
+        mean = means.get(name)
+        if mean is None:
+            failures.append("reaction: benchmark %r missing from "
+                            "current results" % name)
+            continue
+        ratio = mean / base_mean
+        status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+        print("reaction  %-40s %8.4fs vs %8.4fs  (x%.2f)  %s"
+              % (name, mean, base_mean, ratio, status))
+        if ratio > REGRESSION_FACTOR:
+            failures.append(
+                "reaction: %s is x%.2f slower than baseline "
+                "(%.4fs vs %.4fs)" % (name, ratio, mean, base_mean))
+
+
+def check_farm(current, baseline, failures):
+    for side in ("serial", "farm"):
+        rate = current[side]["reactions_per_sec"]
+        base_rate = baseline[side]["reactions_per_sec"]
+        ratio = base_rate / max(1e-9, rate)
+        status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+        print("farm      %-40s %8.0f r/s vs %8.0f r/s  (x%.2f)  %s"
+              % (side, rate, base_rate, ratio, status))
+        if ratio > REGRESSION_FACTOR:
+            failures.append(
+                "farm: %s throughput dropped to %.0f r/s "
+                "(baseline %.0f r/s)" % (side, rate, base_rate))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(HERE, "out"))
+    parser.add_argument("--baselines",
+                        default=os.path.join(HERE, "baselines"))
+    args = parser.parse_args(argv)
+    failures = []
+    pairs = [
+        ("BENCH_reaction.json", check_reaction),
+        ("BENCH_farm.json", check_farm),
+    ]
+    for filename, checker in pairs:
+        current_path = os.path.join(args.out, filename)
+        baseline_path = os.path.join(args.baselines, filename)
+        if not os.path.exists(current_path):
+            failures.append("%s missing (benchmark did not run?)"
+                            % current_path)
+            continue
+        checker(load(current_path), load(baseline_path), failures)
+    if failures:
+        print("\nbenchmark regression gate FAILED:")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nbenchmark regression gate: ok "
+          "(factor %.1f)" % REGRESSION_FACTOR)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,7 @@ sanity check after optimization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 from ..codegen.py_backend import EfsmReactor
 from ..runtime.reactor import Reactor

@@ -12,8 +12,8 @@ the bad signal, no real execution does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, List, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
 
 from ..efsm.machine import (
     DoAction,

@@ -14,7 +14,7 @@ Two styles, both over the sound over-approximation of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..efsm.machine import TERMINATED
 from .explore import explore, state_edges

@@ -6,13 +6,17 @@ Subcommands::
     eclc compile design.ecl -m top --emit c -o outdir
     eclc build design.ecl -o outdir       # all modules, batched/parallel
     eclc simulate design.ecl -m top --trace stimuli.txt [--vcd out.vcd]
+    eclc farm run design.ecl [more.ecl] --engines efsm,interp --traces 25
+    eclc farm run --spec batch.json       # versioned simulation campaign
     eclc dot design.ecl -m top            # Graphviz to stdout
 
 ``--emit`` choices are derived from the pipeline's backend registry
 (:mod:`repro.pipeline.registry`), so a newly registered emitter shows up
 here without CLI changes.  ``build`` uses the staged pipeline directly:
 modules compile concurrently and unchanged modules are served from the
-artifact cache (``--cache-dir``, default off).
+artifact cache (``--cache-dir``, default off).  ``farm run`` dispatches
+a batch of simulation jobs over worker processes
+(:mod:`repro.farm`) and prints the resulting FarmReport.
 
 Trace files for ``simulate`` have one instant per line: blank line = no
 inputs; otherwise space-separated ``name`` (pure event) or ``name=value``
@@ -90,6 +94,43 @@ def _build_parser():
     simulate.add_argument("--vcd", default=None, metavar="PATH",
                           help="dump the reaction trace as a VCD file")
     simulate.set_defaults(handler=_cmd_simulate)
+
+    farm = sub.add_parser(
+        "farm", help="batched multi-process simulation")
+    farm_sub = farm.add_subparsers(dest="farm_command", required=True)
+    run = farm_sub.add_parser(
+        "run", help="execute a batch of simulation jobs")
+    run.add_argument("files", nargs="*",
+                     help="ECL design files (labelled by basename)")
+    run.add_argument("--spec", default=None,
+                     help="JSON batch spec (overrides matrix flags)")
+    run.add_argument("-m", "--module", action="append", default=None,
+                     help="restrict to this module (repeatable; "
+                          "default: every module of every design)")
+    run.add_argument("--engines", default="efsm",
+                     help="comma-separated engines (efsm, interp, "
+                          "rtos, equivalence)")
+    run.add_argument("--traces", type=int, default=1,
+                     help="random traces per design x module x engine")
+    run.add_argument("--length", type=int, default=32,
+                     help="instants per random trace")
+    run.add_argument("--horizon", type=int, default=0,
+                     help="max instants per job (0 = trace length)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="batch seed folded into every job's "
+                          "derived seed (via the job index offset)")
+    run.add_argument("-j", "--workers", type=int, default=None)
+    run.add_argument("--chunk-size", type=int, default=None)
+    run.add_argument("--ledger", default=None, metavar="DIR",
+                     help="trace ledger root (default: no persistence;"
+                          " 'auto' = next to the artifact cache)")
+    run.add_argument("--vcd", action="store_true",
+                     help="also persist VCD waveforms to the ledger")
+    run.add_argument("--report", default=None, metavar="PATH",
+                     help="write the FarmReport as JSON")
+    run.add_argument("-v", "--verbose", action="store_true",
+                     help="print every job row, not only failures")
+    run.set_defaults(handler=_cmd_farm_run)
 
     dot = sub.add_parser("dot", help="print the EFSM as Graphviz")
     dot.add_argument("file")
@@ -187,7 +228,13 @@ def _cmd_simulate(args):
         if line.startswith("#"):
             continue
         pure, valued = _parse_instant(line, lineno)
-        output = reactor.react(inputs=pure, values=valued)
+        # A bad stimulus line (undeclared signal, value on a pure
+        # signal) surfaces as SignalTable.require_input's diagnostic;
+        # locate it in the trace for the user.
+        try:
+            output = reactor.react(inputs=pure, values=valued)
+        except EclError as error:
+            raise EclError("trace line %d: %s" % (lineno, error.message))
         if recorder is not None:
             recorder.sample(inputs=pure, values=valued, output=output)
         emitted = []
@@ -221,6 +268,64 @@ def _parse_instant(line, lineno):
         else:
             pure.append(item)
     return pure, valued
+
+
+def _cmd_farm_run(args):
+    from .farm import (SimulationFarm, default_ledger_root, expand_jobs,
+                       load_spec)
+    from .pipeline import Pipeline
+
+    settings = {"workers": args.workers, "chunk_size": args.chunk_size,
+                "ledger": None}
+    if args.spec:
+        designs, jobs, spec_settings = load_spec(args.spec)
+        for key, value in spec_settings.items():
+            if settings.get(key) is None:
+                settings[key] = value
+    else:
+        if not args.files:
+            print("eclc: error: farm run needs design files or --spec",
+                  file=sys.stderr)
+            return 2
+        designs = {}
+        for path in args.files:
+            label = os.path.basename(path)
+            with open(path) as handle:
+                designs[label] = handle.read()
+        engines = [name.strip() for name in args.engines.split(",")
+                   if name.strip()]
+        pairs = []
+        for label, source in designs.items():
+            names = Pipeline().compile_text(
+                source, filename=label).module_names
+            wanted = args.module if args.module else names
+            for module in wanted:
+                if module in names:
+                    pairs.append((label, module))
+        if not pairs:
+            print("eclc: error: no matching modules to simulate",
+                  file=sys.stderr)
+            return 2
+        jobs = expand_jobs(pairs, engines=engines, traces=args.traces,
+                           length=args.length, horizon=args.horizon,
+                           record_vcd=args.vcd, salt=args.seed)
+    ledger_root = settings["ledger"]
+    if args.ledger == "auto":
+        ledger_root = default_ledger_root()
+    elif args.ledger:
+        ledger_root = args.ledger
+    farm = SimulationFarm(designs, ledger_root=ledger_root,
+                          workers=settings["workers"],
+                          chunk_size=settings["chunk_size"])
+    report = farm.run(jobs)
+    print(report.summary(verbose=args.verbose))
+    if args.report:
+        import json
+        with open(args.report, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2,
+                      sort_keys=True)
+        print("wrote %s" % args.report)
+    return 0 if report.ok else 1
 
 
 def _cmd_dot(args):

@@ -9,7 +9,6 @@ paper claims compiled reactions are faster than hand-written event code
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from ..errors import EvalError
 from ..efsm.machine import (
@@ -64,10 +63,8 @@ class EfsmReactor:
         present.update(values)
         self.signals.new_instant()
         for name in present:
-            slot = self.signals.get(name)
-            if slot is None or slot.direction != "input":
-                raise EvalError("module %s has no input signal %r"
-                                % (self.module.name, name))
+            slot = self.signals.require_input(name, self.module.name,
+                                              value=values.get(name))
             slot.set_input(values.get(name))
         emitted = set()
         delta = False
@@ -116,6 +113,10 @@ class EfsmReactor:
         )
 
     # Same convenience surface as the interpreter-backed Reactor.
+
+    def input_signals(self):
+        """Names of the module's declared input signals (sorted)."""
+        return sorted(slot.name for slot in self.signals.inputs())
 
     def signal_value(self, name):
         return self.signals[name].load()

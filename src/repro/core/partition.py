@@ -18,7 +18,7 @@ exploration at the specification level") is then just a loop over
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..cost.model import CostModel, CycleCounter
 from ..cost.report import PartitionRow

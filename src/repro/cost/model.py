@@ -25,7 +25,7 @@ digits, against the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..efsm.machine import (
     DoAction,

@@ -9,7 +9,7 @@ paper's layout so the benchmark output is directly comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 
 @dataclass

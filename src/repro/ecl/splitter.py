@@ -23,7 +23,6 @@ from typing import List, Tuple
 
 from ..errors import SplitError
 from ..lang import ast
-from ..lang.printer import Printer
 
 
 @dataclass

@@ -20,7 +20,6 @@ program as possible into Esterel".  Concretely:
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from ..errors import InstantaneousLoopError, TranslationError
 from ..esterel import kernel as k

@@ -24,7 +24,7 @@ residue becomes a new state for the worklist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 from ..errors import CausalityError, CompileError, NondeterminismError
 from ..esterel import kernel as k

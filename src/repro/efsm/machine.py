@@ -11,7 +11,7 @@ at each leaf.  Data variables live outside the automaton (that is the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..lang import ast
 from ..lang.printer import Printer

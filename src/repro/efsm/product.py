@@ -16,7 +16,7 @@ module instead (the translator's fixed point handles it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from ..errors import CompileError
 from .machine import (
@@ -26,8 +26,7 @@ from .machine import (
     TERMINATED,
     TestData,
     TestSignal,
-    walk_reaction,
-)
+    )
 
 
 @dataclass

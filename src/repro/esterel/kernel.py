@@ -33,7 +33,7 @@ Design notes (deviations documented in DESIGN.md §4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..lang import ast

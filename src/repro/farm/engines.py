@@ -1,0 +1,218 @@
+"""The farm's ``Engine`` protocol: one step() surface, three engines.
+
+An engine adapts one execution style to a uniform per-instant
+interface::
+
+    engine = build_engine("efsm", handle_provider, job)
+    record = engine.step({"in_byte": 65})     # one instant
+    engine.terminated                          # module finished?
+
+``step`` takes the instant's input dict (``name -> value-or-None``) and
+returns a plain-data record ``{"inputs", "emitted", "values"}`` that is
+directly JSON-serializable — the currency of the
+:class:`~repro.farm.ledger.TraceLedger` and of cross-engine
+equivalence comparison.
+
+Engines:
+
+* ``interp`` — the reference kernel interpreter
+  (:class:`repro.runtime.reactor.Reactor`);
+* ``efsm``   — the compiled automaton
+  (:class:`repro.codegen.py_backend.EfsmReactor`);
+* ``rtos``   — the module (or a multi-task partition of the design)
+  under the simulated priority kernel
+  (:class:`repro.rtos.kernel.RtosKernel`): each instant posts the
+  step's events and runs the dispatch cascade to quiescence, so one
+  record may cover several task reactions.
+
+``equivalence`` is not an engine class: the executor runs ``interp``
+and ``efsm`` in lockstep and compares records (see
+:func:`compare_records`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import EclError
+from ..runtime.reactor import Reactor
+
+#: name -> factory(handles, job) for registered engine adapters.
+ENGINES: Dict[str, Callable] = {}
+
+
+def register_engine(name):
+    """Class decorator adding an engine adapter to :data:`ENGINES`."""
+
+    def wrap(cls):
+        ENGINES[name] = cls
+        cls.name = name
+        return cls
+
+    return wrap
+
+
+def build_engine(name, handles, job):
+    """Instantiate the adapter registered under ``name``.
+
+    ``handles(module_name)`` must return the pipeline
+    :class:`~repro.pipeline.pipeline.ModuleHandle` of a module of the
+    job's design (workers pass their per-process cached provider).
+    """
+    try:
+        factory = ENGINES[name]
+    except KeyError:
+        raise EclError(
+            "unknown engine %r (available: %s)"
+            % (name, ", ".join(sorted(ENGINES)))
+        )
+    return factory(handles, job)
+
+
+def jsonable_value(value):
+    """Trace values must survive JSON: bytes become hex strings."""
+    if isinstance(value, (bytes, bytearray)):
+        return "0x" + bytes(value).hex()
+    return value
+
+
+def make_record(instant, emitted, values):
+    """Canonical per-instant trace record (sorted, JSON-clean)."""
+    return {
+        "inputs": {
+            name: jsonable_value(value)
+            for name, value in sorted(instant.items())
+        },
+        "emitted": sorted(emitted),
+        "values": {
+            name: jsonable_value(value)
+            for name, value in sorted(values.items())
+        },
+    }
+
+
+def compare_records(left, right):
+    """None when two engine records agree observably, else a short
+    human-readable description of the mismatch."""
+    if (
+        left["emitted"] != right["emitted"]
+        or left["values"] != right["values"]
+    ):
+        return "emitted %s %r vs %s %r" % (
+            left["emitted"],
+            left["values"],
+            right["emitted"],
+            right["values"],
+        )
+    return None
+
+
+class ReactorEngine:
+    """Shared adapter for the two synchronous one-module engines."""
+
+    def __init__(self, reactor):
+        self.reactor = reactor
+
+    @property
+    def terminated(self):
+        return self.reactor.terminated
+
+    def input_alphabet(self):
+        """``(name, is_pure)`` pairs for stimulus generation.
+
+        Aggregate-valued inputs (structs, unions, arrays) are excluded:
+        a random int is not a valid sample of those, so the generator
+        only drives pure and scalar-valued signals.
+        """
+        return [
+            (slot.name, slot.is_pure)
+            for slot in self.reactor.signals.inputs()
+            if slot.is_pure or slot.type.is_scalar()
+        ]
+
+    def step(self, instant):
+        pure = [name for name, value in instant.items() if value is None]
+        valued = {name: value for name, value in instant.items() if value is not None}
+        output = self.reactor.react(inputs=pure, values=valued)
+        return make_record(instant, output.emitted, output.values)
+
+
+@register_engine("interp")
+class InterpEngine(ReactorEngine):
+    """Reference semantics: the kernel-term interpreter."""
+
+    def __init__(self, handles, job):
+        handle = handles(job.module)
+        super().__init__(Reactor(handle.kernel()))
+
+
+@register_engine("efsm")
+class EfsmEngine(ReactorEngine):
+    """Compiled automaton: one decision-tree walk per instant."""
+
+    def __init__(self, handles, job):
+        from ..codegen.py_backend import EfsmReactor
+
+        handle = handles(job.module)
+        super().__init__(EfsmReactor(handle.efsm()))
+
+
+@register_engine("rtos")
+class RtosEngine:
+    """The design under the simulated RTOS.
+
+    With ``job.tasks`` empty, one task wraps ``job.module``; otherwise
+    each ``(task_name, module_name, priority[, bindings])`` entry
+    becomes one task and signals route between tasks by (bound) name,
+    exactly as :func:`repro.core.partition.run_partition` wires
+    Table 1's asynchronous rows.
+    """
+
+    def __init__(self, handles, job):
+        from ..codegen.py_backend import EfsmReactor
+        from ..rtos.kernel import RtosKernel
+        from ..rtos.tasks import RtosTask
+
+        self.kernel = RtosKernel(name=job.label())
+        specs = job.tasks or ((job.module, job.module, 1),)
+        for spec in specs:
+            task_name, module_name, priority = spec[0], spec[1], spec[2]
+            bindings = dict(spec[3]) if len(spec) > 3 else None
+            reactor = EfsmReactor(handles(module_name).efsm())
+            self.kernel.add_task(
+                RtosTask(
+                    task_name,
+                    reactor,
+                    priority=priority,
+                    bindings=bindings,
+                )
+            )
+        self.kernel.start()
+        self._alphabet = None
+
+    @property
+    def terminated(self):
+        return all(task.reactor.terminated for task in self.kernel.tasks)
+
+    def input_alphabet(self):
+        """Environment-facing signals only: consumed by some task and
+        produced by none (internal channels are not driveable)."""
+        if self._alphabet is None:
+            produced = set()
+            for task in self.kernel.tasks:
+                produced.update(task.produced_signals())
+            alphabet = {}
+            for task in self.kernel.tasks:
+                for name, is_pure in task.input_alphabet():
+                    if name not in produced:
+                        alphabet.setdefault(name, is_pure)
+            self._alphabet = sorted(alphabet.items())
+        return self._alphabet
+
+    def step(self, instant):
+        emitted = {}
+        for name, value in sorted(instant.items()):
+            self.kernel.post_input(name, value)
+        emitted.update(self.kernel.run_until_idle())
+        values = {name: value for name, value in emitted.items() if value is not None}
+        return make_record(instant, set(emitted), values)

@@ -1,0 +1,237 @@
+"""SimulationFarm: shard simulation jobs across worker processes.
+
+The farm turns a list of :class:`~repro.farm.jobs.SimJob` into a
+:class:`FarmReport`::
+
+    farm = SimulationFarm({"stack": STACK_SOURCE}, workers=8)
+    report = farm.run(jobs)
+    print(report.summary())
+
+Dispatch discipline (the part that makes it fast):
+
+* jobs are grouped by design label, then cut into chunks of
+  ``chunk_size`` (default: about four chunks per worker), so one
+  pickled task carries many jobs and the per-task overhead amortizes;
+* the parent compiles every needed (design, module) pair once and
+  *adopts* the state before the pool starts: fork-based platforms hand
+  every worker the compiled artifacts copy-on-write, spawn-based ones
+  compile once per worker in the pool initializer;
+* trace persistence happens worker-side: records never cross the
+  process boundary, only compact :class:`SimResult` rows come back;
+* ``workers<=1`` (or a single chunk) short-circuits to inline
+  execution in the calling process — the serial baseline of
+  ``benchmarks/bench_farm_throughput.py`` and the deterministic path
+  unit tests use.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional
+
+from ..errors import EclError
+from . import worker as worker_mod
+from .jobs import SimResult
+from .worker import WorkerState
+
+#: Upper bound on the default worker count.
+DEFAULT_MAX_WORKERS = 8
+
+#: Target number of chunks handed to each worker (keeps the pool fed
+#: even when job durations are skewed, without per-job dispatch cost).
+CHUNKS_PER_WORKER = 4
+
+
+@dataclass
+class FarmReport:
+    """Structured outcome of one farm batch."""
+
+    results: List[SimResult] = field(default_factory=list)
+    elapsed: float = 0.0
+    workers: int = 1
+    chunks: int = 1
+    designs: int = 0
+    ledger_root: Optional[str] = None
+
+    @property
+    def total(self):
+        return len(self.results)
+
+    @property
+    def ok(self):
+        return all(result.ok for result in self.results)
+
+    @property
+    def reactions(self):
+        """Total instants executed across the batch."""
+        return sum(result.instants for result in self.results)
+
+    @property
+    def reactions_per_sec(self):
+        if self.elapsed <= 0:
+            return 0.0
+        return self.reactions / self.elapsed
+
+    @property
+    def divergences(self):
+        return [result for result in self.results if result.divergence is not None]
+
+    @property
+    def errors(self):
+        return [result for result in self.results if result.status == "error"]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.status] = counts.get(result.status, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self):
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "elapsed": self.elapsed,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "designs": self.designs,
+            "reactions": self.reactions,
+            "reactions_per_sec": self.reactions_per_sec,
+            "status_counts": self.status_counts(),
+            "ledger_root": self.ledger_root,
+            "results": [result.as_dict() for result in self.results],
+        }
+
+    def summary(self, verbose=False):
+        counts = ", ".join("%s=%d" % item for item in self.status_counts().items())
+        lines = [
+            "farm: %d job(s) over %d design(s), %d worker(s), %d chunk(s)"
+            % (self.total, self.designs, self.workers, self.chunks),
+            "      %d reactions in %.2f s (%.0f reactions/sec)  [%s]"
+            % (
+                self.reactions,
+                self.elapsed,
+                self.reactions_per_sec,
+                counts or "empty",
+            ),
+        ]
+        if self.ledger_root:
+            lines.append("      ledger: %s" % self.ledger_root)
+        failing = [r for r in self.results if not r.ok]
+        shown = self.results if verbose else failing
+        for result in shown:
+            lines.append("  " + result.summary_line())
+        return "\n".join(lines)
+
+
+class SimulationFarm:
+    """Batched multi-process execution of simulation jobs."""
+
+    def __init__(
+        self,
+        designs,
+        options=None,
+        ledger_root=None,
+        workers=None,
+        chunk_size=None,
+    ):
+        """``designs`` maps batch labels to ECL source text;
+        ``ledger_root=None`` disables trace persistence."""
+        self.designs = dict(designs)
+        self.options = options
+        self.ledger_root = ledger_root
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def run(self, jobs) -> FarmReport:
+        """Execute every job; failures become per-job statuses, the
+        batch itself always returns a report."""
+        jobs = list(jobs)
+        for job in jobs:
+            if job.design not in self.designs:
+                raise EclError(
+                    "job %s names unknown design %r (designs: %s)"
+                    % (job.label(), job.design, ", ".join(sorted(self.designs)))
+                )
+        workers = self._worker_count(len(jobs))
+        chunks = self._chunk(jobs, workers)
+        started = perf_counter()
+        if workers <= 1 or len(chunks) <= 1:
+            state = WorkerState(
+                self.designs,
+                options=self.options,
+                ledger_root=self.ledger_root,
+            )
+            results = [state.run_job(job) for job in jobs]
+            workers = 1
+        else:
+            results = self._run_pool(jobs, chunks, workers)
+        results.sort(key=lambda result: result.index)
+        return FarmReport(
+            results=results,
+            elapsed=perf_counter() - started,
+            workers=workers,
+            chunks=len(chunks),
+            designs=len({job.design for job in jobs}),
+            ledger_root=self.ledger_root,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _worker_count(self, job_count):
+        workers = self.workers
+        if workers is None:
+            workers = min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1)
+        return max(1, min(workers, max(1, job_count)))
+
+    def _chunk(self, jobs, workers):
+        """Design-grouped, size-bounded chunks (stable job order
+        within each design, so workers replay cache-friendly runs)."""
+        if not jobs:
+            return []
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(jobs) // (workers * CHUNKS_PER_WORKER)))
+        by_design: Dict[str, List] = {}
+        for job in jobs:
+            by_design.setdefault(job.design, []).append(job)
+        chunks = []
+        for design in sorted(by_design):
+            design_jobs = by_design[design]
+            for start in range(0, len(design_jobs), size):
+                chunks.append(design_jobs[start : start + size])
+        return chunks
+
+    def _run_pool(self, jobs, chunks, workers):
+        # Compile every needed (design, module) pair up front and
+        # adopt the state module-wide: fork-based pools then inherit
+        # the compiled artifacts copy-on-write, so worker processes
+        # start simulating immediately instead of each re-compiling.
+        state = WorkerState(
+            self.designs,
+            options=self.options,
+            ledger_root=self.ledger_root,
+        )
+        for design, module in sorted({(job.design, job.module) for job in jobs}):
+            try:
+                handle = state.build(design).module(module)
+                handle.kernel()
+                handle.efsm()
+            except EclError:
+                pass  # surfaces per job as a status="error" result
+        worker_mod.adopt(state)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=worker_mod.initialize,
+                initargs=(self.designs, self.options, self.ledger_root),
+            ) as pool:
+                futures = [pool.submit(worker_mod.run_chunk, chunk) for chunk in chunks]
+                results = []
+                for future in futures:
+                    results.extend(future.result())
+        finally:
+            worker_mod.adopt(None)
+        return results

@@ -1,0 +1,267 @@
+"""Job and result model of the simulation farm.
+
+One :class:`SimJob` names everything needed to reproduce one simulation
+run bit-for-bit: the design (by batch label), the module, the engine,
+the stimulus recipe and the horizon.  Jobs are frozen dataclasses, so
+they pickle cleanly across the worker-process boundary and hash into a
+stable ``job_id``; the per-job random seed is *derived* from that id,
+which is what makes a 10 000-job batch deterministic — re-running the
+batch (or any single job of it, anywhere) regenerates the same stimulus
+and therefore the same trace.
+
+A :class:`SimResult` is the worker's answer: status, instants executed,
+emission counts, the content address of the persisted trace in the
+:class:`~repro.farm.ledger.TraceLedger`, and (for equivalence jobs) the
+first divergence between the engines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import EclError
+
+#: Engine names a job may ask for.  "equivalence" is the opt-in
+#: cross-engine mode: interpreter and EFSM run in lockstep and the job
+#: fails with status "diverged" on the first observable mismatch.
+ENGINE_NAMES = ("efsm", "interp", "rtos", "equivalence")
+
+#: Job outcome classes.  "ok" and "terminated" count as success.
+STATUS_OK = "ok"
+STATUS_TERMINATED = "terminated"
+STATUS_DIVERGED = "diverged"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class StimulusSpec:
+    """Recipe for one input trace.
+
+    ``kind="random"`` draws ``length`` instants from the module's input
+    alphabet with a :class:`random.Random` seeded by the *job* (not the
+    spec), so identical specs on different jobs still explore different
+    traces.  ``kind="explicit"`` replays ``steps`` verbatim; each step
+    is a tuple of ``(signal, value-or-None)`` pairs (``None`` = pure
+    presence), kept as tuples so the spec stays hashable.
+    """
+
+    kind: str = "random"
+    length: int = 32
+    present_prob: float = 0.5
+    value_range: Tuple[int, int] = (0, 255)
+    steps: Tuple[Tuple[Tuple[str, Optional[int]], ...], ...] = ()
+    salt: int = 0  # batch seed; part of the job identity
+
+    @classmethod
+    def random(cls, length=32, present_prob=0.5, value_range=(0, 255), salt=0):
+        return cls(
+            kind="random",
+            length=length,
+            present_prob=present_prob,
+            value_range=tuple(value_range),
+            salt=salt,
+        )
+
+    @classmethod
+    def explicit(cls, instants):
+        """From a list of instant dicts (``name -> value-or-None``)."""
+        steps = tuple(
+            tuple(sorted(dict(instant).items(), key=lambda item: item[0]))
+            for instant in instants
+        )
+        return cls(kind="explicit", length=len(steps), steps=steps)
+
+    def materialize(self, inputs, seed):
+        """The concrete instant list for this spec.
+
+        ``inputs`` is a list of ``(name, is_pure)`` pairs describing
+        the target module's input alphabet; ``seed`` is the consuming
+        job's derived seed.  Returns a list of dicts mapping present
+        signal names to ``None`` (pure) or an int value.
+        """
+        if self.kind == "explicit":
+            return [dict(step) for step in self.steps]
+        if self.kind != "random":
+            raise EclError("unknown stimulus kind %r" % self.kind)
+        rng = random.Random(seed)
+        low, high = self.value_range
+        instants = []
+        for _ in range(self.length):
+            instant = {}
+            for name, is_pure in inputs:
+                if rng.random() >= self.present_prob:
+                    continue
+                instant[name] = None if is_pure else rng.randint(low, high)
+            instants.append(instant)
+        return instants
+
+    def describe(self):
+        if self.kind == "explicit":
+            return "explicit:%d" % len(self.steps)
+        text = "random:%d@p=%.2f[%d..%d]" % (
+            self.length,
+            self.present_prob,
+            self.value_range[0],
+            self.value_range[1],
+        )
+        if self.salt:
+            text += "+salt=%d" % self.salt
+        return text
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One unit of simulation work: design x module x engine x trace.
+
+    ``tasks`` (rtos engine only) optionally partitions the run into
+    several prioritized tasks; each entry is ``(task_name, module_name,
+    priority)`` or ``(task_name, module_name, priority, bindings)``
+    with ``bindings`` a tuple of ``(formal, network)`` signal renames.
+    Empty means one task wrapping ``module``.
+    """
+
+    design: str
+    module: str
+    engine: str = "efsm"
+    stimulus: StimulusSpec = field(default_factory=StimulusSpec)
+    horizon: int = 0  # 0 = stimulus length
+    index: int = 0  # unique position within the batch
+    record_vcd: bool = False
+    tasks: Tuple[tuple, ...] = ()
+
+    def __post_init__(self):
+        if self.engine not in ENGINE_NAMES:
+            raise EclError(
+                "unknown engine %r (one of: %s)"
+                % (self.engine, ", ".join(ENGINE_NAMES))
+            )
+
+    @property
+    def job_id(self):
+        """Stable content address of this job's full definition."""
+        text = "\x1f".join(
+            (
+                "design=%s" % self.design,
+                "module=%s" % self.module,
+                "engine=%s" % self.engine,
+                "stimulus=%r" % (self.stimulus,),
+                "horizon=%d" % self.horizon,
+                "index=%d" % self.index,
+                "tasks=%r" % (self.tasks,),
+            )
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @property
+    def seed(self):
+        """Deterministic per-job seed, derived from the job identity."""
+        return int(self.job_id[:16], 16)
+
+    @property
+    def instant_budget(self):
+        """How many instants this job runs (horizon-padded)."""
+        return self.horizon if self.horizon > 0 else self.stimulus.length
+
+    def label(self):
+        return "%s/%s[%s]#%d" % (
+            self.design,
+            self.module,
+            self.engine,
+            self.index,
+        )
+
+
+@dataclass
+class SimResult:
+    """What one job produced, reduced to picklable plain data."""
+
+    job_id: str
+    design: str
+    module: str
+    engine: str
+    index: int
+    status: str = STATUS_OK
+    instants: int = 0
+    emitted_events: int = 0
+    elapsed: float = 0.0
+    trace_digest: Optional[str] = None
+    trace_path: Optional[str] = None
+    error: Optional[str] = None
+    divergence: Optional[str] = None
+    worker_pid: int = 0
+
+    @property
+    def ok(self):
+        return self.status in (STATUS_OK, STATUS_TERMINATED)
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+    def summary_line(self):
+        tail = ""
+        if self.error:
+            tail = "  %s" % self.error.splitlines()[0]
+        elif self.divergence:
+            tail = "  %s" % self.divergence.splitlines()[0]
+        label = "%s/%s[%s]#%d" % (
+            self.design,
+            self.module,
+            self.engine,
+            self.index,
+        )
+        return "%-32s %-10s %5d instants  %6.1f ms%s" % (
+            label,
+            self.status,
+            self.instants,
+            self.elapsed * 1e3,
+            tail,
+        )
+
+
+def expand_jobs(
+    design_modules,
+    engines=("efsm",),
+    traces=1,
+    length=32,
+    horizon=0,
+    present_prob=0.5,
+    value_range=(0, 255),
+    record_vcd=False,
+    start_index=0,
+    salt=0,
+):
+    """Cartesian job expansion: every (design, module) x engine x trace
+    replicate, with batch-unique indices (the index feeds each job's
+    derived seed, so replicates explore distinct traces; ``salt`` is a
+    batch-level seed shifting every derived seed at once).
+
+    ``design_modules`` is an iterable of ``(design_label, module_name)``
+    pairs.  Returns a list of :class:`SimJob`.
+    """
+    spec = StimulusSpec.random(
+        length=length,
+        present_prob=present_prob,
+        value_range=value_range,
+        salt=salt,
+    )
+    jobs: List[SimJob] = []
+    index = start_index
+    for design, module in design_modules:
+        for engine in engines:
+            for _ in range(max(1, traces)):
+                jobs.append(
+                    SimJob(
+                        design=design,
+                        module=module,
+                        engine=engine,
+                        stimulus=spec,
+                        horizon=horizon,
+                        index=index,
+                        record_vcd=record_vcd,
+                    )
+                )
+                index += 1
+    return jobs

@@ -1,0 +1,154 @@
+"""TraceLedger: content-addressed persistence of simulation traces.
+
+The ledger is the farm's durable output — the raw material for
+downstream checking (coverage mining, property extraction, regression
+diffing).  It mirrors the :class:`~repro.pipeline.cache.ArtifactCache`
+discipline and lives next to it by default
+(``<cache-root>/traces``):
+
+* every trace is one JSONL *object* under
+  ``objects/<aa>/<digest>.jsonl`` — first line a header describing the
+  job, then one line per instant (``inputs`` / ``emitted`` /
+  ``values``); the digest is the sha256 of the object's bytes, so
+  identical runs dedupe to one file and a digest is a proof of
+  trace identity;
+* jobs that asked for it get a sibling ``<digest>.vcd`` waveform;
+* ``ledger.jsonl`` at the root is the append-only index: one line per
+  recorded job linking ``job_id`` to its trace digest.  Appends are
+  single ``O_APPEND`` writes, so concurrent worker processes never
+  interleave records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Iterator, List, Optional
+
+from ..pipeline.cache import default_cache_root
+
+#: Name of the append-only index file at the ledger root.
+INDEX_NAME = "ledger.jsonl"
+
+
+def default_ledger_root():
+    """``<artifact-cache-root>/traces`` — next to compiled artifacts."""
+    return os.path.join(default_cache_root(), "traces")
+
+
+class TraceLedger:
+    """Append-only, content-addressed store of simulation traces."""
+
+    def __init__(self, root=None):
+        self.root = root or default_ledger_root()
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def put(self, job, records, vcd_text=None):
+        """Persist one job's trace; returns ``(digest, path)``.
+
+        ``records`` is the list of per-instant dicts the engines
+        produce (:func:`repro.farm.engines.make_record`).  The object
+        is written atomically; the index gains one line.
+        """
+        header = {
+            "job_id": job.job_id,
+            "design": job.design,
+            "module": job.module,
+            "engine": job.engine,
+            "index": job.index,
+            "seed": job.seed,
+            "stimulus": job.stimulus.describe(),
+            "instants": len(records),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True) for record in records)
+        blob = ("\n".join(lines) + "\n").encode("utf-8")
+        digest = hashlib.sha256(blob).hexdigest()
+        path = self._object_path(digest)
+        if not os.path.exists(path):
+            self._atomic_write(path, blob)
+        if vcd_text is not None:
+            vcd_path = path[: -len(".jsonl")] + ".vcd"
+            if not os.path.exists(vcd_path):
+                self._atomic_write(vcd_path, vcd_text.encode("utf-8"))
+        self._append_index(
+            {
+                "job_id": job.job_id,
+                "design": job.design,
+                "module": job.module,
+                "engine": job.engine,
+                "index": job.index,
+                "instants": len(records),
+                "trace": digest,
+            }
+        )
+        return digest, path
+
+    # -- reading -------------------------------------------------------
+
+    def load(self, digest):
+        """``(header, records)`` of the trace object under ``digest``."""
+        with open(self._object_path(digest)) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        return lines[0], lines[1:]
+
+    def entries(self) -> List[dict]:
+        """Every index record, in append order."""
+        return list(self.iter_entries())
+
+    def iter_entries(self) -> Iterator[dict]:
+        index = os.path.join(self.root, INDEX_NAME)
+        if not os.path.exists(index):
+            return
+        with open(index) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def find(self, job_id) -> Optional[dict]:
+        """Latest index record for ``job_id`` (None if never run)."""
+        found = None
+        for entry in self.iter_entries():
+            if entry.get("job_id") == job_id:
+                found = entry
+        return found
+
+    def __len__(self):
+        return sum(1 for _ in self.iter_entries())
+
+    # -- plumbing ------------------------------------------------------
+
+    def _object_path(self, digest):
+        return os.path.join(self.root, "objects", digest[:2], digest + ".jsonl")
+
+    @staticmethod
+    def _atomic_write(path, blob):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, temp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+
+    def _append_index(self, entry):
+        line = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        fd = os.open(
+            os.path.join(self.root, INDEX_NAME),
+            os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)

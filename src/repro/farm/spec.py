@@ -1,0 +1,155 @@
+"""Batch spec files for ``eclc farm run``.
+
+A spec is a JSON document declaring the designs and the job matrix in
+one place, so a CI job or a verification flow can version-control its
+whole simulation campaign::
+
+    {
+      "workers": 8,
+      "ledger": "traces",
+      "designs": {"stack": "protocol_stack.ecl"},
+      "jobs": [
+        {"design": "stack", "modules": ["toplevel"],
+         "engines": ["efsm", "interp", "equivalence"],
+         "traces": 50, "length": 64, "horizon": 96}
+      ]
+    }
+
+``designs`` maps batch labels to ECL file paths (relative to the spec
+file).  Each ``jobs`` entry is a matrix: every listed module x engine
+x trace replicate becomes one :class:`~repro.farm.jobs.SimJob`;
+``modules`` may be omitted to mean "every module of the design".
+Optional per-entry keys: ``seed``, ``horizon``, ``present_prob``,
+``value_range``, ``vcd`` (record waveforms), ``tasks`` (rtos
+partitions, ``[[task, module, priority, {formal: network}], ...]``
+with priority and the binding map optional).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from ..errors import EclError
+from .jobs import SimJob, StimulusSpec
+
+
+def load_spec(path):
+    """Parse a spec file: returns ``(designs, jobs, settings)`` where
+    ``designs`` maps labels to source text, ``jobs`` is the expanded
+    job list and ``settings`` holds farm-level options (workers,
+    chunk_size, ledger root resolved against the spec location)."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as error:
+            raise EclError("bad farm spec %s: %s" % (path, error))
+    if not isinstance(document, dict):
+        raise EclError("bad farm spec %s: expected a JSON object" % path)
+    base = os.path.dirname(os.path.abspath(path))
+    designs = _load_designs(document.get("designs"), base, path)
+    jobs = _expand_entries(document.get("jobs"), designs, path)
+    settings = {
+        "workers": document.get("workers"),
+        "chunk_size": document.get("chunk_size"),
+        "ledger": _resolve(base, document.get("ledger")),
+    }
+    return designs, jobs, settings
+
+
+def _resolve(base, path):
+    if path is None:
+        return None
+    if os.path.isabs(path):
+        return path
+    return os.path.join(base, path)
+
+
+def _load_designs(section, base, spec_path) -> Dict[str, str]:
+    if not isinstance(section, dict) or not section:
+        raise EclError(
+            'farm spec %s: "designs" must map labels to ECL file paths'
+            % spec_path
+        )
+    designs = {}
+    for label, file_path in section.items():
+        full = _resolve(base, file_path)
+        try:
+            with open(full) as handle:
+                designs[label] = handle.read()
+        except OSError as error:
+            raise EclError("farm spec %s: design %r: %s" % (spec_path, label, error))
+    return designs
+
+
+def _module_names(source, label):
+    """Module names of a design source (compile-light: parse only)."""
+    from ..pipeline import Pipeline
+
+    build = Pipeline().compile_text(source, filename=label)
+    return list(build.module_names)
+
+
+def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
+    if not isinstance(entries, list) or not entries:
+        raise EclError('farm spec %s: "jobs" must be a non-empty list' % spec_path)
+    jobs: List[SimJob] = []
+    index = 0
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise EclError(
+                "farm spec %s: jobs[%d] must be an object" % (spec_path, position)
+            )
+        label = entry.get("design")
+        if label not in designs:
+            raise EclError(
+                "farm spec %s: jobs[%d] names unknown design %r"
+                % (spec_path, position, label)
+            )
+        modules = entry.get("modules") or _module_names(designs[label], label)
+        engines = entry.get("engines") or ["efsm"]
+        stimulus = StimulusSpec.random(
+            length=int(entry.get("length", 32)),
+            present_prob=float(entry.get("present_prob", 0.5)),
+            value_range=tuple(entry.get("value_range", (0, 255))),
+            salt=int(entry.get("seed", 0)),
+        )
+        tasks = _task_specs(entry.get("tasks"))
+        for module in modules:
+            for engine in engines:
+                for _ in range(int(entry.get("traces", 1))):
+                    jobs.append(
+                        SimJob(
+                            design=label,
+                            module=module,
+                            engine=engine,
+                            stimulus=stimulus,
+                            horizon=int(entry.get("horizon", 0)),
+                            index=index,
+                            record_vcd=bool(entry.get("vcd", False)),
+                            tasks=tasks,
+                        )
+                    )
+                    index += 1
+    return jobs
+
+
+def _task_specs(section) -> Tuple[tuple, ...]:
+    if not section:
+        return ()
+    tasks = []
+    for item in section:
+        name, module = item[0], item[1]
+        priority = int(item[2]) if len(item) > 2 else 1
+        if len(item) > 3:
+            bindings = tuple(
+                sorted(
+                    (str(formal), str(network))
+                    for formal, network in dict(item[3]).items()
+                )
+            )
+            tasks.append((str(name), str(module), priority, bindings))
+        else:
+            tasks.append((str(name), str(module), priority))
+    return tuple(tasks)

@@ -1,0 +1,213 @@
+"""Worker-side execution: one process, one compiled-module cache.
+
+:class:`WorkerState` is what each farm worker process holds: the batch's
+design sources, a lazily-populated per-design
+:class:`~repro.pipeline.pipeline.DesignBuild` (so each design is
+compiled *once per worker* no matter how many of its jobs land there),
+and the process's handle on the shared :class:`TraceLedger` directory.
+
+The module-level :func:`initialize` / :func:`run_chunk` pair is the
+``ProcessPoolExecutor`` surface: ``initialize`` runs once per worker
+(as the pool initializer), ``run_chunk`` executes a whole list of jobs
+per task so per-dispatch pickling overhead amortizes across the chunk.
+The same :class:`WorkerState` also runs inline (``workers<=1``), which
+is both the serial baseline the throughput benchmark compares against
+and the low-latency path for small batches.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from time import perf_counter
+from typing import Dict, Optional
+
+from ..errors import EclError
+from ..pipeline import ArtifactCache, Pipeline
+from ..pipeline.stages import CompileOptions
+from .engines import build_engine, compare_records
+from .jobs import (
+    STATUS_DIVERGED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TERMINATED,
+    SimResult,
+)
+from .ledger import TraceLedger
+
+
+class WorkerState:
+    """Everything one worker process caches across its jobs."""
+
+    def __init__(self, designs, options=None, ledger_root=None):
+        #: design label -> ECL source text
+        self.designs = dict(designs)
+        self.options = options if options is not None else CompileOptions()
+        self.pipeline = Pipeline(options=self.options, cache=ArtifactCache.memory())
+        self.ledger = TraceLedger(ledger_root) if ledger_root else None
+        self._builds: Dict[str, object] = {}
+
+    # -- compiled-design cache -----------------------------------------
+
+    def build(self, design_label):
+        """The (cached) DesignBuild for one batch design."""
+        build = self._builds.get(design_label)
+        if build is None:
+            try:
+                source = self.designs[design_label]
+            except KeyError:
+                raise EclError(
+                    "batch has no design labelled %r (designs: %s)"
+                    % (design_label, ", ".join(sorted(self.designs)) or "none")
+                )
+            build = self.pipeline.compile_text(source, filename=design_label)
+            self._builds[design_label] = build
+        return build
+
+    def handles(self, design_label):
+        """``module_name -> ModuleHandle`` provider for one design."""
+        build = self.build(design_label)
+        return lambda module_name: build.module(module_name)
+
+    # -- job execution -------------------------------------------------
+
+    def run_job(self, job) -> SimResult:
+        """Execute one job to completion; never raises on job failure —
+        errors become ``status="error"`` results."""
+        result = SimResult(
+            job_id=job.job_id,
+            design=job.design,
+            module=job.module,
+            engine=job.engine,
+            index=job.index,
+            worker_pid=os.getpid(),
+        )
+        started = perf_counter()
+        try:
+            if job.engine == "equivalence":
+                records, status, divergence = self._run_equivalence(job)
+                result.divergence = divergence
+            else:
+                records, status = self._run_single(job)
+            result.status = status
+            result.instants = len(records)
+            result.emitted_events = sum(len(r["emitted"]) for r in records)
+            if self.ledger is not None:
+                vcd_text = self._render_vcd(job, records)
+                result.trace_digest, result.trace_path = self.ledger.put(
+                    job, records, vcd_text=vcd_text
+                )
+        except EclError as error:
+            result.status = STATUS_ERROR
+            result.error = str(error)
+        except Exception:
+            result.status = STATUS_ERROR
+            result.error = traceback.format_exc(limit=4)
+        result.elapsed = perf_counter() - started
+        return result
+
+    def _stimulus(self, job, engine):
+        instants = job.stimulus.materialize(engine.input_alphabet(), job.seed)
+        budget = job.instant_budget
+        while len(instants) < budget:
+            instants.append({})
+        return instants[:budget]
+
+    def _run_single(self, job):
+        engine = build_engine(job.engine, self.handles(job.design), job)
+        records = []
+        status = STATUS_OK
+        for instant in self._stimulus(job, engine):
+            records.append(engine.step(instant))
+            if engine.terminated:
+                status = STATUS_TERMINATED
+                break
+        return records, status
+
+    def _run_equivalence(self, job):
+        """Interpreter and EFSM in lockstep on one stimulus; the EFSM's
+        records are what gets persisted (they are the implementation
+        under test)."""
+        handles = self.handles(job.design)
+        reference = build_engine("interp", handles, job)
+        candidate = build_engine("efsm", handles, job)
+        records = []
+        status = STATUS_OK
+        divergence = None
+        for instant_no, instant in enumerate(self._stimulus(job, candidate)):
+            expected = reference.step(instant)
+            actual = candidate.step(instant)
+            records.append(actual)
+            mismatch = compare_records(expected, actual)
+            if mismatch is None and reference.terminated != candidate.terminated:
+                mismatch = "interp terminated=%r, efsm terminated=%r" % (
+                    reference.terminated,
+                    candidate.terminated,
+                )
+            if mismatch is not None:
+                status = STATUS_DIVERGED
+                divergence = "instant %d (inputs %r): interp vs efsm %s" % (
+                    instant_no,
+                    instant,
+                    mismatch,
+                )
+                break
+            if candidate.terminated:
+                status = STATUS_TERMINATED
+                break
+        return records, status, divergence
+
+    def _render_vcd(self, job, records) -> Optional[str]:
+        """Replay the records through a VcdRecorder when asked to."""
+        if not job.record_vcd or job.engine == "rtos":
+            return None
+        from ..runtime.vcd import VcdRecorder
+
+        build = self.build(job.design)
+        kernel = build.module(job.module).kernel()
+        recorder = VcdRecorder(kernel.name)
+        for param in kernel.params:
+            recorder.declare(param.name, param.type)
+        for record in records:
+            present = set(record["inputs"]) | set(record["emitted"])
+            merged = dict(record["inputs"])
+            merged.update(record["values"])
+            values = {
+                name: value
+                for name, value in merged.items()
+                if value is not None and not isinstance(value, str)
+            }
+            recorder.sample(inputs=present, values=values)
+        return recorder.render()
+
+
+# ----------------------------------------------------------------------
+# ProcessPoolExecutor surface (module-level, so it pickles by name).
+
+_STATE: Optional[WorkerState] = None
+
+
+def adopt(state):
+    """Install ``state`` as this process's worker state *before* the
+    pool forks: on fork-based platforms every worker then inherits the
+    parent's already-compiled designs copy-on-write, so no worker ever
+    re-runs the compiler.  Spawn-based platforms ignore this (the
+    module global does not travel) and fall back to compiling in
+    :func:`initialize`."""
+    global _STATE
+    _STATE = state
+
+
+def initialize(designs, options, ledger_root):
+    """Pool initializer: reuse a fork-inherited state if present,
+    otherwise build this worker's own exactly once."""
+    global _STATE
+    if _STATE is None:
+        _STATE = WorkerState(designs, options=options, ledger_root=ledger_root)
+
+
+def run_chunk(jobs):
+    """Execute one chunk of jobs in this worker; returns SimResults."""
+    if _STATE is None:
+        raise RuntimeError("farm worker used before initialize()")
+    return [_STATE.run_job(job) for job in jobs]

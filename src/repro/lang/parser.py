@@ -21,7 +21,7 @@ from ..errors import ParseError, ScopeError
 from . import ast
 from .lexer import tokenize
 from .preprocessor import preprocess
-from .tokens import Token, TokenKind
+from .tokens import TokenKind
 from .types import (
     ArrayType,
     PURE,

@@ -13,7 +13,7 @@ simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..errors import TypeError_
 

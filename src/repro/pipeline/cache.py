@@ -22,7 +22,7 @@ import pickle
 import tempfile
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .artifacts import Artifact, ArtifactKey

@@ -30,7 +30,7 @@ import threading
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..errors import CodegenError, CompileError, EclError
 from ..runtime.reactor import Reactor

@@ -26,7 +26,7 @@ import hashlib
 import importlib
 import inspect
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
 from ..errors import CompileError

@@ -23,8 +23,7 @@ reported separately, as Table 1 does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
 
 from ..errors import RtosError
 
@@ -95,8 +94,18 @@ class RtosKernel:
                 task.deliver(signal, value)
                 delivered = True
         if not delivered:
-            raise RtosError("no task consumes signal %r" % signal)
+            raise RtosError(
+                "no task consumes signal %r (consumed signals: %s)"
+                % (signal, ", ".join(self.input_signals()) or "none"))
         self.stats.posts += 1
+
+    def input_signals(self):
+        """Network signal names some task consumes (sorted) — the
+        kernel's environment-facing input alphabet."""
+        names = set()
+        for task in self.tasks:
+            names.update(task.consumed_signals())
+        return sorted(names)
 
     def run_until_idle(self, max_dispatches=100000):
         """Run ready tasks (highest priority first) to quiescence.

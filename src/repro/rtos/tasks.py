@@ -10,8 +10,6 @@ one synchronous reaction over them — the CFSM execution model of [1].
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
 
 from ..errors import RtosError
 from ..lang.types import PureType
@@ -52,6 +50,29 @@ class RtosTask:
 
     def accepts(self, network_signal):
         return network_signal in self._by_network
+
+    def consumed_signals(self):
+        """Network signal names this task's inputs are bound to."""
+        return list(self._by_network.keys())
+
+    def produced_signals(self):
+        """Network signal names this task's outputs are bound to."""
+        return list(self._output_names.values())
+
+    def input_alphabet(self):
+        """``(network_name, is_pure)`` per input carrier (sorted) —
+        what a stimulus generator may post at this task.  Inputs whose
+        value type is an aggregate are omitted (no scalar stimulus
+        can be synthesized for them)."""
+        alphabet = []
+        for network, formal in sorted(self._by_network.items()):
+            pure = isinstance(self._inputs[formal], EventFlag)
+            if not pure:
+                slot = self.reactor.signals.get(formal)
+                if slot is not None and not slot.type.is_scalar():
+                    continue
+            alphabet.append((network, pure))
+        return alphabet
 
     def deliver(self, network_signal, value=None):
         """Post an event/value into this task's input carrier."""

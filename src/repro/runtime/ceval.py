@@ -21,7 +21,6 @@ from ..errors import EvalError
 from ..lang import ast
 from ..lang.types import (
     ArrayType,
-    BOOL,
     BoolType,
     CHAR,
     INT,

@@ -22,7 +22,7 @@ C's indeterminate locals) so simulations are reproducible.
 from __future__ import annotations
 
 from ..errors import EvalError
-from ..lang.types import ArrayType, BoolType, IntType, PointerType, Type
+from ..lang.types import ArrayType, BoolType, IntType, PointerType
 
 #: Addresses start above zero so that 0 can serve as the null pointer.
 _BASE_ADDRESS = 16

@@ -14,7 +14,7 @@ delay, as in a registered hardware path).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from ..errors import EclError
 

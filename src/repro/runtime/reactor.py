@@ -81,13 +81,8 @@ class Reactor:
         for name in values:
             present.add(name)
         for name in present:
-            slot = self.signals.get(name)
-            if slot is None:
-                raise EvalError("module %s has no signal %r"
-                                % (self.module.name, name))
-            if slot.direction != "input":
-                raise EvalError("signal %r is not an input of module %s"
-                                % (name, self.module.name))
+            self.signals.require_input(name, self.module.name,
+                                       value=values.get(name))
         self.env.count("react")
         result = self._runner.step(
             inputs=[n for n in present if n not in values], values=values)
@@ -108,6 +103,10 @@ class Reactor:
             delta_requested=result.delta_requested,
             rounds=result.rounds,
         )
+
+    def input_signals(self):
+        """Names of the module's declared input signals (sorted)."""
+        return sorted(slot.name for slot in self.signals.inputs())
 
     def signal_value(self, name):
         """Peek the persistent value of any signal (testing aid)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..errors import EvalError
 from ..lang.types import PureType
-from .memory import LValue, Variable
+from .memory import Variable
 
 
 class SignalSlot:
@@ -98,6 +98,27 @@ class SignalTable:
 
     def get(self, name):
         return self._slots.get(name)
+
+    def require_input(self, name, module_name, value=None):
+        """The slot for input ``name``, or a diagnostic
+        :class:`EvalError` naming the module and its declared inputs.
+
+        Passing a ``value`` for a pure signal is rejected here too, so
+        every stimulus front end (CLI traces, the simulation farm)
+        reports the same message.
+        """
+        slot = self._slots.get(name)
+        if slot is None or slot.direction != "input":
+            inputs = ", ".join(sorted(s.name for s in self.inputs())) \
+                or "none"
+            raise EvalError(
+                "module %s does not declare input signal %r "
+                "(inputs: %s)" % (module_name, name, inputs))
+        if value is not None and slot.is_pure:
+            raise EvalError(
+                "input signal %r of module %s is pure and carries "
+                "no value" % (name, module_name))
+        return slot
 
     def __getitem__(self, name):
         slot = self._slots.get(name)

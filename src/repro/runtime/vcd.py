@@ -9,8 +9,8 @@ additionally gets a vector holding the last emitted value.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from ..lang.types import PureType
 

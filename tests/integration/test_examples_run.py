@@ -6,7 +6,6 @@ execute without errors and print its headline results.
 
 import os
 import runpy
-import sys
 
 import pytest
 

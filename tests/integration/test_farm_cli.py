@@ -1,0 +1,141 @@
+"""Integration: ``eclc farm run`` end to end.
+
+Covers the PR's acceptance bar: one invocation executing 100+ jobs
+across two designs and several engines, producing a FarmReport with
+per-job statuses and a persisted TraceLedger.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.designs import AUDIO_BUFFER_ECL, PROTOCOL_STACK_ECL
+from repro.farm import TraceLedger
+
+
+@pytest.fixture(scope="module")
+def design_files(tmp_path_factory):
+    root = tmp_path_factory.mktemp("farm-designs")
+    stack = root / "stack.ecl"
+    stack.write_text(PROTOCOL_STACK_ECL)
+    buffer_ = root / "buffer.ecl"
+    buffer_.write_text(AUDIO_BUFFER_ECL)
+    return str(stack), str(buffer_)
+
+
+class TestFarmRunAcceptance:
+    def test_hundred_jobs_two_designs_three_engines(self, design_files,
+                                                    tmp_path, capsys):
+        stack, buffer_ = design_files
+        ledger_dir = str(tmp_path / "ledger")
+        report_path = str(tmp_path / "report.json")
+        # 2 modules x 3 engines x 17 traces = 102 jobs, one invocation.
+        assert main([
+            "farm", "run", stack, buffer_,
+            "-m", "toplevel", "-m", "audio_buffer",
+            "--engines", "efsm,interp,equivalence",
+            "--traces", "17", "--length", "8",
+            "-j", "1", "--ledger", ledger_dir,
+            "--report", report_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "102 job(s) over 2 design(s)" in out
+        assert "reactions/sec" in out
+
+        data = json.load(open(report_path))
+        assert data["total"] == 102
+        assert data["ok"] is True
+        assert data["status_counts"] == {"ok": 102}
+        assert {row["engine"] for row in data["results"]} == \
+            {"efsm", "interp", "equivalence"}
+        assert all(row["status"] == "ok" for row in data["results"])
+        assert data["reactions"] == 102 * 8
+
+        ledger = TraceLedger(ledger_dir)
+        entries = ledger.entries()
+        assert len(entries) == 102
+        header, records = ledger.load(entries[0]["trace"])
+        assert header["instants"] == len(records) == 8
+
+    def test_spec_file_drives_batch(self, design_files, tmp_path,
+                                    capsys):
+        stack, buffer_ = design_files
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps({
+            "workers": 1,
+            "ledger": "spec-traces",
+            "designs": {"stack": stack, "buffer": buffer_},
+            "jobs": [
+                {"design": "stack", "modules": ["toplevel"],
+                 "engines": ["efsm", "equivalence"],
+                 "traces": 3, "length": 6, "seed": 11},
+                {"design": "buffer", "modules": ["audio_buffer"],
+                 "engines": ["rtos"], "traces": 2, "length": 6},
+                {"design": "stack", "modules": ["toplevel"],
+                 "engines": ["rtos"], "traces": 1, "length": 6,
+                 "tasks": [
+                     ["assemble", "assemble", 3,
+                      {"outpkt": "packet"}],
+                     ["prochdr", "prochdr", 2, {"inpkt": "packet"}],
+                     ["checkcrc", "checkcrc", 1,
+                      {"inpkt": "packet"}]]},
+            ],
+        }))
+        assert main(["farm", "run", "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "9 job(s) over 2 design(s)" in out
+        assert os.path.isdir(str(tmp_path / "spec-traces"))
+
+    def test_exit_one_on_failing_job(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ecl"
+        bad.write_text("""
+module fine (input pure go, output pure done)
+{
+    while (1) { await (go); emit (done); }
+}
+""")
+        # Restricting to a module that exists plus asking a second
+        # design-less module is fine; instead force a runtime error by
+        # requesting a module that does not exist via the spec path.
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "designs": {"bad": str(bad)},
+            "workers": 1,
+            "jobs": [{"design": "bad", "modules": ["ghost"],
+                      "engines": ["efsm"], "traces": 1, "length": 2}],
+        }))
+        assert main(["farm", "run", "--spec", str(spec)]) == 1
+        out = capsys.readouterr().out
+        assert "error=1" in out and "no module named" in out
+
+    def test_needs_files_or_spec(self, capsys):
+        assert main(["farm", "run"]) == 2
+        assert "needs design files or --spec" in \
+            capsys.readouterr().err
+
+    def test_bad_spec_is_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "broken.json"
+        spec.write_text("{not json")
+        assert main(["farm", "run", "--spec", str(spec)]) == 1
+        assert "bad farm spec" in capsys.readouterr().err
+
+    def test_determinism_same_batch_same_traces(self, design_files,
+                                                tmp_path, capsys):
+        """Re-running an identical batch reproduces identical trace
+        digests — the deterministic-seed contract."""
+        stack, _ = design_files
+        digests = []
+        for round_ in ("a", "b"):
+            ledger_dir = str(tmp_path / ("ledger-" + round_))
+            assert main([
+                "farm", "run", stack, "-m", "toplevel",
+                "--engines", "efsm", "--traces", "5", "--length", "6",
+                "-j", "1", "--ledger", ledger_dir,
+            ]) == 0
+            capsys.readouterr()
+            digests.append([entry["trace"] for entry
+                            in TraceLedger(ledger_dir).entries()])
+        assert digests[0] == digests[1]
+        assert len(set(digests[0])) == 5   # distinct traces per job

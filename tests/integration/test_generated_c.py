@@ -8,7 +8,6 @@ value.  Modules relying on the aggregate-to-integer cast extension are
 excluded (C pointer-decay semantics differ; see DESIGN.md §4).
 """
 
-import os
 import shutil
 import subprocess
 

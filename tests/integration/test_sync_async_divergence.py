@@ -10,7 +10,6 @@ divergence: lost events are counted by the CFSM one-place buffers, and
 the reset skew is observable.
 """
 
-import pytest
 
 from repro.core import EclCompiler
 from repro.rtos import RtosKernel, RtosTask

@@ -4,14 +4,13 @@ Invariants of the byte-accurate layout engine and the evaluator's
 C arithmetic, checked on randomly generated types and values.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.lang.types import (
     ArrayType,
     BOOL,
     CHAR,
     INT,
-    IntType,
     SHORT,
     StructType,
     UCHAR,

@@ -12,7 +12,6 @@ signal).  For every generated module:
   the hand-written designs.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import compare_on_trace

@@ -13,7 +13,6 @@ instantaneous) and run on random input traces.  The laws:
 
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import CausalityError
 from repro.esterel import KernelRunner, kernel as k
 from repro.lang import PURE, ast
 from repro.runtime import Env, SignalSlot, SignalTable

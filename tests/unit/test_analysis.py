@@ -1,6 +1,5 @@
 """Unit tests for the FSM-level analysis tools."""
 
-import pytest
 
 from repro.analysis import (
     check_emission_implies,

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.errors import EvalError
-from repro.lang import BOOL, INT, UCHAR, parse_text
-from repro.lang.types import UINT
+from repro.lang import BOOL, INT, parse_text
 from repro.runtime import (
     AddressSpace,
     BuiltinFunction,

@@ -175,7 +175,7 @@ class TestSimulate:
                 ("$timescale 1 ns $end", "$timescale"),
                 ("$enddefinitions $end", "$enddefinitions")):
             assert ref_line in reference
-            assert any(l.startswith(line) for l in text.splitlines())
+            assert any(ln.startswith(line) for ln in text.splitlines())
         assert "$scope module echo $end" in text
         assert "$var wire 1" in text and "ping" in text
         assert "$dumpvars" in text
@@ -188,6 +188,40 @@ class TestSimulate:
         assert main(["simulate", echo_file, "-m", "echo",
                      "--trace", str(trace)]) == 1
         assert "bad value" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("engine", ["efsm", "interp"])
+    def test_undeclared_signal_is_located_diagnostic(self, echo_file,
+                                                     tmp_path, capsys,
+                                                     engine):
+        """A stimulus referencing a signal the module does not declare
+        must exit non-zero with a trace-located message, not a bare
+        engine error (let alone a KeyError)."""
+        trace = tmp_path / "trace.txt"
+        trace.write_text("ping\nnosuch\n")
+        assert main(["simulate", echo_file, "-m", "echo",
+                     "--engine", engine, "--trace", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "trace line 2" in err
+        assert "does not declare input signal 'nosuch'" in err
+        assert "inputs: ping" in err
+
+    def test_output_signal_in_trace_rejected(self, echo_file, tmp_path,
+                                             capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("pong\n")
+        assert main(["simulate", echo_file, "-m", "echo",
+                     "--trace", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "trace line 1" in err and "'pong'" in err
+
+    def test_value_on_pure_signal_rejected(self, echo_file, tmp_path,
+                                           capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("ping=3\n")
+        assert main(["simulate", echo_file, "-m", "echo",
+                     "--trace", str(trace)]) == 1
+        err = capsys.readouterr().err
+        assert "trace line 1" in err and "pure" in err
 
 
 class TestDot:

@@ -1,6 +1,5 @@
 """Unit tests for the packaged paper designs."""
 
-import pytest
 
 from repro.core import EclCompiler
 from repro.designs import (

@@ -1,6 +1,5 @@
 """Unit tests for the EFSM optimization passes."""
 
-import pytest
 
 from repro.ecl import translate_module
 from repro.efsm import (
@@ -8,7 +7,6 @@ from repro.efsm import (
     Efsm,
     Leaf,
     State,
-    TERMINATED,
     TestSignal,
     merge_equivalent_states,
     optimize,

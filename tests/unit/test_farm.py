@@ -1,0 +1,292 @@
+"""Unit tests for the simulation farm: jobs, engines, workers, farm."""
+
+import pytest
+
+from repro.errors import EclError
+from repro.farm import (
+    ENGINE_NAMES,
+    SimJob,
+    SimulationFarm,
+    StimulusSpec,
+    WorkerState,
+    expand_jobs,
+)
+from repro.farm.engines import build_engine, compare_records, make_record
+from repro.farm.farm import FarmReport
+from repro.farm.jobs import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TERMINATED,
+    SimResult,
+)
+
+ECHO = """
+module echo (input pure ping, output pure pong)
+{
+    while (1) { await (ping); emit (pong); }
+}
+"""
+
+ONCE = """
+module once (input pure go, output pure done)
+{
+    await (go);
+    emit (done);
+}
+"""
+
+COUNTER = """
+module counter (input pure tick, input unsigned char load,
+                output int total)
+{
+    int n;
+    n = 0;
+    while (1) {
+        await (tick | load);
+        present (load) { n = load; } else { n = n + 1; }
+        emit_v (total, n);
+    }
+}
+"""
+
+DESIGNS = {"echo": ECHO, "once": ONCE, "counter": COUNTER}
+
+
+@pytest.fixture(scope="module")
+def state():
+    return WorkerState(DESIGNS)
+
+
+def job(module="echo", design=None, engine="efsm", length=8, index=0,
+        **kwargs):
+    return SimJob(design=design or module, module=module, engine=engine,
+                  stimulus=StimulusSpec.random(length=length),
+                  index=index, **kwargs)
+
+
+class TestJobModel:
+    def test_job_id_is_deterministic_and_index_sensitive(self):
+        a, b = job(index=1), job(index=1)
+        assert a.job_id == b.job_id and a.seed == b.seed
+        assert job(index=2).job_id != a.job_id
+        assert job(index=2).seed != a.seed
+
+    def test_salt_changes_identity(self):
+        plain = job()
+        salted = SimJob(design="echo", module="echo",
+                        stimulus=StimulusSpec.random(length=8, salt=5))
+        assert plain.job_id != salted.job_id
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(EclError, match="unknown engine"):
+            job(engine="quantum")
+
+    def test_random_stimulus_is_seed_deterministic(self):
+        spec = StimulusSpec.random(length=20)
+        inputs = [("ping", True), ("load", False)]
+        assert spec.materialize(inputs, 42) == \
+            spec.materialize(inputs, 42)
+        assert spec.materialize(inputs, 42) != \
+            spec.materialize(inputs, 43)
+        for instant in spec.materialize(inputs, 42):
+            for name, value in instant.items():
+                if name == "ping":
+                    assert value is None
+                else:
+                    assert 0 <= value <= 255
+
+    def test_explicit_stimulus_replays_verbatim(self):
+        instants = [{"ping": None}, {}, {"load": 7}]
+        spec = StimulusSpec.explicit(instants)
+        assert spec.materialize([("ping", True)], 123) == instants
+        assert "explicit:3" in spec.describe()
+
+    def test_expand_jobs_matrix_and_indices(self):
+        jobs = expand_jobs([("echo", "echo"), ("once", "once")],
+                           engines=("efsm", "interp"), traces=3)
+        assert len(jobs) == 2 * 2 * 3
+        assert [j.index for j in jobs] == list(range(12))
+        assert len({j.job_id for j in jobs}) == len(jobs)
+        engines = {j.engine for j in jobs}
+        assert engines == {"efsm", "interp"}
+
+
+class TestEngines:
+    def test_every_declared_engine_is_registered(self):
+        for name in ENGINE_NAMES:
+            if name != "equivalence":
+                build_engine(name, WorkerState(DESIGNS).handles("echo"),
+                             job())
+
+    def test_unknown_engine_name(self, state):
+        with pytest.raises(EclError, match="unknown engine"):
+            build_engine("nope", state.handles("echo"), job())
+
+    def test_step_records_are_json_plain(self, state):
+        engine = build_engine("efsm", state.handles("echo"), job())
+        # Instant 1 is the start-up instant (non-immediate await), so
+        # the first ping only arms the loop; the second one answers.
+        assert engine.step({"ping": None})["emitted"] == []
+        record = engine.step({"ping": None})
+        assert record == {"inputs": {"ping": None},
+                          "emitted": ["pong"], "values": {}}
+
+    def test_interp_and_efsm_agree_on_counter(self, state):
+        j = job("counter", length=12)
+        interp = build_engine("interp", state.handles("counter"), j)
+        efsm = build_engine("efsm", state.handles("counter"), j)
+        stimulus = j.stimulus.materialize(efsm.input_alphabet(), j.seed)
+        for instant in stimulus:
+            assert compare_records(interp.step(instant),
+                                   efsm.step(instant)) is None
+
+    def test_rtos_engine_runs_single_task(self, state):
+        engine = build_engine("rtos", state.handles("echo"), job())
+        record = engine.step({"ping": None})
+        assert record["emitted"] == ["pong"]
+        assert engine.input_alphabet() == [("ping", True)]
+
+    def test_aggregate_inputs_excluded_from_random_alphabet(self):
+        """checkcrc's ``inpkt`` input is a union: random int stimulus
+        must never drive it (regression: is_scalar is a method)."""
+        from repro.designs import PROTOCOL_STACK_ECL
+
+        stack_state = WorkerState({"stack": PROTOCOL_STACK_ECL})
+        for engine_name in ("efsm", "rtos"):
+            engine = build_engine(
+                engine_name,
+                stack_state.handles("stack"),
+                job("checkcrc", design="stack", engine=engine_name),
+            )
+            names = [name for name, _pure in engine.input_alphabet()]
+            assert "inpkt" not in names
+            assert "reset" in names
+        result = stack_state.run_job(
+            job("checkcrc", design="stack", length=6))
+        assert result.ok, result.error
+
+    def test_make_record_hexes_bytes(self):
+        record = make_record({"a": b"\x01\x02"}, {"out"},
+                             {"out": b"\xff"})
+        assert record["inputs"]["a"] == "0x0102"
+        assert record["values"]["out"] == "0xff"
+
+    def test_compare_records_reports_mismatch(self):
+        left = make_record({}, {"a"}, {})
+        right = make_record({}, {"b"}, {})
+        assert "['a']" in compare_records(left, right)
+        assert compare_records(left, left) is None
+
+
+class TestWorkerState:
+    def test_run_job_ok(self, state):
+        result = state.run_job(job(length=10))
+        assert result.status == STATUS_OK
+        assert result.instants == 10
+        assert result.ok
+
+    def test_run_job_terminated_early(self, state):
+        result = state.run_job(SimJob(
+            design="once", module="once",
+            stimulus=StimulusSpec.explicit(
+                [{"go": None}, {"go": None}, {}])))
+        assert result.status == STATUS_TERMINATED
+        assert result.instants == 2   # start-up instant + the reaction
+        assert result.ok
+
+    def test_horizon_pads_short_stimulus(self, state):
+        result = state.run_job(SimJob(
+            design="echo", module="echo", horizon=9,
+            stimulus=StimulusSpec.explicit([{"ping": None}])))
+        assert result.instants == 9
+
+    def test_unknown_module_is_job_error(self, state):
+        result = state.run_job(job("nope", design="echo"))
+        assert result.status == STATUS_ERROR
+        assert "no module named" in result.error
+        assert not result.ok
+
+    def test_unknown_design_is_job_error(self, state):
+        result = state.run_job(job("echo", design="ghost"))
+        assert result.status == STATUS_ERROR
+        assert "no design labelled" in result.error
+
+    def test_bad_explicit_signal_is_job_error(self, state):
+        result = state.run_job(SimJob(
+            design="echo", module="echo",
+            stimulus=StimulusSpec.explicit([{"bogus": None}])))
+        assert result.status == STATUS_ERROR
+        assert "does not declare input signal" in result.error
+
+    def test_equivalence_mode_agrees(self, state):
+        result = state.run_job(job("counter", engine="equivalence",
+                                   length=16))
+        assert result.status == STATUS_OK
+        assert result.divergence is None
+
+    def test_design_compiled_once_per_worker(self):
+        state = WorkerState(DESIGNS)
+        build_a = state.build("echo")
+        state.run_job(job(length=2))
+        state.run_job(job(length=2, index=1))
+        assert state.build("echo") is build_a
+
+
+class TestSimulationFarm:
+    def test_inline_run_collects_ordered_results(self, tmp_path):
+        farm = SimulationFarm(DESIGNS, workers=1,
+                              ledger_root=str(tmp_path / "ledger"))
+        jobs = expand_jobs([("echo", "echo"), ("counter", "counter")],
+                           engines=("efsm", "interp"), traces=2,
+                           length=6)
+        report = farm.run(jobs)
+        assert report.total == 8 and report.ok
+        assert [r.index for r in report.results] == list(range(8))
+        assert report.reactions == 48
+        assert report.reactions_per_sec > 0
+        assert report.status_counts() == {"ok": 8}
+        assert "8 job(s)" in report.summary()
+        assert all(r.trace_digest for r in report.results)
+
+    def test_unknown_design_raises_before_dispatch(self):
+        farm = SimulationFarm({"echo": ECHO})
+        with pytest.raises(EclError, match="unknown design"):
+            farm.run([job(design="ghost")])
+
+    def test_job_error_does_not_abort_batch(self):
+        farm = SimulationFarm(DESIGNS, workers=1)
+        report = farm.run([job(length=3),
+                           job("nope", design="echo", index=1)])
+        assert not report.ok
+        assert report.status_counts() == {"error": 1, "ok": 1}
+        assert len(report.errors) == 1
+
+    def test_chunking_groups_by_design(self):
+        farm = SimulationFarm(DESIGNS, chunk_size=3)
+        jobs = expand_jobs([("echo", "echo"), ("once", "once")],
+                           traces=4)
+        chunks = farm._chunk(jobs, workers=2)
+        assert all(len({j.design for j in chunk}) == 1
+                   for chunk in chunks)
+        assert sorted(j.index for chunk in chunks for j in chunk) == \
+            list(range(8))
+        assert max(len(chunk) for chunk in chunks) <= 3
+
+    def test_process_pool_run(self, tmp_path):
+        farm = SimulationFarm(DESIGNS, workers=2, chunk_size=2,
+                              ledger_root=str(tmp_path / "ledger"))
+        jobs = expand_jobs([("echo", "echo"), ("once", "once")],
+                           traces=3, length=4)
+        report = farm.run(jobs)
+        assert report.ok and report.total == 6
+        assert report.workers == 2
+        assert all(r.worker_pid for r in report.results)
+
+    def test_report_as_dict_roundtrips_to_json(self):
+        import json
+        report = FarmReport(results=[SimResult(
+            job_id="x", design="d", module="m", engine="efsm",
+            index=0, instants=4)], elapsed=0.5, designs=1)
+        data = json.loads(json.dumps(report.as_dict()))
+        assert data["total"] == 1
+        assert data["reactions"] == 4

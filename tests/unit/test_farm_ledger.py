@@ -1,0 +1,94 @@
+"""Unit tests for the content-addressed TraceLedger."""
+
+import json
+import os
+
+import pytest
+
+from repro.farm import SimJob, StimulusSpec, TraceLedger
+from repro.farm.engines import make_record
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return TraceLedger(str(tmp_path / "traces"))
+
+
+def sample_job(index=0, **kwargs):
+    return SimJob(design="d", module="m",
+                  stimulus=StimulusSpec.random(length=2), index=index,
+                  **kwargs)
+
+
+def sample_records():
+    return [make_record({"ping": None}, {"pong"}, {}),
+            make_record({}, set(), {})]
+
+
+class TestTraceLedger:
+    def test_put_then_load_roundtrips(self, ledger):
+        job = sample_job()
+        digest, path = ledger.put(job, sample_records())
+        assert os.path.exists(path)
+        header, records = ledger.load(digest)
+        assert header["job_id"] == job.job_id
+        assert header["instants"] == 2
+        assert records == sample_records()
+
+    def test_content_addressing_dedupes_objects(self, ledger):
+        digest_a, path_a = ledger.put(sample_job(), sample_records())
+        digest_b, path_b = ledger.put(sample_job(), sample_records())
+        assert digest_a == digest_b and path_a == path_b
+        # ... but the index keeps both runs.
+        assert len(ledger) == 2
+
+    def test_different_traces_get_different_addresses(self, ledger):
+        digest_a, _ = ledger.put(sample_job(), sample_records())
+        digest_b, _ = ledger.put(sample_job(index=1), sample_records())
+        assert digest_a != digest_b  # header includes the job identity
+
+    def test_index_records_are_jsonl(self, ledger):
+        ledger.put(sample_job(), sample_records())
+        index_path = os.path.join(ledger.root, "ledger.jsonl")
+        lines = [json.loads(line)
+                 for line in open(index_path) if line.strip()]
+        assert len(lines) == 1
+        assert lines[0]["design"] == "d"
+        assert lines[0]["trace"]
+
+    def test_find_returns_latest_entry_for_job(self, ledger):
+        job = sample_job()
+        assert ledger.find(job.job_id) is None
+        ledger.put(job, sample_records())
+        entry = ledger.find(job.job_id)
+        assert entry is not None and entry["module"] == "m"
+
+    def test_vcd_sidecar_written_once(self, ledger):
+        digest, path = ledger.put(sample_job(), sample_records(),
+                                  vcd_text="$date x $end\n")
+        vcd_path = path[:-len(".jsonl")] + ".vcd"
+        assert open(vcd_path).read().startswith("$date")
+
+    def test_objects_shard_by_digest_prefix(self, ledger):
+        digest, path = ledger.put(sample_job(), sample_records())
+        assert os.path.basename(os.path.dirname(path)) == digest[:2]
+
+    def test_record_vcd_flows_through_worker(self, tmp_path):
+        from repro.farm import WorkerState
+        source = """
+module echo (input pure ping, output pure pong)
+{
+    while (1) { await (ping); emit (pong); }
+}
+"""
+        state = WorkerState({"echo": source},
+                            ledger_root=str(tmp_path / "led"))
+        job = SimJob(design="echo", module="echo", record_vcd=True,
+                     stimulus=StimulusSpec.explicit(
+                         [{"ping": None}, {}]))
+        result = state.run_job(job)
+        assert result.ok and result.trace_path
+        vcd = result.trace_path[:-len(".jsonl")] + ".vcd"
+        text = open(vcd).read()
+        assert "$scope module echo $end" in text
+        assert "ping" in text and "pong" in text

@@ -1,6 +1,5 @@
 """Unit tests for kernel-term constructors and static analyses."""
 
-import pytest
 
 from repro.esterel import kernel as k
 from repro.lang import ast

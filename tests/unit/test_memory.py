@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import EvalError
 from repro.lang import ArrayType, CHAR, INT, StructType, UCHAR, UINT, UnionType
-from repro.runtime import AddressSpace, LValue, Variable
+from repro.runtime import AddressSpace, Variable
 from repro.runtime.memory import decode_scalar, encode_scalar
 
 

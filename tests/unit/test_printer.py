@@ -1,8 +1,6 @@
 """Unit tests for the C/ECL pretty-printer."""
 
-import pytest
 
-from repro.errors import CodegenError
 from repro.lang import (
     ArrayType,
     CHAR,

@@ -1,6 +1,5 @@
 """Unit tests for the reactive/data splitter (paper, Section 4)."""
 
-import pytest
 
 from repro.ecl import is_reactive, split_module
 from repro.lang import ast, parse_text

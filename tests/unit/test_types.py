@@ -8,7 +8,6 @@ from repro.lang import (
     BOOL,
     CHAR,
     INT,
-    IntType,
     PointerType,
     StructType,
     TypeTable,
@@ -17,7 +16,7 @@ from repro.lang import (
     UnionType,
     common_type,
 )
-from repro.lang.types import SHORT, USHORT
+from repro.lang.types import SHORT
 
 
 class TestIntTypes:
