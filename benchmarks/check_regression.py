@@ -1,13 +1,17 @@
 """CI benchmark-regression gate: current results vs committed baselines.
 
-Compares the two benchmark artifacts against their committed
-baselines and fails (exit 1) on a >2x regression:
+Compares the benchmark artifacts against their committed baselines
+and fails (exit 1) on a >2x regression:
 
 * ``BENCH_reaction.json`` (pytest-benchmark format): each benchmark's
   mean seconds must not exceed twice the baseline mean;
 * ``BENCH_farm.json`` (:mod:`benchmarks.bench_farm_throughput`):
   serial and farm reactions/sec must not drop below half the
-  baseline.
+  baseline;
+* ``BENCH_native.json`` (:mod:`benchmarks.bench_native_speed`): every
+  per-engine reactions/sec figure must not drop below half the
+  baseline, and the native engine must keep its >=3x margin over the
+  EFSM walker (the PR's acceptance floor, re-checked on every run).
 
 The factor-2 band absorbs runner-to-runner hardware noise while still
 catching the algorithmic regressions the gate exists for.  Baselines
@@ -75,6 +79,36 @@ def check_farm(current, baseline, failures):
                 "(baseline %.0f r/s)" % (side, rate, base_rate))
 
 
+#: The native engine must stay at least this much faster than the
+#: EFSM tree walker (mirrors bench_native_speed.SPEEDUP_FLOOR).
+NATIVE_SPEEDUP_FLOOR = 3.0
+
+
+def check_native(current, baseline, failures):
+    for label, base_entry in sorted(baseline["workloads"].items()):
+        entry = current["workloads"].get(label)
+        if entry is None:
+            failures.append("native: workload %r missing from current "
+                            "results" % label)
+            continue
+        for engine, base_rate in sorted(base_entry["engines"].items()):
+            rate = entry["engines"].get(engine, 0.0)
+            ratio = base_rate / max(1e-9, rate)
+            status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+            print("native    %-40s %8.0f r/s vs %8.0f r/s  (x%.2f)  %s"
+                  % ("%s/%s" % (label, engine), rate, base_rate, ratio,
+                     status))
+            if ratio > REGRESSION_FACTOR:
+                failures.append(
+                    "native: %s/%s dropped to %.0f r/s (baseline "
+                    "%.0f r/s)" % (label, engine, rate, base_rate))
+        speedup = entry.get("native_vs_efsm", 0.0)
+        if speedup < NATIVE_SPEEDUP_FLOOR:
+            failures.append(
+                "native: %s speedup over efsm is x%.2f (floor x%.1f)"
+                % (label, speedup, NATIVE_SPEEDUP_FLOOR))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=os.path.join(HERE, "out"))
@@ -85,6 +119,7 @@ def main(argv=None):
     pairs = [
         ("BENCH_reaction.json", check_reaction),
         ("BENCH_farm.json", check_farm),
+        ("BENCH_native.json", check_native),
     ]
     for filename, checker in pairs:
         current_path = os.path.join(args.out, filename)

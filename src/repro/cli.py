@@ -6,7 +6,7 @@ Subcommands::
     eclc compile design.ecl -m top --emit c -o outdir
     eclc build design.ecl -o outdir       # all modules, batched/parallel
     eclc simulate design.ecl -m top --trace stimuli.txt [--vcd out.vcd]
-    eclc farm run design.ecl [more.ecl] --engines efsm,interp --traces 25
+    eclc farm run design.ecl [more.ecl] --engines native,interp --traces 25
     eclc farm run --spec batch.json       # versioned simulation campaign
     eclc dot design.ecl -m top            # Graphviz to stdout
 
@@ -90,7 +90,7 @@ def _build_parser():
     simulate.add_argument("-m", "--module", required=True)
     simulate.add_argument("--trace", required=True)
     simulate.add_argument("--engine", default="efsm",
-                          choices=["efsm", "interp"])
+                          choices=["efsm", "native", "interp"])
     simulate.add_argument("--vcd", default=None, metavar="PATH",
                           help="dump the reaction trace as a VCD file")
     simulate.set_defaults(handler=_cmd_simulate)
@@ -108,8 +108,8 @@ def _build_parser():
                      help="restrict to this module (repeatable; "
                           "default: every module of every design)")
     run.add_argument("--engines", default="efsm",
-                     help="comma-separated engines (efsm, interp, "
-                          "rtos, equivalence)")
+                     help="comma-separated engines (efsm, native, "
+                          "interp, rtos, equivalence)")
     run.add_argument("--traces", type=int, default=1,
                      help="random traces per design x module x engine")
     run.add_argument("--length", type=int, default=32,

@@ -1,0 +1,97 @@
+"""Native back-end: emit the closure-compiled reaction code as files.
+
+Two files per module:
+
+* ``<name>_native.py`` — a standalone importable reactor module.  The
+  EFSM and its lowered :class:`~repro.runtime.native.NativeCode` bundle
+  are embedded (pickled, base64); ``reactor()`` binds a fresh
+  :class:`~repro.runtime.native.NativeReactor` without re-running the
+  lowerer.
+* ``<name>_reactions.py`` — the generated per-state reaction functions
+  as readable Python source (what :func:`compile_native` produced), for
+  inspection and review.
+
+Because this is a registered pipeline backend, the emitted sources are
+content-addressed in the :class:`~repro.pipeline.cache.ArtifactCache`:
+a warm build serves both files (and the lowering they embody) from the
+cache without touching the compiler at all.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+from ..runtime.native import compile_native
+
+_NATIVE_TEMPLATE = '''\
+"""Auto-generated native reactor for ECL module ``%(name)s``.
+
+Produced by the ``native`` backend of the repro-ecl pipeline.  The
+compiled EFSM and its lowered reaction code are embedded below
+(pickled, base64); loading requires the ``repro`` package on the
+import path.
+
+    from %(name)s_native import reactor
+    r = reactor()
+    out = r.react(inputs=["some_signal"])
+
+%(stats)s
+"""
+
+import base64
+import pickle
+
+_BLOB = (
+%(blob)s
+)
+
+
+def load_bundle():
+    """The embedded ``(efsm, native_code)`` pair."""
+    return pickle.loads(base64.b64decode(_BLOB))
+
+
+def reactor(counter=None, builtins=None):
+    """A fresh runnable :class:`repro.runtime.native.NativeReactor`."""
+    from repro.runtime.native import NativeReactor
+
+    efsm, code = load_bundle()
+    return NativeReactor(efsm, code=code, counter=counter,
+                         builtins=builtins)
+'''
+
+
+def generate_native(efsm, code=None):
+    """Render the EFSM as standalone native-reactor sources.
+
+    Returns ``{filename: text}`` with the runnable module and the
+    readable reaction functions.
+    """
+    if code is None:
+        code = compile_native(efsm)
+    encoded = base64.b64encode(pickle.dumps((efsm, code))).decode("ascii")
+    chunks = [encoded[i : i + 64] for i in range(0, len(encoded), 64)]
+    blob = "\n".join('    "%s"' % chunk for chunk in chunks)
+    runnable = _NATIVE_TEMPLATE % {
+        "name": efsm.name,
+        "blob": blob,
+        "stats": code.describe(),
+    }
+    return {
+        efsm.name + "_native.py": runnable,
+        efsm.name + "_reactions.py": code.source,
+    }
+
+
+from ..pipeline.registry import backend as _backend  # noqa: E402
+
+
+@_backend(
+    "native",
+    requires=("efsm",),
+    extensions=(".py",),
+    description="closure-compiled Python reactor (fastest software simulation)",
+)
+def _emit_native(build):
+    return generate_native(build.efsm)

@@ -63,9 +63,10 @@ class EfsmReactor:
         present.update(values)
         self.signals.new_instant()
         for name in present:
+            value = values.get(name)
             slot = self.signals.require_input(name, self.module.name,
-                                              value=values.get(name))
-            slot.set_input(values.get(name))
+                                              value=value)
+            slot.set_input(value)
         emitted = set()
         delta = False
         self.env.count("react")

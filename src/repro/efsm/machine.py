@@ -19,8 +19,13 @@ from ..lang.printer import Printer
 #: Leaf marker for "module terminated".
 TERMINATED = -1
 
+# Reaction-tree nodes are allocated in bulk (hundreds per machine) and
+# walked on every simulated instant, so they carry ``slots=True``: no
+# per-node dict, smaller machines, faster attribute reads in the
+# reactors' hot loops.
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Leaf:
     """End of a reaction: go to ``target`` (or TERMINATED)."""
 
@@ -28,7 +33,7 @@ class Leaf:
     delta: bool = False  # an await() pause requests a re-trigger
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestSignal:
     """Branch on presence of one *input* signal."""
 
@@ -37,7 +42,7 @@ class TestSignal:
     otherwise: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestData:
     """Branch on a C condition over variables / signal values."""
 
@@ -46,7 +51,7 @@ class TestData:
     otherwise: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoAction:
     """Execute an atomic data statement, then continue."""
 
@@ -54,7 +59,7 @@ class DoAction:
     next: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DoEmit:
     """Emit a signal (with optional value expression), then continue."""
 
@@ -75,7 +80,15 @@ class State:
 
 @dataclass
 class Efsm:
-    """The automaton for one module."""
+    """The automaton for one module.
+
+    The whole-machine walks (:meth:`transition_count`,
+    :meth:`emitted_signals`, :meth:`tested_inputs`) are cached after the
+    first call: the optimizer passes return *new* machines, so every
+    published Efsm is effectively immutable and the caches never go
+    stale.  Builders that mutate ``states`` in place must do so before
+    the first query.
+    """
 
     name: str
     states: List[State] = field(default_factory=list)
@@ -84,6 +97,12 @@ class Efsm:
     outputs: Tuple[str, ...] = ()
     locals: Tuple[str, ...] = ()
     module: object = None        # the source KernelModule
+    _transition_count: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False)
+    _emitted_signals: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False)
+    _tested_inputs: Optional[frozenset] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def state(self, index):
         return self.states[index]
@@ -94,22 +113,32 @@ class Efsm:
 
     def transition_count(self):
         """Number of reaction leaves across all states (EFSM 'edges')."""
-        return sum(count_leaves(s.reaction) for s in self.states)
+        count = self._transition_count
+        if count is None:
+            count = sum(count_leaves(s.reaction) for s in self.states)
+            self._transition_count = count
+        return count
 
     def emitted_signals(self):
-        names = set()
-        for state in self.states:
-            for node in walk_reaction(state.reaction):
-                if isinstance(node, DoEmit):
-                    names.add(node.signal)
+        names = self._emitted_signals
+        if names is None:
+            names = frozenset(
+                node.signal
+                for state in self.states
+                for node in walk_reaction(state.reaction)
+                if isinstance(node, DoEmit))
+            self._emitted_signals = names
         return names
 
     def tested_inputs(self):
-        names = set()
-        for state in self.states:
-            for node in walk_reaction(state.reaction):
-                if isinstance(node, TestSignal):
-                    names.add(node.signal)
+        names = self._tested_inputs
+        if names is None:
+            names = frozenset(
+                node.signal
+                for state in self.states
+                for node in walk_reaction(state.reaction)
+                if isinstance(node, TestSignal))
+            self._tested_inputs = names
         return names
 
     def describe(self):

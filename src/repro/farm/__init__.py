@@ -13,9 +13,10 @@ The model, in three nouns:
   stimulus x horizon`` cell with a deterministic derived seed;
   :class:`SimJob` is frozen and picklable, so a job is also a
   reproduction recipe.  Engines (:mod:`repro.farm.engines`) adapt the
-  interpreter, the compiled EFSM and the simulated RTOS to one
-  ``step()`` protocol; the opt-in ``equivalence`` mode runs
-  interpreter and EFSM in lockstep and flags the first divergence.
+  interpreter, the compiled EFSM, the closure-compiled native engine
+  and the simulated RTOS to one ``step()`` protocol; the opt-in
+  ``equivalence`` mode runs the interpreter in lockstep with both
+  compiled engines and flags the first divergence.
 * **Ledger** (:mod:`repro.farm.ledger`) — where traces go:
   content-addressed JSONL (plus optional VCD) objects next to the
   pipeline's artifact cache, with an append-only index.  A trace

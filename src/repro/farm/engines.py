@@ -19,6 +19,10 @@ Engines:
   (:class:`repro.runtime.reactor.Reactor`);
 * ``efsm``   — the compiled automaton
   (:class:`repro.codegen.py_backend.EfsmReactor`);
+* ``native`` — the closure-compiled reaction functions
+  (:class:`repro.runtime.native.NativeReactor`), the fastest software
+  engine; it additionally offers ``step_many`` so the worker can run a
+  whole stimulus through one batched-instant loop;
 * ``rtos``   — the module (or a multi-task partition of the design)
   under the simulated priority kernel
   (:class:`repro.rtos.kernel.RtosKernel`): each instant posts the
@@ -26,8 +30,8 @@ Engines:
   record may cover several task reactions.
 
 ``equivalence`` is not an engine class: the executor runs ``interp``
-and ``efsm`` in lockstep and compares records (see
-:func:`compare_records`).
+in lockstep with both compiled engines (``efsm`` and ``native``) and
+compares records (see :func:`compare_records`).
 """
 
 from __future__ import annotations
@@ -155,6 +159,32 @@ class EfsmEngine(ReactorEngine):
 
         handle = handles(job.module)
         super().__init__(EfsmReactor(handle.efsm()))
+
+
+@register_engine("native")
+class NativeEngine(ReactorEngine):
+    """Closure-compiled reactions: straight-line Python per state.
+
+    The lowered code bundle comes from the pipeline's ``native`` stage,
+    so every reactor of one design binds the same cached
+    :class:`~repro.runtime.native.NativeCode` — no per-job codegen.
+    """
+
+    def __init__(self, handles, job):
+        from ..runtime.native import NativeReactor
+
+        handle = handles(job.module)
+        super().__init__(NativeReactor(handle.efsm(), code=handle.native_code()))
+
+    def step_many(self, instants):
+        """Run a whole stimulus through the reactor's batched-instant
+        loop; returns one record per executed instant (the loop stops
+        early when the module terminates)."""
+        outputs = self.reactor.react_many(instants)
+        return [
+            make_record(instant, output.emitted, output.values)
+            for instant, output in zip(instants, outputs)
+        ]
 
 
 @register_engine("rtos")

@@ -25,9 +25,10 @@ from typing import List, Optional, Tuple
 from ..errors import EclError
 
 #: Engine names a job may ask for.  "equivalence" is the opt-in
-#: cross-engine mode: interpreter and EFSM run in lockstep and the job
-#: fails with status "diverged" on the first observable mismatch.
-ENGINE_NAMES = ("efsm", "interp", "rtos", "equivalence")
+#: cross-engine mode: the interpreter runs in lockstep with both
+#: compiled engines (efsm and native) and the job fails with status
+#: "diverged" on the first observable mismatch.
+ENGINE_NAMES = ("efsm", "native", "interp", "rtos", "equivalence")
 
 #: Job outcome classes.  "ok" and "terminated" count as success.
 STATUS_OK = "ok"

@@ -10,7 +10,7 @@ whole simulation campaign::
       "designs": {"stack": "protocol_stack.ecl"},
       "jobs": [
         {"design": "stack", "modules": ["toplevel"],
-         "engines": ["efsm", "interp", "equivalence"],
+         "engines": ["native", "efsm", "interp", "equivalence"],
          "traces": 50, "length": 64, "horizon": 96}
       ]
     }

@@ -115,9 +115,16 @@ class WorkerState:
 
     def _run_single(self, job):
         engine = build_engine(job.engine, self.handles(job.design), job)
+        stimulus = self._stimulus(job, engine)
+        step_many = getattr(engine, "step_many", None)
+        if step_many is not None:
+            # Batched-instant loop (native engine): one call per job.
+            records = step_many(stimulus)
+            status = STATUS_TERMINATED if engine.terminated else STATUS_OK
+            return records, status
         records = []
         status = STATUS_OK
-        for instant in self._stimulus(job, engine):
+        for instant in stimulus:
             records.append(engine.step(instant))
             if engine.terminated:
                 status = STATUS_TERMINATED
@@ -125,34 +132,44 @@ class WorkerState:
         return records, status
 
     def _run_equivalence(self, job):
-        """Interpreter and EFSM in lockstep on one stimulus; the EFSM's
-        records are what gets persisted (they are the implementation
-        under test)."""
+        """The interpreter in lockstep with both compiled engines (efsm
+        and native) on one stimulus; the efsm records are what gets
+        persisted (stable trace digests across engine additions)."""
         handles = self.handles(job.design)
         reference = build_engine("interp", handles, job)
-        candidate = build_engine("efsm", handles, job)
+        candidates = [
+            build_engine("efsm", handles, job),
+            build_engine("native", handles, job),
+        ]
         records = []
         status = STATUS_OK
         divergence = None
-        for instant_no, instant in enumerate(self._stimulus(job, candidate)):
+        for instant_no, instant in enumerate(self._stimulus(job, candidates[0])):
             expected = reference.step(instant)
-            actual = candidate.step(instant)
-            records.append(actual)
-            mismatch = compare_records(expected, actual)
-            if mismatch is None and reference.terminated != candidate.terminated:
-                mismatch = "interp terminated=%r, efsm terminated=%r" % (
-                    reference.terminated,
-                    candidate.terminated,
-                )
+            mismatch = None
+            for candidate in candidates:
+                actual = candidate.step(instant)
+                if candidate is candidates[0]:
+                    records.append(actual)
+                mismatch = compare_records(expected, actual)
+                if mismatch is None and reference.terminated != candidate.terminated:
+                    mismatch = "interp terminated=%r, %s terminated=%r" % (
+                        reference.terminated,
+                        candidate.name,
+                        candidate.terminated,
+                    )
+                if mismatch is not None:
+                    mismatch = "interp vs %s %s" % (candidate.name, mismatch)
+                    break
             if mismatch is not None:
                 status = STATUS_DIVERGED
-                divergence = "instant %d (inputs %r): interp vs efsm %s" % (
+                divergence = "instant %d (inputs %r): %s" % (
                     instant_no,
                     instant,
                     mismatch,
                 )
                 break
-            if candidate.terminated:
+            if candidates[0].terminated:
                 status = STATUS_TERMINATED
                 break
         return records, status, divergence

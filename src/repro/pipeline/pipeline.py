@@ -352,9 +352,24 @@ class ModuleHandle:
 
     # -- runnables -----------------------------------------------------
 
+    def native_code(self):
+        """Stage ``native``: the lowered
+        :class:`~repro.runtime.native.NativeCode` bundle (cached, so a
+        warm build binds reactors without re-running the lowerer)."""
+        def compute():
+            from ..runtime.native import compile_native
+            return compile_native(self.efsm())
+        return self._stage("native", compute, kind="native-code")
+
     def reactor(self, engine="efsm", counter=None, builtins=None):
-        """A runnable instance: ``engine`` is "efsm" (compiled
-        automaton) or "interp" (reference kernel interpreter)."""
+        """A runnable instance: ``engine`` is "native" (closure-compiled
+        reaction functions, fastest), "efsm" (compiled automaton,
+        interpreted decision tree) or "interp" (reference kernel
+        interpreter)."""
+        if engine == "native":
+            from ..runtime.native import NativeReactor
+            return NativeReactor(self.efsm(), code=self.native_code(),
+                                 counter=counter, builtins=builtins)
         if engine == "efsm":
             from ..codegen.py_backend import EfsmReactor
             return EfsmReactor(self.efsm(), counter=counter,
@@ -362,5 +377,6 @@ class ModuleHandle:
         if engine == "interp":
             return Reactor(self.kernel(), counter=counter,
                            builtins=builtins)
-        raise CompileError("unknown engine %r (use 'efsm' or 'interp')"
-                           % engine)
+        raise CompileError(
+            "unknown engine %r (use 'native', 'efsm' or 'interp')"
+            % engine)

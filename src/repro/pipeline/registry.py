@@ -36,6 +36,7 @@ from ..errors import CompileError
 ENTRY_POINTS = (
     "repro.codegen.c_backend",
     "repro.codegen.py_backend",
+    "repro.codegen.native_backend",
     "repro.codegen.vhdl_backend",
     "repro.codegen.verilog_backend",
     "repro.codegen.esterel_backend",

@@ -108,6 +108,9 @@ class Env:
     C-style expressions").
     """
 
+    __slots__ = ("space", "functions", "signal_resolver", "counter",
+                 "_scopes")
+
     def __init__(self, space=None, functions=None, signal_resolver=None,
                  counter=None):
         self.space = space if space is not None else AddressSpace()

@@ -20,7 +20,14 @@ class SignalSlot:
     The slot stores value bytes inside an :class:`AddressSpace` so that
     aggregate-valued signals (the paper's ``packet_t outpkt``) behave like
     any other C object, and so data-memory accounting sees them.
+
+    Slots are touched on every instant of every reaction (presence reset,
+    presence tests, emissions), so they are ``__slots__``-compact: no
+    per-instance dict, faster attribute access on the hot path.
     """
+
+    __slots__ = ("name", "type", "direction", "present", "emitted",
+                 "_storage")
 
     def __init__(self, name, ctype, space, direction="local"):
         self.name = name

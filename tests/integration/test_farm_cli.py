@@ -26,36 +26,36 @@ def design_files(tmp_path_factory):
 
 
 class TestFarmRunAcceptance:
-    def test_hundred_jobs_two_designs_three_engines(self, design_files,
-                                                    tmp_path, capsys):
+    def test_hundred_jobs_two_designs_four_engines(self, design_files,
+                                                   tmp_path, capsys):
         stack, buffer_ = design_files
         ledger_dir = str(tmp_path / "ledger")
         report_path = str(tmp_path / "report.json")
-        # 2 modules x 3 engines x 17 traces = 102 jobs, one invocation.
+        # 2 modules x 4 engines x 17 traces = 136 jobs, one invocation.
         assert main([
             "farm", "run", stack, buffer_,
             "-m", "toplevel", "-m", "audio_buffer",
-            "--engines", "efsm,interp,equivalence",
+            "--engines", "efsm,interp,native,equivalence",
             "--traces", "17", "--length", "8",
             "-j", "1", "--ledger", ledger_dir,
             "--report", report_path,
         ]) == 0
         out = capsys.readouterr().out
-        assert "102 job(s) over 2 design(s)" in out
+        assert "136 job(s) over 2 design(s)" in out
         assert "reactions/sec" in out
 
         data = json.load(open(report_path))
-        assert data["total"] == 102
+        assert data["total"] == 136
         assert data["ok"] is True
-        assert data["status_counts"] == {"ok": 102}
+        assert data["status_counts"] == {"ok": 136}
         assert {row["engine"] for row in data["results"]} == \
-            {"efsm", "interp", "equivalence"}
+            {"efsm", "interp", "native", "equivalence"}
         assert all(row["status"] == "ok" for row in data["results"])
-        assert data["reactions"] == 102 * 8
+        assert data["reactions"] == 136 * 8
 
         ledger = TraceLedger(ledger_dir)
         entries = ledger.entries()
-        assert len(entries) == 102
+        assert len(entries) == 136
         header, records = ledger.load(entries[0]["trace"])
         assert header["instants"] == len(records) == 8
 
@@ -69,7 +69,7 @@ class TestFarmRunAcceptance:
             "designs": {"stack": stack, "buffer": buffer_},
             "jobs": [
                 {"design": "stack", "modules": ["toplevel"],
-                 "engines": ["efsm", "equivalence"],
+                 "engines": ["efsm", "native", "equivalence"],
                  "traces": 3, "length": 6, "seed": 11},
                 {"design": "buffer", "modules": ["audio_buffer"],
                  "engines": ["rtos"], "traces": 2, "length": 6},
@@ -85,7 +85,7 @@ class TestFarmRunAcceptance:
         }))
         assert main(["farm", "run", "--spec", str(spec)]) == 0
         out = capsys.readouterr().out
-        assert "9 job(s) over 2 design(s)" in out
+        assert "12 job(s) over 2 design(s)" in out
         assert os.path.isdir(str(tmp_path / "spec-traces"))
 
     def test_exit_one_on_failing_job(self, tmp_path, capsys):

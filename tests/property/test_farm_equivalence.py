@@ -1,12 +1,14 @@
 """Property-style cross-engine checking through the farm.
 
-Satellite of the SimulationFarm work: random stimulus is driven through
-``Reactor`` (interpreter) and ``EfsmReactor`` (compiled automaton) via
-the farm's opt-in *equivalence* job mode, on three example designs —
-the paper's protocol stack, the audio buffer controller, and a
-debounce controller.  Any observable mismatch surfaces as a job with
-``status="diverged"`` carrying the offending instant, which is exactly
-the report shape a verification campaign would triage.
+Random stimulus is driven through ``Reactor`` (interpreter),
+``EfsmReactor`` (compiled automaton) and ``NativeReactor``
+(closure-compiled reactions) via the farm's opt-in *equivalence* job
+mode — the mode runs the interpreter in lockstep with both compiled
+engines — on the example designs: the paper's protocol stack, the
+audio buffer controller, and a debounce controller.  Any observable
+mismatch surfaces as a job with ``status="diverged"`` carrying the
+offending instant and the diverging engine, which is exactly the
+report shape a verification campaign would triage.
 """
 
 import pytest

@@ -1,0 +1,267 @@
+"""Unit coverage of the native reaction engine's runtime surface.
+
+The cross-engine behavioural guarantees live in
+``tests/property/test_native_equivalence.py``; these tests pin the
+integration seams: input diagnostics parity, the pipeline stage and
+backend registration, code-bundle caching, the standalone emitted
+module, and the reactor conveniences.
+"""
+
+import pytest
+
+from repro.codegen.py_backend import EfsmReactor
+from repro.errors import CompileError, EvalError
+from repro.pipeline import ArtifactCache, Pipeline
+from repro.pipeline.registry import DEFAULT_REGISTRY
+from repro.runtime.native import NativeReactor, compile_native
+
+COUNTER_ECL = """
+module counter (input pure tick, input int load,
+                output int level, output pure high)
+{
+    int value;
+
+    while (1) {
+        await (tick | load);
+        present (load) { value = load; }
+        present (tick) { value = value + 1; }
+        emit_v (level, value);
+        if (value > 5) { emit (high); }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def handle():
+    build = Pipeline().compile_text(COUNTER_ECL, filename="counter.ecl")
+    return build.module("counter")
+
+
+class TestDiagnosticsParity:
+    """Bad stimulus must produce the exact same messages as the other
+    engines — the CLI's trace-line diagnostics rely on them."""
+
+    def _messages(self, reactor, **kwargs):
+        with pytest.raises(EvalError) as caught:
+            reactor.react(**kwargs)
+        return str(caught.value)
+
+    def test_unknown_input_matches_efsm_reactor(self, handle):
+        native = handle.reactor(engine="native")
+        efsm = handle.reactor(engine="efsm")
+        assert self._messages(native, inputs=["ghost"]) == \
+            self._messages(efsm, inputs=["ghost"])
+
+    def test_non_input_direction_rejected(self, handle):
+        native = handle.reactor(engine="native")
+        message = self._messages(native, inputs=["level"])
+        assert "does not declare input signal 'level'" in message
+        assert "load, tick" in message
+
+    def test_value_on_pure_input_matches_efsm_reactor(self, handle):
+        native = handle.reactor(engine="native")
+        efsm = handle.reactor(engine="efsm")
+        assert self._messages(native, values={"tick": 3}) == \
+            self._messages(efsm, values={"tick": 3})
+
+
+class TestReactorSurface:
+    def test_drop_in_convenience_methods(self, handle):
+        native = handle.reactor(engine="native")
+        assert native.input_signals() == ["load", "tick"]
+        native.react()
+        native.react(values={"load": 4})
+        out = native.react(inputs=["tick"])
+        assert out.emitted == {"level"}
+        assert out.values == {"level": 5}
+        assert native.signal_value("level") == 5
+        assert native.variable("value") == 5
+        assert native.instants == 3
+
+    def test_reset_restarts_from_initial_state(self, handle):
+        native = handle.reactor(engine="native")
+        native.react()
+        native.react(values={"load": 9})
+        native.reset()
+        assert native.state == native.code.initial
+        assert not native.terminated
+        assert native.instants == 0
+
+    def test_counter_counts_react_instants(self, handle):
+        from repro.cost import CycleCounter
+
+        counter = CycleCounter()
+        native = handle.reactor(engine="native")
+        counted = NativeReactor(handle.efsm(), counter=counter)
+        for reactor in (native, counted):
+            reactor.react()
+            reactor.react(inputs=["tick"])
+        assert counter.counts.get("react") == 2
+
+    def test_react_after_termination_is_inert(self, handle):
+        native = handle.reactor(engine="native")
+        native.terminated = True
+        out = native.react(inputs=["tick"])
+        assert out.terminated
+        assert native.react_many([{"tick": None}]) == []
+
+
+class TestPipelineIntegration:
+    def test_reactor_engine_native(self, handle):
+        native = handle.reactor(engine="native")
+        assert isinstance(native, NativeReactor)
+
+    def test_unknown_engine_names_native(self, handle):
+        with pytest.raises(CompileError) as caught:
+            handle.reactor(engine="warp")
+        assert "'native'" in str(caught.value)
+
+    def test_native_stage_is_cached(self):
+        pipeline = Pipeline(cache=ArtifactCache.memory())
+        build = pipeline.compile_text(COUNTER_ECL, filename="counter.ecl")
+        code = build.module("counter").native_code()
+        hits = pipeline.cache.stats.as_dict()["hits"]
+        again = pipeline.compile_text(COUNTER_ECL, filename="counter.ecl")
+        assert again.module("counter").native_code() is code
+        assert pipeline.cache.stats.as_dict()["hits"] > hits
+
+    def test_backend_registered(self):
+        assert "native" in DEFAULT_REGISTRY.names()
+        backend = DEFAULT_REGISTRY.get("native")
+        assert backend.requires == ("efsm",)
+
+    def test_emitted_files(self, handle):
+        files = handle.emit("native")
+        assert sorted(files) == ["counter_native.py",
+                                 "counter_reactions.py"]
+        assert "STATE_FUNCS" in files["counter_reactions.py"]
+
+    def test_standalone_module_round_trip(self, handle):
+        files = handle.emit("native")
+        namespace = {}
+        exec(compile(files["counter_native.py"], "counter_native.py",
+                     "exec"), namespace)
+        reactor = namespace["reactor"]()
+        reactor.react()
+        reactor.react(values={"load": 2})
+        out = reactor.react(inputs=["tick"])
+        assert out.values == {"level": 3}
+
+    def test_cli_simulate_engine_native(self, tmp_path, capsys):
+        from repro.cli import main
+
+        design = tmp_path / "counter.ecl"
+        design.write_text(COUNTER_ECL)
+        trace = tmp_path / "trace.txt"
+        trace.write_text("\nload=4\ntick\ntick\n")
+        outputs = {}
+        for engine in ("efsm", "native"):
+            assert main(["simulate", str(design), "-m", "counter",
+                         "--trace", str(trace), "--engine", engine]) == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["native"] == outputs["efsm"]
+        assert "level=6" in outputs["native"]
+
+    def test_cli_simulate_native_trace_diagnostics(self, tmp_path,
+                                                   capsys):
+        from repro.cli import main
+
+        design = tmp_path / "counter.ecl"
+        design.write_text(COUNTER_ECL)
+        trace = tmp_path / "trace.txt"
+        trace.write_text("\nghost\n")
+        assert main(["simulate", str(design), "-m", "counter",
+                     "--trace", str(trace),
+                     "--engine", "native"]) == 1
+        err = capsys.readouterr().err
+        assert "trace line 2" in err
+        assert "does not declare input signal 'ghost'" in err
+
+
+FALLBACK_IN_LOOP_ECL = """
+int helper (int v) { return v * 2 + 1; }
+
+module looper (input pure tick, output int acc)
+{
+    int total;
+    int i;
+
+    while (1) {
+        await (tick);
+        for (i = 0; i < 4; i++) {
+            total = helper(total);
+        }
+        emit_v (acc, total);
+    }
+}
+"""
+
+
+class TestFallbackInsideNestedBlocks:
+    """An unlowerable construct (here: a C function call) reached
+    *after* the lowerer entered a nested block must roll the indent
+    back too — a regression here produces syntactically invalid
+    generated source (IndentationError at bind time)."""
+
+    def test_call_inside_lowered_loop_falls_back_cleanly(self):
+        build = Pipeline().compile_text(FALLBACK_IN_LOOP_ECL,
+                                        filename="looper.ecl")
+        handle = build.module("looper")
+        code = compile_native(handle.efsm())
+        assert code.fallback_ops > 0  # the helper() call is residue
+        native = handle.reactor(engine="native")
+        efsm = handle.reactor(engine="efsm")
+        for reactor in (native, efsm):
+            reactor.react()
+        for _ in range(3):
+            out_native = native.react(inputs=["tick"])
+            out_efsm = efsm.react(inputs=["tick"])
+            assert out_native.emitted == out_efsm.emitted
+            assert out_native.values == out_efsm.values
+        assert native.variable("total") == efsm.variable("total")
+
+
+class TestCompiledCode:
+    def test_counter_design_lowers_completely(self, handle):
+        code = compile_native(handle.efsm())
+        assert code.fallback_ops == 0
+        assert code.lowered_ops > 0
+        assert code.state_count == handle.efsm().state_count
+        assert "native counter" in code.describe()
+
+    def test_code_bundle_pickles(self, handle):
+        import pickle
+
+        code = compile_native(handle.efsm())
+        clone = pickle.loads(pickle.dumps(code))
+        assert clone.source == code.source
+        reactor = NativeReactor(handle.efsm(), code=clone)
+        reactor.react()
+        assert reactor.react(inputs=["tick"]).values == {"level": 1}
+
+
+class TestHotObjectLayout:
+    """The __slots__ satellite: per-instant objects carry no dict."""
+
+    def test_signal_slot_and_tree_nodes_are_compact(self):
+        from repro.efsm.machine import (DoAction, DoEmit, Leaf, TestData,
+                                        TestSignal)
+        from repro.lang.types import PURE
+        from repro.runtime.ceval import Env
+        from repro.runtime.memory import AddressSpace
+        from repro.runtime.signals import SignalSlot
+
+        slot = SignalSlot("s", PURE, AddressSpace(), "input")
+        assert not hasattr(slot, "__dict__")
+        assert not hasattr(Env(), "__dict__")
+        for node in (Leaf(), TestSignal(), TestData(), DoAction(),
+                     DoEmit()):
+            assert not hasattr(node, "__dict__")
+
+    def test_efsm_walks_are_cached(self, handle):
+        efsm = handle.efsm()
+        assert efsm.transition_count() == efsm.transition_count()
+        assert efsm._transition_count is not None
+        assert efsm.emitted_signals() is efsm.emitted_signals()
+        assert efsm.tested_inputs() is efsm.tested_inputs()
