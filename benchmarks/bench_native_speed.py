@@ -133,6 +133,15 @@ def measure():
     buffer_build = pipeline.compile_text(AUDIO_BUFFER_ECL, filename="buffer.ecl")
     buffer_ = buffer_build.module("audio_buffer")
 
+    # The stack must be 100% native: its aggregate packet emits lower
+    # as bytearray slice moves since the verify PR (ROADMAP item).
+    for name in stack_build.module_names:
+        code = stack_build.module(name).native_code()
+        assert code.fallback_ops == 0, (
+            "stack module %s regressed to evaluator fallbacks: %s"
+            % (name, code.describe())
+        )
+
     data = {"benchmark": "native_reaction_speed", "workloads": {}}
     for label, module, drive, size in (
         ("stack", stack, drive_stack, STACK_PACKETS),

@@ -11,7 +11,11 @@ and fails (exit 1) on a >2x regression:
 * ``BENCH_native.json`` (:mod:`benchmarks.bench_native_speed`): every
   per-engine reactions/sec figure must not drop below half the
   baseline, and the native engine must keep its >=3x margin over the
-  EFSM walker (the PR's acceptance floor, re-checked on every run).
+  EFSM walker (the PR's acceptance floor, re-checked on every run);
+* ``BENCH_verify.json`` (:mod:`benchmarks.bench_verify_overhead`):
+  bare/monitored/covered rates must not drop below half the baseline,
+  and monitor overhead must stay inside the verify subsystem's <1.3x
+  acceptance band (absolute, not baseline-relative).
 
 The factor-2 band absorbs runner-to-runner hardware noise while still
 catching the algorithmic regressions the gate exists for.  Baselines
@@ -109,6 +113,46 @@ def check_native(current, baseline, failures):
                 % (label, speedup, NATIVE_SPEEDUP_FLOOR))
 
 
+#: Monitor overhead ceiling (mirrors bench_verify_overhead
+#: .OVERHEAD_CEILING), re-checked against the fresh numbers every run.
+VERIFY_OVERHEAD_CEILING = 1.3
+
+
+def check_verify(current, baseline, failures):
+    for label, base_entry in sorted(baseline["workloads"].items()):
+        entry = current["workloads"].get(label)
+        if entry is None:
+            failures.append("verify: workload %r missing from current "
+                            "results" % label)
+            continue
+        for side, base_rate in sorted(base_entry["rates"].items()):
+            rate = entry["rates"].get(side, 0.0)
+            ratio = base_rate / max(1e-9, rate)
+            status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+            print("verify    %-40s %8.0f r/s vs %8.0f r/s  (x%.2f)  %s"
+                  % ("%s/%s" % (label, side), rate, base_rate, ratio,
+                     status))
+            if ratio > REGRESSION_FACTOR:
+                failures.append(
+                    "verify: %s/%s dropped to %.0f r/s (baseline "
+                    "%.0f r/s)" % (label, side, rate, base_rate))
+        overhead = entry.get("monitor_overhead")
+        if overhead is None:
+            failures.append(
+                "verify: %s is missing monitor_overhead (schema "
+                "drift?) — the ceiling gate cannot run" % label)
+            continue
+        status = "ok" if overhead < VERIFY_OVERHEAD_CEILING \
+            else "REGRESSED"
+        print("verify    %-40s x%.2f (ceiling x%.1f)  %s"
+              % ("%s/monitor_overhead" % label, overhead,
+                 VERIFY_OVERHEAD_CEILING, status))
+        if overhead >= VERIFY_OVERHEAD_CEILING:
+            failures.append(
+                "verify: %s monitor overhead x%.2f breaches the x%.1f "
+                "ceiling" % (label, overhead, VERIFY_OVERHEAD_CEILING))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=os.path.join(HERE, "out"))
@@ -120,6 +164,7 @@ def main(argv=None):
         ("BENCH_reaction.json", check_reaction),
         ("BENCH_farm.json", check_farm),
         ("BENCH_native.json", check_native),
+        ("BENCH_verify.json", check_verify),
     ]
     for filename, checker in pairs:
         current_path = os.path.join(args.out, filename)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Coverage-guided verification campaign on the simulation farm.
+
+The `repro.verify` subsystem at full stretch, on the elevator-door
+controller:
+
+1. declarative temporal properties compile once into a slot-indexed
+   monitor closure that steps alongside the native engine;
+2. a farm-sharded campaign fuzzes the design until transition coverage
+   is complete — every reaction leaf of the compiled EFSM taken;
+3. the buggy variant is caught, the violating stimulus is *minimized*
+   to the shortest witness, and the counterexample trace lands
+   content-addressed in the trace ledger.
+
+Run:  python examples/coverage_campaign.py
+"""
+
+import os
+import tempfile
+
+from repro.designs import DOOR_CTRL_BUGGY_ECL, DOOR_CTRL_ECL
+from repro.farm import TraceLedger
+from repro.verify import VerifyCampaign, absent, implies, never, present
+
+
+def run_campaign(label, source, ledger_root=None):
+    campaign = VerifyCampaign(
+        {label: source},
+        label,
+        "door_ctrl",
+        engine="native",
+        properties=[
+            # the interlock, as a compiled monitor instead of an
+            # observer module — twice, in both idioms (note: a bounded
+            # response like within("call_btn", "door_open", n) would
+            # need an environment assumption about ticks; the fuzzer
+            # deliberately explores tick droughts too):
+            never(present("door_open") & present("motor_on")),
+            implies("motor_on", absent("door_open")),
+        ],
+        rounds=6,
+        jobs_per_round=16,
+        length=48,
+        workers=2,
+        salt=2024,
+        ledger_root=ledger_root,
+        seeds=[[{}, {"call_btn": None}, {"tick": None}, {"tick": None}]],
+    )
+    return campaign.run()
+
+
+def main():
+    print("== 1. Campaign on the correct controller")
+    result = run_campaign("door", DOOR_CTRL_ECL)
+    print(result.summary())
+
+    print("\n== 2. Campaign on the buggy variant (motor left running)")
+    with tempfile.TemporaryDirectory() as root:
+        ledger_root = os.path.join(root, "traces")
+        result = run_campaign("door_buggy", DOOR_CTRL_BUGGY_ECL,
+                              ledger_root=ledger_root)
+        print(result.summary())
+
+        print("\n== 3. The minimized counterexample, replayed from "
+              "the ledger")
+        violation = result.violations[0]
+        ledger = TraceLedger(ledger_root)
+        header, records = ledger.load(violation.trace_digest)
+        print("   trace %s.. (%d instants, module %s)"
+              % (violation.trace_digest[:16], header["instants"],
+                 header["module"]))
+        for number, record in enumerate(records):
+            inputs = " ".join(sorted(record["inputs"])) or "-"
+            emitted = " ".join(record["emitted"]) or "-"
+            print("   instant %d: inputs [%s] -> emitted [%s]"
+                  % (number, inputs, emitted))
+
+
+if __name__ == "__main__":
+    main()

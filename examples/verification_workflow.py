@@ -4,16 +4,25 @@
 Section 2: because the control part of ECL "is equivalent to an EFSM",
 "one can perform property verification, implementation verification,
 and a battery of logic optimization algorithms".  This example runs all
-three on an elevator door controller:
+of them on an elevator door controller (``repro.designs.DOOR_CTRL_ECL``):
 
-1. property verification — an ECL *observer* module watches the door
-   and motor signals and emits `error` if the motor can run with the
-   door open; a buggy variant is caught with a counterexample;
-2. implementation verification — the compiled EFSM is checked against
-   the reference interpreter on a stimulus, and a VCD waveform of the
-   run is written for a waveform viewer;
+1. property verification, twice —
+   a. an ECL *observer* module watches the door and motor signals and
+      emits `error` if the motor can run with the door open; a buggy
+      variant is caught with a counterexample over the sound
+      control-space search, and the same observer composition re-runs
+      dynamically on the *native* engine over a concrete trace;
+   b. the same interlock as a **compiled temporal monitor**
+      (`repro.verify`): declarative combinators lowered once to a
+      slot-indexed closure stepping alongside the native engine;
+2. implementation verification — the compiled EFSM and the native
+   reaction functions are checked against the reference interpreter on
+   a stimulus, and a VCD waveform of the run is written;
 3. the RTOS execution trace of the partitioned system is rendered as a
    task timeline.
+
+For verification at farm scale (coverage bitmaps, fuzz campaigns, trace
+ledgers) see ``examples/coverage_campaign.py``.
 
 Run:  python examples/verification_workflow.py
 """
@@ -26,72 +35,64 @@ from repro.analysis import (
     verify_with_observer,
 )
 from repro.core import EclCompiler
+from repro.designs import DOOR_CTRL_BUGGY_ECL, DOOR_CTRL_ECL
 from repro.rtos import RtosKernel, RtosTask, TraceRecorder
 from repro.runtime import record_run
+from repro.verify import MonitoredReactor, compile_bundle, never, present
 
-CONTROLLER = """
-/* Elevator door + motor interlock. */
-module door_ctrl (input pure tick, input pure call_btn,
-                  output pure door_open, output pure motor_on)
-{
-    while (1) {
-        await (call_btn);
-        /* close the door, then run the motor for two ticks */
-        await (tick);
-        emit (motor_on);
-        await (tick);
-        emit (motor_on);
-        await (tick);
-        /* arrived: open the door */
-        emit (door_open);
-        await (tick);
-    }
-}
-
-/* Observer: the motor must never run while the door is open. */
-module interlock (input pure door_open, input pure motor_on,
-                  output pure error)
-{
-    while (1) {
-        await (door_open & motor_on);
-        emit (error);
-    }
-}
-"""
-
-#: The classic bug: the motor keeps running while the door opens.
-BUGGY = CONTROLLER.replace(
-    "/* arrived: open the door */\n        emit (door_open);",
-    "/* arrived: open the door */\n        emit (door_open);"
-    " emit (motor_on);")
+STIMULUS = [{}, {"call_btn": None}] + [{"tick": None}] * 5
 
 
 def main():
     compiler = EclCompiler()
 
-    print("== 1. Property verification with an observer module")
-    good = compiler.compile_text(CONTROLLER, "door.ecl")
+    print("== 1a. Property verification with an observer module")
+    good = compiler.compile_text(DOOR_CTRL_ECL, "door.ecl")
     result = verify_with_observer(good, "door_ctrl", "interlock")
     print("   correct controller: %s"
           % ("property holds" if result is None else "VIOLATED"))
 
-    buggy = compiler.compile_text(BUGGY, "door_buggy.ecl")
+    buggy = compiler.compile_text(DOOR_CTRL_BUGGY_ECL, "door_buggy.ecl")
     counterexample = verify_with_observer(buggy, "door_ctrl", "interlock")
     print("   buggy controller:   violation found, %d-instant witness:"
           % counterexample.length)
     for line in counterexample.describe().splitlines():
         print("      " + line)
 
+    # The same observer, run dynamically on the native engine over a
+    # concrete trace (any engine name works: interp, efsm, native).
+    witness = verify_with_observer(buggy, "door_ctrl", "interlock",
+                                   engine="native", trace=STIMULUS)
+    print("   native-engine replay: error at instant %d" % witness.instant)
+
+    print("\n== 1b. The interlock as a compiled temporal monitor")
+    program = compile_bundle(
+        [never(present("door_open") & present("motor_on"))])
+    for label, design in (("correct", good), ("buggy", buggy)):
+        monitored = MonitoredReactor(
+            design.module("door_ctrl").reactor(engine="native"), program)
+        for instant in STIMULUS:
+            monitored.react(inputs=[n for n in instant])
+        monitor = monitored.monitor
+        if monitor.ok:
+            print("   %s controller: %d instants monitored, clean"
+                  % (label, monitor.instant))
+        else:
+            print("   %s controller:   %s"
+                  % (label, monitor.first_violation.describe()))
+
     print("\n== 2. Implementation verification + waveform dump")
     module = good.module("door_ctrl")
-    stimulus = [{}, {"call_btn": None}] + [{"tick": None}] * 5
-    mismatch = compare_on_trace(module.kernel, module.efsm(), stimulus)
-    print("   EFSM vs interpreter on stimulus: %s"
-          % ("equivalent" if mismatch is None else mismatch.describe()))
+    for engine in ("efsm", "native"):
+        mismatch = compare_on_trace(module.kernel, module.efsm(),
+                                    STIMULUS, engine=engine)
+        print("   %s vs interpreter on stimulus: %s"
+              % (engine, "equivalent" if mismatch is None
+                 else mismatch.describe()))
     print("   module never terminates: %s"
           % (check_never_terminates(module.efsm()) is None))
 
-    outputs, vcd = record_run(module.reactor(), stimulus)
+    outputs, vcd = record_run(module.reactor(), STIMULUS)
     path = os.path.join(os.path.dirname(__file__), "door_ctrl.vcd")
     with open(path, "w") as handle:
         handle.write(vcd)

@@ -7,9 +7,14 @@
   implementation verification.
 """
 
-from .equivalence import TraceMismatch, assert_equivalent_on_trace, compare_on_trace
+from .equivalence import (
+    TraceMismatch,
+    assert_equivalent_on_trace,
+    build_reactor,
+    compare_on_trace,
+)
 from .explore import Edge, explore, state_edges
-from .observer import verify_with_observer
+from .observer import TraceCounterexample, verify_with_observer
 from .properties import (
     Counterexample,
     check_emission_implies,
@@ -20,8 +25,10 @@ from .properties import (
 )
 
 __all__ = [
+    "TraceCounterexample",
     "TraceMismatch",
     "assert_equivalent_on_trace",
+    "build_reactor",
     "compare_on_trace",
     "Edge",
     "explore",

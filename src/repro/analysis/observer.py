@@ -14,16 +14,48 @@ search of :mod:`repro.analysis.properties` on the product EFSM.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import List
+
 from ..ecl.translate import translate_module
 from ..efsm.build import build_efsm
 from ..errors import EclError
 from ..lang import ast
 from ..lang.source import SYNTHETIC
+from .equivalence import REACTOR_ENGINES, build_reactor
 from .properties import check_never_emitted
 
 
+@dataclass
+class TraceCounterexample:
+    """A concrete stimulus prefix that made the observer fire."""
+
+    instant: int
+    trace: List[dict]
+    error_signal: str = "error"
+
+    @property
+    def length(self):
+        return len(self.trace)
+
+    def describe(self):
+        lines = []
+        for number, step in enumerate(self.trace):
+            entries = []
+            for name in sorted(step):
+                value = step[name]
+                entries.append(name if value is None
+                               else "%s=%r" % (name, value))
+            marker = "  <-- %s" % self.error_signal \
+                if number == self.instant else ""
+            lines.append("instant %d: %s%s"
+                         % (number, " ".join(entries) or "-", marker))
+        return "\n".join(lines)
+
+
 def verify_with_observer(design, module_name, observer_name,
-                         error_signal="error", max_states=4096):
+                         error_signal="error", max_states=4096,
+                         engine=None, trace=None):
     """Check a safety property expressed as an observer module.
 
     ``design`` is a :class:`~repro.core.compiler.CompiledDesign`
@@ -33,9 +65,17 @@ def verify_with_observer(design, module_name, observer_name,
     are allowed); the observer's ``error_signal`` output flags a
     violation.
 
-    Returns ``None`` when the property holds on the (data-abstracted)
-    control space, else a
+    With ``engine=None`` (the default) the check is *static*: a sound
+    search of the composed machine's data-abstracted control space.
+    Returns ``None`` when the property holds, else a
     :class:`~repro.analysis.properties.Counterexample`.
+
+    With an ``engine`` name (``interp``, ``efsm`` or ``native``) the
+    check is *dynamic*: the synchronous composition runs over ``trace``
+    (a list of instant dicts) on that engine — the native engine makes
+    legacy observer checks run at compiled-reaction speed.  Returns
+    ``None`` when the observer stays silent on the trace, else a
+    :class:`TraceCounterexample` locating the first error emission.
     """
     program = design.program
     module = program.module_named(module_name)
@@ -49,7 +89,36 @@ def verify_with_observer(design, module_name, observer_name,
     synthetic = ast.Program(items=tuple(program.items) + (top,))
     kernel = translate_module(synthetic, design.types, top.name)
     efsm = build_efsm(kernel, max_states=max_states)
-    return check_never_emitted(efsm, error_signal)
+    if engine is None:
+        return check_never_emitted(efsm, error_signal)
+    if engine not in REACTOR_ENGINES:
+        raise EclError(
+            "unknown observer engine %r (one of: %s, or None for the "
+            "static control-space search)"
+            % (engine, ", ".join(REACTOR_ENGINES)))
+    if trace is None:
+        raise EclError(
+            "verify_with_observer(engine=%r) needs a trace (a list of "
+            "instant dicts) to drive the composition" % engine)
+    return _run_observer(kernel, efsm, engine, trace, error_signal)
+
+
+def _run_observer(kernel, efsm, engine, trace, error_signal):
+    reactor = build_reactor(engine, kernel, efsm)
+    for number, step in enumerate(trace):
+        pure = [name for name, value in step.items() if value is None]
+        valued = {name: value for name, value in step.items()
+                  if value is not None}
+        output = reactor.react(inputs=pure, values=valued)
+        if error_signal in output.emitted:
+            return TraceCounterexample(
+                instant=number,
+                trace=[dict(instant) for instant in trace[:number + 1]],
+                error_signal=error_signal,
+            )
+        if output.terminated:
+            break
+    return None
 
 
 def _compose(module, observer, error_signal):

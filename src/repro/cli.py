@@ -8,6 +8,9 @@ Subcommands::
     eclc simulate design.ecl -m top --trace stimuli.txt [--vcd out.vcd]
     eclc farm run design.ecl [more.ecl] --engines native,interp --traces 25
     eclc farm run --spec batch.json       # versioned simulation campaign
+    eclc verify run design.ecl -m top --never "door_open&motor_on"
+    eclc verify run --spec campaign.json  # versioned verification campaign
+    eclc cover design.ecl -m top --rounds 4 --report coverage.json
     eclc dot design.ecl -m top            # Graphviz to stdout
 
 ``--emit`` choices are derived from the pipeline's backend registry
@@ -27,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import sys
 
 from .core.compiler import EclCompiler
@@ -132,12 +136,86 @@ def _build_parser():
                      help="print every job row, not only failures")
     run.set_defaults(handler=_cmd_farm_run)
 
+    verify = sub.add_parser(
+        "verify", help="compiled temporal monitors + fuzz campaigns")
+    verify_sub = verify.add_subparsers(dest="verify_command",
+                                       required=True)
+    vrun = verify_sub.add_parser(
+        "run", help="run a coverage-guided verification campaign")
+    vrun.add_argument("file", nargs="?",
+                      help="ECL design file (or use --spec)")
+    vrun.add_argument("--spec", default=None,
+                      help="JSON campaign spec (see repro.verify.spec)")
+    vrun.add_argument("-m", "--module", default=None)
+    vrun.add_argument("--never", action="append", default=[],
+                      metavar="PRED",
+                      help="property: PRED holds at no instant "
+                           "(PRED: signal terms joined by '&'; '!' "
+                           "negates, 'level>=3' compares values)")
+    vrun.add_argument("--always", action="append", default=[],
+                      metavar="PRED",
+                      help="property: PRED holds at every instant")
+    vrun.add_argument("--implies", action="append", default=[],
+                      metavar="WHEN:THEN",
+                      help="property: WHEN implies THEN (same instant)")
+    vrun.add_argument("--within", action="append", default=[],
+                      metavar="TRIGGER:EXPECT:N",
+                      help="property: EXPECT within N instants of "
+                           "TRIGGER")
+    vrun.add_argument("--eventually", action="append", default=[],
+                      metavar="PRED:N",
+                      help="property: PRED holds by instant N")
+    _campaign_flags(vrun)
+    vrun.set_defaults(handler=_cmd_verify_run)
+
+    cover = sub.add_parser(
+        "cover", help="coverage campaign (state/transition/emit "
+                      "bitmaps, no properties)")
+    cover.add_argument("file")
+    cover.add_argument("-m", "--module", required=True)
+    cover.add_argument("--fail-under", type=float, default=None,
+                       metavar="PCT",
+                       help="exit 1 when transition coverage ends "
+                            "below PCT")
+    # The interpreter has no EFSM states, so it cannot feed the
+    # state/transition bitmaps this command exists to fill.
+    _campaign_flags(cover, engines=["efsm", "native"])
+    cover.set_defaults(handler=_cmd_cover)
+
     dot = sub.add_parser("dot", help="print the EFSM as Graphviz")
     dot.add_argument("file")
     dot.add_argument("-m", "--module", required=True)
     dot.set_defaults(handler=_cmd_dot)
 
     return parser
+
+
+def _campaign_flags(parser, engines=("interp", "efsm", "native")):
+    # Defaults are None so `verify run --spec` can tell "flag given"
+    # (override the spec) from "flag omitted" (keep the spec's value);
+    # _flag_campaign fills the real defaults for the flags-only path.
+    parser.add_argument("--engine", default=None,
+                        choices=list(engines),
+                        help="simulation engine (default: native)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="campaign rounds (default 6)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="jobs per round (default 16)")
+    parser.add_argument("--length", type=int, default=None,
+                        help="instants per generated trace "
+                             "(default 32)")
+    parser.add_argument("--target", type=float, default=None,
+                        help="transition coverage %% that ends the "
+                             "campaign early (default 100)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="campaign salt (deterministic fuzzing)")
+    parser.add_argument("-j", "--workers", type=int, default=None)
+    parser.add_argument("--ledger", default=None, metavar="DIR",
+                        help="trace ledger root (counterexamples and "
+                             "job traces; 'auto' = next to the "
+                             "artifact cache)")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="write the campaign report as JSON")
 
 
 def _load(args):
@@ -326,6 +404,187 @@ def _cmd_farm_run(args):
                       sort_keys=True)
         print("wrote %s" % args.report)
     return 0 if report.ok else 1
+
+
+_SIGNAL_NAME = re.compile(r"[A-Za-z_]\w*")
+
+
+def _signal_name(text, term):
+    name = text.strip()
+    if not _SIGNAL_NAME.fullmatch(name):
+        raise EclError(
+            "bad signal name %r in predicate term %r (terms are a "
+            "signal name, '!name', or a comparison like level>=3; "
+            "join terms with '&')" % (name, term))
+    return name
+
+
+def _flag_pred(text):
+    """Parse a flag predicate: '&'-joined terms, each a signal name, a
+    '!'-negated name or a value comparison like ``level>=3``."""
+    from .verify import props
+
+    preds = []
+    for term in text.split("&"):
+        term = term.strip()
+        if not term:
+            raise EclError("empty predicate term in %r" % text)
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if op in term:
+                name, _op, constant = term.partition(op)
+                try:
+                    value = int(constant, 0)
+                except ValueError:
+                    raise EclError("bad value constant in %r" % term)
+                preds.append(props.Value(_signal_name(name, term), op,
+                                         value))
+                break
+        else:
+            if term.startswith("!"):
+                preds.append(props.absent(_signal_name(term[1:], term)))
+            else:
+                preds.append(props.present(_signal_name(term, term)))
+    return props.fold_pred(props.And, preds)
+
+
+def _split_flag(text, parts, flag):
+    pieces = text.rsplit(":", parts - 1)
+    if len(pieces) != parts:
+        raise EclError("%s wants %d ':'-separated parts, got %r"
+                       % (flag, parts, text))
+    return pieces
+
+
+def _flag_properties(args):
+    from .verify import props
+
+    properties = []
+    for text in args.never:
+        properties.append(props.Never(_flag_pred(text)))
+    for text in args.always:
+        properties.append(props.Always(_flag_pred(text)))
+    for text in args.implies:
+        when, then = _split_flag(text, 2, "--implies")
+        properties.append(props.Implies(_flag_pred(when),
+                                        _flag_pred(then)))
+    for text in args.within:
+        trigger, expect, limit = _split_flag(text, 3, "--within")
+        properties.append(props.Within(_flag_pred(trigger),
+                                       _flag_pred(expect), int(limit)))
+    for text in args.eventually:
+        pred, limit = _split_flag(text, 2, "--eventually")
+        properties.append(props.Eventually(_flag_pred(pred), int(limit)))
+    return tuple(properties)
+
+
+def _resolve_ledger(text):
+    if text == "auto":
+        from .farm import default_ledger_root
+        return default_ledger_root()
+    return text
+
+
+def _flag_campaign(args, properties):
+    from .verify import VerifyCampaign
+
+    if not args.file or not args.module:
+        raise EclError("verify/cover needs a design file and -m MODULE "
+                       "(or --spec)")
+    label = os.path.basename(args.file)
+    with open(args.file) as handle:
+        designs = {label: handle.read()}
+    return VerifyCampaign(
+        designs, label, args.module,
+        engine=args.engine if args.engine is not None else "native",
+        properties=properties,
+        rounds=args.rounds if args.rounds is not None else 6,
+        jobs_per_round=args.jobs if args.jobs is not None else 16,
+        length=args.length if args.length is not None else 32,
+        workers=args.workers,
+        ledger_root=_resolve_ledger(args.ledger),
+        target=args.target if args.target is not None else 100.0,
+        salt=args.seed if args.seed is not None else 0,
+    )
+
+
+def _apply_spec_overrides(args, campaign):
+    """Flags given next to ``--spec`` override the spec's values
+    (omitted flags keep the spec's)."""
+    if args.engine is not None:
+        campaign.engine = args.engine
+    if args.rounds is not None:
+        campaign.rounds = max(1, args.rounds)
+    if args.jobs is not None:
+        campaign.jobs_per_round = max(1, args.jobs)
+    if args.length is not None:
+        campaign.length = max(1, args.length)
+    if args.target is not None:
+        campaign.target = args.target
+    if args.seed is not None:
+        campaign.salt = args.seed
+    if args.workers is not None:
+        campaign.workers = args.workers
+    if args.ledger is not None:
+        campaign.ledger_root = _resolve_ledger(args.ledger)
+
+
+def _write_campaign_report(args, result):
+    if args.report:
+        import json
+        with open(args.report, "w") as handle:
+            json.dump(result.as_dict(), handle, indent=2, sort_keys=True)
+        print("wrote %s" % args.report)
+
+
+def _cmd_verify_run(args):
+    if args.spec:
+        if args.file:
+            print("eclc: error: --spec and a positional design file "
+                  "are mutually exclusive (the spec names its designs)",
+                  file=sys.stderr)
+            return 2
+        if _flag_properties(args):
+            print("eclc: error: property flags cannot be combined with "
+                  "--spec (declare properties in the spec)",
+                  file=sys.stderr)
+            return 2
+        if args.module:
+            print("eclc: error: -m/--module cannot be combined with "
+                  "--spec (the spec names its module)", file=sys.stderr)
+            return 2
+        from .verify import load_campaign_spec
+        campaign = load_campaign_spec(args.spec)
+        _apply_spec_overrides(args, campaign)
+    else:
+        properties = _flag_properties(args)
+        if not properties:
+            print("eclc: error: verify run needs at least one property "
+                  "(--never/--always/--implies/--within/--eventually "
+                  "or --spec); for bare coverage use 'eclc cover'",
+                  file=sys.stderr)
+            return 2
+        campaign = _flag_campaign(args, properties)
+    result = campaign.run()
+    print(result.summary())
+    _write_campaign_report(args, result)
+    return 0 if result.ok else 1
+
+
+def _cmd_cover(args):
+    campaign = _flag_campaign(args, ())
+    result = campaign.run()
+    print(result.summary())
+    _write_campaign_report(args, result)
+    if result.errors:
+        return 1
+    if args.fail_under is not None and \
+            result.coverage.transition_percent < args.fail_under:
+        print("eclc: error: transition coverage %.1f%% is below "
+              "--fail-under %.1f%%"
+              % (result.coverage.transition_percent, args.fail_under),
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_dot(args):

@@ -48,11 +48,25 @@ class EfsmReactor:
         for name, var_type in module.variables:
             self.env.declare(name, var_type)
         self._evaluator = Evaluator(self.env)
+        self.coverage = None
+        self._cov_counts = None
+        self._cov_base = None
         self.state = efsm.initial
         self.terminated = False
         self.instants = 0
 
     # ------------------------------------------------------------------
+
+    def enable_coverage(self, coverage):
+        """Attach a :class:`repro.verify.coverage.CoverageMap`: every
+        instant marks the entry state, the taken reaction leaf and the
+        emitted signals.  The leaf's occurrence-based transition id is
+        computed during the walk: start from the state's base id and
+        add the skipped ``then`` subtree's leaf count whenever an
+        ``otherwise`` branch is taken."""
+        self.coverage = coverage
+        self._cov_counts = self.efsm.leaf_counts()
+        self._cov_base = self.efsm.state_leaf_base()
 
     def react(self, inputs=None, values=None):
         """Run one instant through the decision tree."""
@@ -70,14 +84,26 @@ class EfsmReactor:
         emitted = set()
         delta = False
         self.env.count("react")
-        node = self.efsm.state(self.state).reaction
+        entry = self.state
+        cov = self.coverage
+        node = self.efsm.state(entry).reaction
+        tid = self._cov_base[entry] if cov is not None else 0
         while not isinstance(node, Leaf):
             if isinstance(node, TestSignal):
                 slot = self.signals[node.signal]
-                node = node.then if slot.present else node.otherwise
+                if slot.present:
+                    node = node.then
+                else:
+                    if cov is not None:
+                        tid += self._cov_counts[id(node.then)]
+                    node = node.otherwise
             elif isinstance(node, TestData):
-                node = node.then if self._evaluator.eval_bool(node.cond) \
-                    else node.otherwise
+                if self._evaluator.eval_bool(node.cond):
+                    node = node.then
+                else:
+                    if cov is not None:
+                        tid += self._cov_counts[id(node.then)]
+                    node = node.otherwise
             elif isinstance(node, DoAction):
                 self._evaluator.exec_stmt(node.stmt)
                 node = node.next
@@ -91,6 +117,11 @@ class EfsmReactor:
             else:
                 raise EvalError("corrupt reaction tree node %r" % (node,))
         delta = node.delta
+        if cov is not None:
+            cov.states[entry] = 1
+            cov.transitions[tid] = 1
+            for name in emitted:
+                cov.mark_emit(name)
         if node.target == TERMINATED:
             self.terminated = True
         else:

@@ -183,6 +183,45 @@ PROTOCOL_STACK_FIGURES_ECL = "\n".join(
      TOPLEVEL_ECL]
 )
 
+DOOR_CTRL_ECL = """\
+/* Elevator door + motor interlock (the verification-workflow design:
+   examples/verification_workflow.py, examples/coverage_campaign.py and
+   the repro.verify campaign tests all drive it). */
+
+module door_ctrl (input pure tick, input pure call_btn,
+                  output pure door_open, output pure motor_on)
+{
+    while (1) {
+        await (call_btn);
+        /* close the door, then run the motor for two ticks */
+        await (tick);
+        emit (motor_on);
+        await (tick);
+        emit (motor_on);
+        await (tick);
+        /* arrived: open the door */
+        emit (door_open);
+        await (tick);
+    }
+}
+
+/* Observer: the motor must never run while the door is open. */
+module interlock (input pure door_open, input pure motor_on,
+                  output pure error)
+{
+    while (1) {
+        await (door_open & motor_on);
+        emit (error);
+    }
+}
+"""
+
+#: The classic bug: the motor keeps running while the door opens.
+DOOR_CTRL_BUGGY_ECL = DOOR_CTRL_ECL.replace(
+    "/* arrived: open the door */\n        emit (door_open);",
+    "/* arrived: open the door */\n        emit (door_open);"
+    " emit (motor_on);")
+
 AUDIO_BUFFER_ECL = """\
 /* Audio buffer controller of a voice-mail pager (reconstruction of the
    paper's second Table 1 design; see repro.designs docstring). */

@@ -103,6 +103,12 @@ class Efsm:
         default=None, init=False, repr=False, compare=False)
     _tested_inputs: Optional[frozenset] = field(
         default=None, init=False, repr=False, compare=False)
+    _leaf_counts: Optional[dict] = field(
+        default=None, init=False, repr=False, compare=False)
+    _state_leaf_base: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False)
+    _transition_table: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def state(self, index):
         return self.states[index]
@@ -141,6 +147,60 @@ class Efsm:
             self._tested_inputs = names
         return names
 
+    def __getstate__(self):
+        # The leaf-count cache is keyed by object identity; after an
+        # unpickle those keys would point at dead objects (and could
+        # collide with new ids), so it never crosses a pickle boundary.
+        state = self.__dict__.copy()
+        state["_leaf_counts"] = None
+        return state
+
+    def transition_table(self):
+        """``(source_state, target_state, delta)`` per transition id.
+
+        A *transition id* numbers every reaction-leaf **occurrence**
+        machine-wide, dense and deterministic: states in index order,
+        leaves in the left-to-right order of
+        :func:`iter_reaction_leaves` — the same order the native
+        lowerer visits them and the same arithmetic the tree walker
+        uses (:meth:`leaf_counts` / :meth:`state_leaf_base`), so every
+        engine marks the same coverage bit for the same edge.  Leaf
+        objects shared between tree positions (the optimizer dedupes
+        them) get one id per *occurrence*; the table length always
+        equals :meth:`transition_count`.
+        """
+        if self._transition_table is None:
+            table = []
+            for state in self.states:
+                for leaf in iter_reaction_leaves(state.reaction):
+                    table.append((state.index, leaf.target, leaf.delta))
+            self._transition_table = tuple(table)
+        return self._transition_table
+
+    def state_leaf_base(self):
+        """Per-state first transition id (prefix sums of leaf counts)."""
+        if self._state_leaf_base is None:
+            base = []
+            total = 0
+            for state in self.states:
+                base.append(total)
+                total += count_leaves(state.reaction)
+            self._state_leaf_base = tuple(base)
+        return self._state_leaf_base
+
+    def leaf_counts(self):
+        """``id(node) -> leaves in that subtree`` for every reaction
+        node (cached; shared subtrees agree by construction).  The tree
+        walker adds ``leaf_counts[id(then)]`` whenever it takes an
+        ``otherwise`` branch, which yields the leaf's occurrence-based
+        transition id without any per-leaf identity."""
+        if self._leaf_counts is None:
+            counts = {}
+            for state in self.states:
+                _count_into(state.reaction, counts)
+            self._leaf_counts = counts
+        return self._leaf_counts
+
     def describe(self):
         lines = ["efsm %s: %d states, %d reaction leaves"
                  % (self.name, self.state_count, self.transition_count())]
@@ -170,6 +230,42 @@ def walk_reaction(node):
 
 def count_leaves(node):
     return sum(1 for n in walk_reaction(node) if isinstance(n, Leaf))
+
+
+def iter_reaction_leaves(node):
+    """Every leaf of one reaction tree, in deterministic left-to-right
+    order (``then`` before ``otherwise``, action/emit chains followed).
+    A shared leaf object is yielded once per occurrence."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current is None:
+            continue
+        if isinstance(current, Leaf):
+            yield current
+        elif isinstance(current, (TestSignal, TestData)):
+            stack.append(current.otherwise)
+            stack.append(current.then)
+        elif isinstance(current, (DoAction, DoEmit)):
+            stack.append(current.next)
+
+
+def _count_into(node, counts):
+    """Memoized (by identity) leaf count of every subtree of ``node``."""
+    cached = counts.get(id(node))
+    if cached is not None:
+        return cached
+    if isinstance(node, Leaf):
+        count = 1
+    elif isinstance(node, (TestSignal, TestData)):
+        count = _count_into(node.then, counts) \
+            + _count_into(node.otherwise, counts)
+    elif isinstance(node, (DoAction, DoEmit)):
+        count = _count_into(node.next, counts)
+    else:
+        count = 0
+    counts[id(node)] = count
+    return count
 
 
 def _describe_node(node, indent, printer):

@@ -121,6 +121,19 @@ class ReactorEngine:
     def terminated(self):
         return self.reactor.terminated
 
+    def enable_coverage(self, coverage):
+        """Attach a coverage map when the underlying reactor supports
+        state/transition marking (efsm and native engines do; the
+        interpreter has no EFSM states, so only record-level emit
+        marking applies to it).  Returns True when the reactor is
+        instrumented — its per-instant probe then also marks emits, so
+        the caller must not re-mark them from records."""
+        hook = getattr(self.reactor, "enable_coverage", None)
+        if hook is None:
+            return False
+        hook(coverage)
+        return True
+
     def input_alphabet(self):
         """``(name, is_pure)`` pairs for stimulus generation.
 

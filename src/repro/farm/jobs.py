@@ -35,6 +35,22 @@ STATUS_OK = "ok"
 STATUS_TERMINATED = "terminated"
 STATUS_DIVERGED = "diverged"
 STATUS_ERROR = "error"
+STATUS_VIOLATED = "violated"
+
+
+def random_instant(rng, inputs, present_prob, value_range):
+    """One random instant over an input alphabet: each ``(name,
+    is_pure)`` entry is present with ``present_prob``, carrying a value
+    drawn from ``value_range`` when valued.  Shared by the spec
+    materializer and the verify fuzzer's mutations, so both sample the
+    identical distribution (and consume the rng identically)."""
+    low, high = value_range
+    instant = {}
+    for name, is_pure in inputs:
+        if rng.random() >= present_prob:
+            continue
+        instant[name] = None if is_pure else rng.randint(low, high)
+    return instant
 
 
 @dataclass(frozen=True)
@@ -88,16 +104,10 @@ class StimulusSpec:
         if self.kind != "random":
             raise EclError("unknown stimulus kind %r" % self.kind)
         rng = random.Random(seed)
-        low, high = self.value_range
-        instants = []
-        for _ in range(self.length):
-            instant = {}
-            for name, is_pure in inputs:
-                if rng.random() >= self.present_prob:
-                    continue
-                instant[name] = None if is_pure else rng.randint(low, high)
-            instants.append(instant)
-        return instants
+        return [
+            random_instant(rng, inputs, self.present_prob, self.value_range)
+            for _ in range(self.length)
+        ]
 
     def describe(self):
         if self.kind == "explicit":
@@ -122,6 +132,14 @@ class SimJob:
     priority)`` or ``(task_name, module_name, priority, bindings)``
     with ``bindings`` a tuple of ``(formal, network)`` signal renames.
     Empty means one task wrapping ``module``.
+
+    Verification jobs (the :mod:`repro.verify` campaign surface) carry
+    two extra fields: ``properties`` — a tuple of
+    :class:`repro.verify.props.Property` dataclasses compiled into a
+    monitor bundle worker-side — and ``collect_coverage``, which
+    attaches state/transition/emit coverage bitmaps to the engine and
+    returns them in the result.  Both default off and (for backward
+    job-id stability) only enter the job identity when set.
     """
 
     design: str
@@ -132,6 +150,8 @@ class SimJob:
     index: int = 0  # unique position within the batch
     record_vcd: bool = False
     tasks: Tuple[tuple, ...] = ()
+    properties: Tuple = ()
+    collect_coverage: bool = False
 
     def __post_init__(self):
         if self.engine not in ENGINE_NAMES:
@@ -143,18 +163,20 @@ class SimJob:
     @property
     def job_id(self):
         """Stable content address of this job's full definition."""
-        text = "\x1f".join(
-            (
-                "design=%s" % self.design,
-                "module=%s" % self.module,
-                "engine=%s" % self.engine,
-                "stimulus=%r" % (self.stimulus,),
-                "horizon=%d" % self.horizon,
-                "index=%d" % self.index,
-                "tasks=%r" % (self.tasks,),
-            )
-        )
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+        parts = [
+            "design=%s" % self.design,
+            "module=%s" % self.module,
+            "engine=%s" % self.engine,
+            "stimulus=%r" % (self.stimulus,),
+            "horizon=%d" % self.horizon,
+            "index=%d" % self.index,
+            "tasks=%r" % (self.tasks,),
+        ]
+        if self.properties:
+            parts.append("properties=%r" % (self.properties,))
+        if self.collect_coverage:
+            parts.append("coverage=1")
+        return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
     @property
     def seed(self):
@@ -192,6 +214,9 @@ class SimResult:
     trace_path: Optional[str] = None
     error: Optional[str] = None
     divergence: Optional[str] = None
+    violation: Optional[str] = None
+    violation_instant: int = -1
+    coverage: Optional[dict] = None
     worker_pid: int = 0
 
     @property
@@ -207,6 +232,11 @@ class SimResult:
             tail = "  %s" % self.error.splitlines()[0]
         elif self.divergence:
             tail = "  %s" % self.divergence.splitlines()[0]
+        elif self.violation:
+            tail = "  instant %d: %s" % (
+                self.violation_instant,
+                self.violation.splitlines()[0],
+            )
         label = "%s/%s[%s]#%d" % (
             self.design,
             self.module,

@@ -31,6 +31,7 @@ from .jobs import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TERMINATED,
+    STATUS_VIOLATED,
     SimResult,
 )
 from .ledger import TraceLedger
@@ -84,11 +85,28 @@ class WorkerState:
         )
         started = perf_counter()
         try:
+            coverage = self._coverage_for(job) if job.collect_coverage else None
+            attached = False
             if job.engine == "equivalence":
                 records, status, divergence = self._run_equivalence(job)
                 result.divergence = divergence
             else:
-                records, status = self._run_single(job)
+                records, status, attached = self._run_single(job, coverage)
+            if coverage is not None:
+                if not attached:
+                    # Engines without reactor instrumentation (interp,
+                    # rtos) still contribute observable emit coverage;
+                    # instrumented reactors marked emits per instant
+                    # already (including local signals records miss).
+                    for record in records:
+                        coverage.mark_emits(record["emitted"])
+                result.coverage = coverage.as_payload()
+            if job.properties:
+                violation = self._check_properties(job, records)
+                if violation is not None:
+                    status = STATUS_VIOLATED
+                    result.violation = violation.property_text
+                    result.violation_instant = violation.instant
             result.status = status
             result.instants = len(records)
             result.emitted_events = sum(len(r["emitted"]) for r in records)
@@ -113,15 +131,41 @@ class WorkerState:
             instants.append({})
         return instants[:budget]
 
-    def _run_single(self, job):
+    def _coverage_for(self, job):
+        """A fresh coverage map sized by the job module's EFSM tables."""
+        from ..verify.coverage import CoverageMap
+
+        handle = self.build(job.design).module(job.module)
+        return CoverageMap.for_efsm(handle.efsm())
+
+    def _check_properties(self, job, records):
+        """Step a compiled monitor bundle over the job's records;
+        returns the first :class:`~repro.verify.monitor.Violation` (or
+        None).  The bundle is content-addressed in the pipeline cache,
+        so each worker compiles it at most once per design."""
+        from ..verify.monitor import Monitor
+
+        handle = self.build(job.design).module(job.module)
+        monitor = Monitor(handle.monitor_bundle(job.properties))
+        for record in records:
+            monitor.step_record(record)
+        return monitor.first_violation
+
+    def _run_single(self, job, coverage=None):
+        """``(records, status, coverage_attached)`` for one plain job."""
         engine = build_engine(job.engine, self.handles(job.design), job)
+        attached = False
+        if coverage is not None:
+            attach = getattr(engine, "enable_coverage", None)
+            if attach is not None:
+                attached = bool(attach(coverage))
         stimulus = self._stimulus(job, engine)
         step_many = getattr(engine, "step_many", None)
         if step_many is not None:
             # Batched-instant loop (native engine): one call per job.
             records = step_many(stimulus)
             status = STATUS_TERMINATED if engine.terminated else STATUS_OK
-            return records, status
+            return records, status, attached
         records = []
         status = STATUS_OK
         for instant in stimulus:
@@ -129,7 +173,7 @@ class WorkerState:
             if engine.terminated:
                 status = STATUS_TERMINATED
                 break
-        return records, status
+        return records, status, attached
 
     def _run_equivalence(self, job):
         """The interpreter in lockstep with both compiled engines (efsm

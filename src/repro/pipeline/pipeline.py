@@ -355,11 +355,29 @@ class ModuleHandle:
     def native_code(self):
         """Stage ``native``: the lowered
         :class:`~repro.runtime.native.NativeCode` bundle (cached, so a
-        warm build binds reactors without re-running the lowerer)."""
+        warm build binds reactors without re-running the lowerer).
+        The key carries a format tag: state functions pack transition
+        ids since v2, so a persistent cache never serves a bundle with
+        the old return convention."""
         def compute():
             from ..runtime.native import compile_native
             return compile_native(self.efsm())
-        return self._stage("native", compute, kind="native-code")
+        return self._stage("native", compute, kind="native-code",
+                           key_stage="native@v2")
+
+    def monitor_bundle(self, properties):
+        """Stage ``monitor``: the compiled
+        :class:`~repro.verify.monitor.MonitorProgram` for a property
+        tuple, content-addressed by the properties' digest — farm
+        workers re-running a verification campaign bind monitors
+        without re-lowering them."""
+        from ..verify.monitor import bundle_digest, compile_bundle
+        props = tuple(properties)
+        def compute():
+            return compile_bundle(props)
+        return self._stage(
+            "monitor", compute, kind="monitor-program",
+            key_stage="monitor@%s" % bundle_digest(props)[:16])
 
     def reactor(self, engine="efsm", counter=None, builtins=None):
         """A runnable instance: ``engine`` is "native" (closure-compiled

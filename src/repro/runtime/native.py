@@ -23,9 +23,18 @@ per state — and runs that natively:
   copies, ...) fall back to closures over the reference evaluator, so
   behaviour is always *identical* to the interpreted engines — only
   faster;
-* each state function returns ``(next_state, emitted_mask, delta)``;
+* aggregate-to-aggregate copies (``emit_v(outpkt, buffer)`` and plain
+  struct/union assignment) lower to ``bytearray`` slice moves between
+  the two compile-time-resolved regions — what used to be the protocol
+  stack's evaluator residue is now native;
+* each state function returns ``(next_state, emitted_mask, packed)``;
   the mask has one bit per output signal, decoded (and cached) into the
-  instant's :class:`~repro.runtime.reactor.ReactorOutput`.
+  instant's :class:`~repro.runtime.reactor.ReactorOutput`; ``packed``
+  carries the leaf's delta flag in bit 0 and its machine-wide
+  transition id (:meth:`repro.efsm.machine.Efsm.transition_table`) in
+  the remaining bits, so the coverage bitmaps of :mod:`repro.verify` mark
+  transitions at the cost of one shift — and zero cost when coverage is
+  not enabled.
 
 The result of lowering is a picklable :class:`NativeCode` bundle, which
 the pipeline content-addresses in its ``ArtifactCache`` (stage
@@ -334,6 +343,10 @@ class _Lowerer:
 
     def __init__(self, efsm):
         self.efsm = efsm
+        #: Next transition id: leaf occurrences are numbered in the
+        #: exact order _node() visits them, which is the order of
+        #: Efsm.transition_table() — both walk then-before-otherwise.
+        self.next_tid = 0
         module = efsm.module
         self.pinned = _address_taken(efsm)
 
@@ -676,6 +689,36 @@ class _Lowerer:
             return "(%s) %s (%s)" % (left, op, right)
         raise Unlowerable("binary %r" % op)
 
+    def _copy_aggregate(self, dst_addr, dst_type, value_expr):
+        """Aggregate-to-aggregate copy as a ``bytearray`` slice move —
+        observably identical to the evaluator's load-bytes/store pair
+        (zero-pad when the source is shorter, truncate when longer;
+        the slice RHS snapshots, so overlap behaves the same too)."""
+        src_type = self._type_of(value_expr)
+        if not isinstance(src_type, (StructType, UnionType)):
+            raise Unlowerable("aggregate copy source %s" % src_type)
+        _kind, src_addr, _stype = self._memory_location(value_expr)
+        dst = self.temp()
+        src = self.temp()
+        self.emit("%s = %s" % (dst, dst_addr))
+        self.emit("%s = %s" % (src, src_addr))
+        n = min(dst_type.size, src_type.size)
+        self.emit("D[%s:%s + %d] = D[%s:%s + %d]" % (dst, dst, n, src, src, n))
+        if n < dst_type.size:
+            self.emit(
+                "D[%s + %d:%s + %d] = bytes(%d)"
+                % (dst, n, dst, dst_type.size, dst_type.size - n)
+            )
+
+    def _aggregate_assign_stmt(self, expr):
+        """``a = b;`` on structs/unions (statement context only — the
+        evaluator's byte-string result value has no cheap native
+        equivalent, so value uses stay fallbacks)."""
+        kind, dst_addr, dst_type = self.location(expr.target)
+        if kind != "mem" or not isinstance(dst_type, (StructType, UnionType)):
+            raise Unlowerable("aggregate assignment target")
+        self._copy_aggregate(dst_addr, dst_type, expr.value)
+
     def _assign(self, expr):
         loc = self.location(expr.target)  # evaluator order: lvalue first
         ctype = loc[2]
@@ -744,7 +787,15 @@ class _Lowerer:
 
     def stmt(self, stmt):
         if isinstance(stmt, ast.ExprStmt):
-            text = self.expr(stmt.expr)
+            expr = stmt.expr
+            if (
+                isinstance(expr, ast.Assign)
+                and expr.op == "="
+                and isinstance(self._type_of(expr.target), (StructType, UnionType))
+            ):
+                self._aggregate_assign_stmt(expr)
+                return
+            text = self.expr(expr)
             if not _ATOM.fullmatch(text):
                 self.emit(text)  # preserve faults of pure expressions
         elif isinstance(stmt, ast.VarDecl):
@@ -941,6 +992,8 @@ class _Lowerer:
         elif isinstance(ctype, _INTEGERS):
             value = self.wrap(self.expr(value_expr), ctype)
             self._mem_write(self.base_name("sig", name), ctype, value)
+        elif isinstance(ctype, (StructType, UnionType)):
+            self._copy_aggregate(self.base_name("sig", name), ctype, value_expr)
         else:
             raise Unlowerable("aggregate emit")
 
@@ -955,8 +1008,9 @@ class _Lowerer:
 
     def _node(self, node):
         if isinstance(node, Leaf):
-            delta = 1 if node.delta else 0
-            self.emit("return (%d, m, %d)" % (node.target, delta))
+            packed = (1 if node.delta else 0) | (self.next_tid << 1)
+            self.next_tid += 1
+            self.emit("return (%d, m, %d)" % (node.target, packed))
         elif isinstance(node, TestSignal):
             self.emit("if P[%d]:" % self.pindex[node.signal])
             self.indent += 1
@@ -1014,6 +1068,9 @@ def compile_native(efsm):
     lowerer.lines.append("")
     for state in efsm.states:
         lowerer.lower_state(state)
+    assert lowerer.next_tid == efsm.transition_count(), (
+        "transition-id walk diverged from the machine tables"
+    )
     names = ", ".join("_s%d" % state.index for state in efsm.states)
     lowerer.lines.append("STATE_FUNCS = [%s]" % names)
     source = "\n".join(lowerer.lines) + "\n"
@@ -1127,6 +1184,8 @@ class NativeReactor:
 
         self._input_slots = {s.name: s for s in self.signals.inputs()}
         self._mask_cache = {}
+        self.coverage = None
+        self._cov_emit_probe = ()
         self.state = code.initial
         self.terminated = False
         self.instants = 0
@@ -1181,6 +1240,26 @@ class NativeReactor:
 
     # ------------------------------------------------------------------
 
+    def enable_coverage(self, coverage):
+        """Attach a :class:`repro.verify.coverage.CoverageMap` (or any
+        object with ``states``/``transitions`` bitmaps and a
+        ``mark_emit`` method): every subsequent instant marks the entry
+        state, the taken transition and emitted signals."""
+        self.coverage = coverage
+        probe = []
+        for signal in self.signals:
+            if signal.direction != "input":
+                probe.append((signal.pidx, signal.name))
+        self._cov_emit_probe = tuple(probe)
+
+    def _mark_coverage(self, cov, entry, packed):
+        cov.states[entry] = 1
+        cov.transitions[packed >> 1] = 1
+        present = self._present
+        for pidx, name in self._cov_emit_probe:
+            if present[pidx]:
+                cov.mark_emit(name)
+
     def react(self, inputs=None, values=None):
         """Run one instant through the compiled reaction function."""
         if self.terminated:
@@ -1195,13 +1274,17 @@ class NativeReactor:
                 if name not in values:
                     self._inject(name, None)
         self.env.count("react")
-        target, mask, delta = self._funcs[self.state]()
+        entry = self.state
+        target, mask, packed = self._funcs[entry]()
         self.instants += 1
+        cov = self.coverage
+        if cov is not None:
+            self._mark_coverage(cov, entry, packed)
         if target == TERMINATED:
             self.terminated = True
         else:
             self.state = target
-        return self._output(mask, delta)
+        return self._output(mask, packed & 1)
 
     def _output(self, mask, delta):
         if mask:
@@ -1238,19 +1321,22 @@ class NativeReactor:
         inject = self._inject
         count = self.env.count
         output = self._output
+        cov = self.coverage
         for instant in instants:
             present[:] = pzero
             for name, value in instant.items():
                 inject(name, value)
             count("react")
-            target, mask, delta = funcs[self.state]()
+            target, mask, packed = funcs[self.state]()
             self.instants += 1
+            if cov is not None:
+                self._mark_coverage(cov, self.state, packed)
             if target == TERMINATED:
                 self.terminated = True
-                outputs.append(output(mask, delta))
+                outputs.append(output(mask, packed & 1))
                 break
             self.state = target
-            outputs.append(output(mask, delta))
+            outputs.append(output(mask, packed & 1))
         return outputs
 
     # Same convenience surface as the other reactors.

@@ -1,0 +1,83 @@
+"""repro.verify — verification as a first-class, farm-scale subsystem.
+
+The paper's Section 2 claim — the control part of ECL "is equivalent to
+an EFSM", so "one can perform property verification, implementation
+verification, and a battery of logic optimization algorithms" — used to
+be exercised only by hand-written ECL observer modules on the slow
+interpreter.  This package makes the claim operational at native-engine
+speed, in three layers:
+
+* **Properties** (:mod:`repro.verify.props`,
+  :mod:`repro.verify.monitor`) — declarative temporal assertions
+  (``always`` / ``never`` / ``implies`` / ``within`` / ``eventually`` /
+  ``sequence``) compiled once into a slot-indexed monitor closure that
+  steps alongside any engine and reports violations with the offending
+  instant;
+* **Coverage** (:mod:`repro.verify.coverage`) — flat ``bytearray``
+  state/transition/emit bitmaps keyed by the cached
+  :class:`~repro.efsm.machine.Efsm` tables, instrumented into the
+  reactor engines, mergeable across farm processes, rendered as a
+  :class:`CoverageReport`;
+* **Campaigns** (:mod:`repro.verify.campaign`) — a coverage-guided
+  stimulus fuzzer sharded over the
+  :class:`~repro.farm.farm.SimulationFarm`, with minimized
+  counterexamples (:mod:`repro.verify.minimize`) persisted to the
+  :class:`~repro.farm.ledger.TraceLedger`.
+
+Entry points: the combinators below in Python, ``eclc verify run`` and
+``eclc cover`` on the command line (flags or a JSON campaign spec,
+:mod:`repro.verify.spec`).
+"""
+
+from .campaign import CampaignResult, CampaignViolation, VerifyCampaign
+from .coverage import CoverageMap, CoverageReport
+from .minimize import minimize_stimulus
+from .monitor import (
+    Monitor,
+    MonitoredReactor,
+    MonitorProgram,
+    Violation,
+    bundle_digest,
+    compile_bundle,
+)
+from .props import (
+    absent,
+    always,
+    eventually,
+    implies,
+    never,
+    parse_pred,
+    parse_property,
+    present,
+    sequence,
+    value,
+    within,
+)
+from .spec import load_campaign_spec
+
+__all__ = [
+    "CampaignResult",
+    "CampaignViolation",
+    "CoverageMap",
+    "CoverageReport",
+    "Monitor",
+    "MonitoredReactor",
+    "MonitorProgram",
+    "VerifyCampaign",
+    "Violation",
+    "absent",
+    "always",
+    "bundle_digest",
+    "compile_bundle",
+    "eventually",
+    "implies",
+    "load_campaign_spec",
+    "minimize_stimulus",
+    "never",
+    "parse_pred",
+    "parse_property",
+    "present",
+    "sequence",
+    "value",
+    "within",
+]

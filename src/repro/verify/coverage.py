@@ -1,0 +1,271 @@
+"""Cheap coverage bitmaps over the compiled EFSM.
+
+A :class:`CoverageMap` is three flat ``bytearray`` bitmaps keyed by the
+cached machine tables of :class:`repro.efsm.machine.Efsm`:
+
+* **states** — one mark per control state whose reaction executed;
+* **transitions** — one mark per reaction leaf taken, indexed by the
+  occurrence-based transition ids of :meth:`Efsm.transition_table`
+  (the native engine packs the id into each state function's return
+  value, the tree walker derives it from skip-count arithmetic — both
+  mark the same bit);
+* **emits** — one mark per signal the machine can emit
+  (:meth:`Efsm.emitted_signals`), set when some instant emitted it.
+
+Maps are plain data: they pickle across the farm's process boundary,
+merge with byte-wise OR, and serialize to hex payloads small enough to
+ride inside every :class:`~repro.farm.jobs.SimResult`.  A
+:class:`CoverageReport` renders one map against its machine — percent
+coverage per dimension plus the uncovered-transition listing that
+drives the fuzzer's guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..efsm.machine import TERMINATED
+from ..errors import EclError
+
+
+class CoverageMap:
+    """State/transition/emit coverage bitmaps for one module."""
+
+    __slots__ = ("module", "states", "transitions", "emits", "emit_names",
+                 "_emit_index")
+
+    def __init__(self, module, state_count, transition_count, emit_names):
+        self.module = module
+        self.states = bytearray(state_count)
+        self.transitions = bytearray(transition_count)
+        self.emit_names = tuple(emit_names)
+        self.emits = bytearray(len(self.emit_names))
+        self._emit_index = {name: i for i, name in enumerate(self.emit_names)}
+
+    @classmethod
+    def for_efsm(cls, efsm):
+        return cls(
+            efsm.name,
+            efsm.state_count,
+            len(efsm.transition_table()),
+            sorted(efsm.emitted_signals()),
+        )
+
+    # -- marking -------------------------------------------------------
+
+    def mark_state(self, index):
+        self.states[index] = 1
+
+    def mark_transition(self, tid):
+        self.transitions[tid] = 1
+
+    def mark_emit(self, name):
+        index = self._emit_index.get(name)
+        if index is not None:
+            self.emits[index] = 1
+
+    def mark_emits(self, names):
+        for name in names:
+            self.mark_emit(name)
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, other):
+        """Byte-wise OR of another map (same shape) into this one."""
+        self._check_shape(len(other.states), len(other.transitions),
+                          len(other.emits))
+        _or_into(self.states, other.states)
+        _or_into(self.transitions, other.transitions)
+        _or_into(self.emits, other.emits)
+        return self
+
+    def merge_payload(self, payload):
+        """Merge the hex payload of :meth:`as_payload` (what farm
+        workers send back) into this map."""
+        states = bytes.fromhex(payload["states"])
+        transitions = bytes.fromhex(payload["transitions"])
+        emits = bytes.fromhex(payload["emits"])
+        self._check_shape(len(states), len(transitions), len(emits))
+        _or_into(self.states, states)
+        _or_into(self.transitions, transitions)
+        _or_into(self.emits, emits)
+        return self
+
+    def _check_shape(self, states, transitions, emits):
+        shape = (len(self.states), len(self.transitions), len(self.emits))
+        if (states, transitions, emits) != shape:
+            raise EclError(
+                "coverage shape mismatch for %s: got (%d, %d, %d), "
+                "expected (%d, %d, %d) — different design or options?"
+                % ((self.module, states, transitions, emits) + shape)
+            )
+
+    def as_payload(self):
+        """JSON-clean dict (hex bitmaps + covered counts)."""
+        return {
+            "module": self.module,
+            "states": bytes(self.states).hex(),
+            "transitions": bytes(self.transitions).hex(),
+            "emits": bytes(self.emits).hex(),
+            "covered_states": self.covered_states,
+            "covered_transitions": self.covered_transitions,
+            "covered_emits": self.covered_emits,
+        }
+
+    def adds_to(self, other):
+        """True when this map covers at least one bit ``other`` lacks
+        (the fuzzer's "interesting input" test)."""
+        for mine, theirs in (
+            (self.transitions, other.transitions),
+            (self.states, other.states),
+            (self.emits, other.emits),
+        ):
+            for a, b in zip(mine, theirs):
+                if a and not b:
+                    return True
+        return False
+
+    # -- counters ------------------------------------------------------
+
+    @property
+    def covered_states(self):
+        return sum(self.states)
+
+    @property
+    def covered_transitions(self):
+        return sum(self.transitions)
+
+    @property
+    def covered_emits(self):
+        return sum(self.emits)
+
+    @property
+    def transition_percent(self):
+        return _percent(self.covered_transitions, len(self.transitions))
+
+    @property
+    def state_percent(self):
+        return _percent(self.covered_states, len(self.states))
+
+    @property
+    def emit_percent(self):
+        return _percent(self.covered_emits, len(self.emits))
+
+    def __repr__(self):
+        return "<CoverageMap %s states %d/%d transitions %d/%d emits %d/%d>" % (
+            self.module,
+            self.covered_states,
+            len(self.states),
+            self.covered_transitions,
+            len(self.transitions),
+            self.covered_emits,
+            len(self.emits),
+        )
+
+
+def _or_into(target, source):
+    for index, byte in enumerate(source):
+        if byte:
+            target[index] = 1
+
+
+def _percent(covered, total):
+    if total <= 0:
+        return 100.0
+    return 100.0 * covered / total
+
+
+@dataclass
+class CoverageReport:
+    """One coverage map rendered against its machine."""
+
+    module: str
+    state_percent: float
+    transition_percent: float
+    emit_percent: float
+    covered_states: int
+    total_states: int
+    covered_transitions: int
+    total_transitions: int
+    covered_emits: int
+    total_emits: int
+    #: ``(tid, source_state, target_state, delta)`` per uncovered leaf.
+    uncovered_transitions: Tuple[tuple, ...] = ()
+    uncovered_emits: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_map(cls, coverage, efsm):
+        table = efsm.transition_table()
+        uncovered = tuple(
+            (tid,) + table[tid]
+            for tid in range(len(table))
+            if not coverage.transitions[tid]
+        )
+        missing_emits = tuple(
+            name
+            for index, name in enumerate(coverage.emit_names)
+            if not coverage.emits[index]
+        )
+        return cls(
+            module=coverage.module,
+            state_percent=coverage.state_percent,
+            transition_percent=coverage.transition_percent,
+            emit_percent=coverage.emit_percent,
+            covered_states=coverage.covered_states,
+            total_states=len(coverage.states),
+            covered_transitions=coverage.covered_transitions,
+            total_transitions=len(coverage.transitions),
+            covered_emits=coverage.covered_emits,
+            total_emits=len(coverage.emits),
+            uncovered_transitions=uncovered,
+            uncovered_emits=missing_emits,
+        )
+
+    @property
+    def complete(self):
+        return self.covered_transitions == self.total_transitions
+
+    def as_dict(self):
+        return {
+            "module": self.module,
+            "state_percent": self.state_percent,
+            "transition_percent": self.transition_percent,
+            "emit_percent": self.emit_percent,
+            "covered_states": self.covered_states,
+            "total_states": self.total_states,
+            "covered_transitions": self.covered_transitions,
+            "total_transitions": self.total_transitions,
+            "covered_emits": self.covered_emits,
+            "total_emits": self.total_emits,
+            "uncovered_transitions": [list(t) for t in self.uncovered_transitions],
+            "uncovered_emits": list(self.uncovered_emits),
+        }
+
+    def summary(self):
+        lines = [
+            "coverage %s: states %d/%d (%.1f%%)  transitions %d/%d "
+            "(%.1f%%)  emits %d/%d (%.1f%%)"
+            % (
+                self.module,
+                self.covered_states,
+                self.total_states,
+                self.state_percent,
+                self.covered_transitions,
+                self.total_transitions,
+                self.transition_percent,
+                self.covered_emits,
+                self.total_emits,
+                self.emit_percent,
+            )
+        ]
+        for tid, source, target, delta in self.uncovered_transitions:
+            where = "END" if target == TERMINATED else "s%d" % target
+            suffix = " (delta)" if delta else ""
+            lines.append(
+                "  uncovered transition #%d: s%d -> %s%s"
+                % (tid, source, where, suffix)
+            )
+        for name in self.uncovered_emits:
+            lines.append("  never emitted: %s" % name)
+        return "\n".join(lines)

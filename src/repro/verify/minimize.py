@@ -1,0 +1,75 @@
+"""Counterexample minimization: shrink a violating stimulus.
+
+Given a stimulus (list of instant dicts) that makes some check fail,
+:func:`minimize_stimulus` returns a smaller stimulus that still fails —
+deterministically, by replaying the check on candidate reductions:
+
+1. **truncate** to the violation instant (everything after the first
+   violation is noise by construction);
+2. **drop instants** — chunked delta-debugging passes (halving chunk
+   sizes, then single instants) until no instant can be removed;
+3. **thin instants** — drop each (signal, value) entry of each
+   surviving instant that the violation does not need.
+
+The ``check`` callable receives a candidate stimulus and returns the
+violation instant (int) or ``None``; it must be pure — the campaign
+passes a closure that replays a fresh engine plus a fresh monitor.
+"""
+
+from __future__ import annotations
+
+
+def minimize_stimulus(check, stimulus, max_replays=2000):
+    """Smallest stimulus (by the passes above) still failing ``check``.
+
+    Returns ``(minimized, replays)``; the input list is not modified.
+    ``max_replays`` bounds the replay budget (the result is still a
+    valid counterexample when the budget runs out, just less minimal).
+    """
+    budget = [max_replays]
+
+    def failing(candidate):
+        if budget[0] <= 0:
+            return None
+        budget[0] -= 1
+        return check(candidate)
+
+    trace = [dict(instant) for instant in stimulus]
+    violated_at = failing(trace)
+    if violated_at is None:
+        return trace, max_replays - budget[0]
+    trace = trace[: violated_at + 1]
+
+    trace = _drop_instants(failing, trace)
+    trace = _thin_instants(failing, trace)
+    return trace, max_replays - budget[0]
+
+
+def _drop_instants(failing, trace):
+    chunk = max(1, len(trace) // 2)
+    while chunk >= 1:
+        changed = True
+        while changed:
+            changed = False
+            start = 0
+            while start < len(trace):
+                candidate = trace[:start] + trace[start + chunk:]
+                if candidate and failing(candidate) is not None:
+                    trace = candidate
+                    changed = True
+                else:
+                    start += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+    return trace
+
+
+def _thin_instants(failing, trace):
+    for index in range(len(trace)):
+        for name in sorted(trace[index]):
+            candidate = [dict(instant) for instant in trace]
+            del candidate[index][name]
+            if failing(candidate) is not None:
+                trace = candidate
+    return trace

@@ -1,0 +1,348 @@
+"""Declarative temporal properties over ECL signals.
+
+The combinators build small frozen dataclasses — picklable, hashable,
+with deterministic ``repr`` — that :mod:`repro.verify.monitor` compiles
+once into a slot-indexed monitor closure (the same lowering style as
+:mod:`repro.runtime.native`).  Two layers:
+
+**Instant predicates** (:class:`Pred`) hold or not at one instant,
+built from :func:`present` / :func:`absent` / :func:`value` atoms and
+combined with ``&``, ``|``, ``~``.  :func:`sequence` is the one
+*stateful* predicate: it "holds" at every instant that completes the
+pattern (elements match at strictly increasing instants; progress
+persists, so overlapping matches are all reported).
+
+**Temporal properties** (:class:`Property`) judge a whole trace:
+
+* ``always(p)``   — ``p`` must hold at every instant;
+* ``never(p)``    — ``p`` must hold at no instant;
+* ``implies(a, b)`` — every instant satisfying ``a`` also satisfies
+  ``b`` (same instant; vacuously true when ``a`` never holds);
+* ``within(trigger, expect, n)`` — whenever ``trigger`` holds at
+  instant ``t``, ``expect`` must hold at some instant in ``[t, t+n]``
+  (``n == 0`` means the same instant; one response discharges every
+  outstanding trigger, the earliest deadline is enforced);
+* ``eventually(p, n)`` — ``p`` must hold at some instant ``<= n``
+  (0-indexed from the start of monitoring).
+
+Bounded operators only report violations the trace can witness: a
+``within`` still waiting when the trace ends is *pending*, not
+violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import EclError
+
+_VALUE_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class Pred:
+    """Base class of instant predicates; supports ``& | ~``."""
+
+    __slots__ = ()
+
+    def __and__(self, other):
+        return And(_pred(self), _pred(other))
+
+    def __rand__(self, other):
+        return And(_pred(other), _pred(self))
+
+    def __or__(self, other):
+        return Or(_pred(self), _pred(other))
+
+    def __ror__(self, other):
+        return Or(_pred(other), _pred(self))
+
+    def __invert__(self):
+        return Not(_pred(self))
+
+
+def _pred(obj):
+    """Coerce: a bare string means ``present(name)``."""
+    if isinstance(obj, Pred):
+        return obj
+    if isinstance(obj, str):
+        return Present(obj)
+    raise EclError("not a predicate: %r (use present()/value()/a signal name)" % (obj,))
+
+
+@dataclass(frozen=True)
+class Present(Pred):
+    """The signal is present (an input arrived or the module emitted)."""
+
+    signal: str
+
+    def describe(self):
+        return self.signal
+
+
+@dataclass(frozen=True)
+class Value(Pred):
+    """The signal is present, carries an int and the comparison holds."""
+
+    signal: str
+    op: str
+    constant: int
+
+    def __post_init__(self):
+        if self.op not in _VALUE_OPS:
+            raise EclError(
+                "bad value operator %r (one of: %s)" % (self.op, ", ".join(_VALUE_OPS))
+            )
+
+    def describe(self):
+        return "%s %s %d" % (self.signal, self.op, self.constant)
+
+
+@dataclass(frozen=True)
+class And(Pred):
+    left: Pred
+    right: Pred
+
+    def describe(self):
+        return "(%s & %s)" % (self.left.describe(), self.right.describe())
+
+
+@dataclass(frozen=True)
+class Or(Pred):
+    left: Pred
+    right: Pred
+
+    def describe(self):
+        return "(%s | %s)" % (self.left.describe(), self.right.describe())
+
+
+@dataclass(frozen=True)
+class Not(Pred):
+    operand: Pred
+
+    def describe(self):
+        return "~%s" % self.operand.describe()
+
+
+@dataclass(frozen=True)
+class Sequence(Pred):
+    """Pattern: ``steps`` hold at strictly increasing instants; the
+    predicate holds at every instant completing the pattern."""
+
+    steps: Tuple[Pred, ...]
+
+    def __post_init__(self):
+        if not self.steps:
+            raise EclError("sequence() needs at least one step")
+        for step in self.steps:
+            if isinstance(step, Sequence):
+                raise EclError("sequences cannot nest inside sequences")
+
+    def describe(self):
+        return "seq(%s)" % ", ".join(step.describe() for step in self.steps)
+
+
+class _ValueRef:
+    """Builder returned by :func:`value`; comparison operators produce
+    :class:`Value` predicates."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal):
+        self.signal = signal
+
+    def __eq__(self, constant):  # noqa: D105 - builder, not an entity
+        return Value(self.signal, "==", int(constant))
+
+    def __ne__(self, constant):
+        return Value(self.signal, "!=", int(constant))
+
+    def __lt__(self, constant):
+        return Value(self.signal, "<", int(constant))
+
+    def __le__(self, constant):
+        return Value(self.signal, "<=", int(constant))
+
+    def __gt__(self, constant):
+        return Value(self.signal, ">", int(constant))
+
+    def __ge__(self, constant):
+        return Value(self.signal, ">=", int(constant))
+
+    __hash__ = None
+
+
+# ----------------------------------------------------------------------
+# Public constructors.
+
+
+def present(signal):
+    """Predicate: ``signal`` is present this instant."""
+    return Present(str(signal))
+
+
+def absent(signal):
+    """Predicate: ``signal`` is absent this instant."""
+    return Not(Present(str(signal)))
+
+
+def value(signal):
+    """Comparison builder: ``value("level") >= 3`` is a predicate that
+    holds when ``level`` is present with an int value satisfying it."""
+    return _ValueRef(str(signal))
+
+
+def sequence(*steps):
+    """Pattern predicate completing at each match (see module doc)."""
+    return Sequence(tuple(_pred(step) for step in steps))
+
+
+# ----------------------------------------------------------------------
+# Temporal properties.
+
+
+class Property:
+    """Base class of temporal properties."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Always(Property):
+    pred: Pred
+
+    def describe(self):
+        return "always %s" % self.pred.describe()
+
+
+@dataclass(frozen=True)
+class Never(Property):
+    pred: Pred
+
+    def describe(self):
+        return "never %s" % self.pred.describe()
+
+
+@dataclass(frozen=True)
+class Implies(Property):
+    when: Pred
+    then: Pred
+
+    def describe(self):
+        return "%s implies %s" % (self.when.describe(), self.then.describe())
+
+
+@dataclass(frozen=True)
+class Within(Property):
+    trigger: Pred
+    expect: Pred
+    limit: int
+
+    def __post_init__(self):
+        if self.limit < 0:
+            raise EclError("within() limit must be >= 0")
+
+    def describe(self):
+        return "%s within %d after %s" % (
+            self.expect.describe(),
+            self.limit,
+            self.trigger.describe(),
+        )
+
+
+@dataclass(frozen=True)
+class Eventually(Property):
+    pred: Pred
+    limit: int
+
+    def __post_init__(self):
+        if self.limit < 0:
+            raise EclError("eventually() limit must be >= 0")
+
+    def describe(self):
+        return "eventually %s by instant %d" % (self.pred.describe(), self.limit)
+
+
+def always(pred):
+    return Always(_pred(pred))
+
+
+def never(pred):
+    return Never(_pred(pred))
+
+
+def implies(when, then):
+    return Implies(_pred(when), _pred(then))
+
+
+def within(trigger, expect, limit):
+    return Within(_pred(trigger), _pred(expect), int(limit))
+
+
+def eventually(pred, limit):
+    return Eventually(_pred(pred), int(limit))
+
+
+# ----------------------------------------------------------------------
+# JSON property specs (the CLI / campaign-spec surface).
+
+
+def parse_pred(spec):
+    """A predicate from its JSON form.
+
+    ``"name"`` → present, ``"!name"`` → absent, ``{"all": [...]}``,
+    ``{"any": [...]}``, ``{"not": ...}``, ``{"seq": [...]}`` and
+    ``{"value": "sig", "op": ">=", "const": 3}``.
+    """
+    if isinstance(spec, str):
+        if spec.startswith("!"):
+            return absent(spec[1:])
+        return present(spec)
+    if not isinstance(spec, dict):
+        raise EclError("bad predicate spec %r" % (spec,))
+    if "all" in spec:
+        return fold_pred(And, [parse_pred(item) for item in spec["all"]])
+    if "any" in spec:
+        return fold_pred(Or, [parse_pred(item) for item in spec["any"]])
+    if "not" in spec:
+        return Not(parse_pred(spec["not"]))
+    if "seq" in spec:
+        return Sequence(tuple(parse_pred(item) for item in spec["seq"]))
+    if "value" in spec:
+        return Value(str(spec["value"]), str(spec.get("op", "==")), int(spec["const"]))
+    raise EclError("bad predicate spec %r" % (spec,))
+
+
+def fold_pred(cls, preds):
+    """Left-fold predicates under a binary connective (And/Or)."""
+    if not preds:
+        raise EclError("empty predicate list")
+    folded = preds[0]
+    for pred in preds[1:]:
+        folded = cls(folded, pred)
+    return folded
+
+
+def parse_property(spec):
+    """A temporal property from its JSON form (``{"kind": ..., ...}``)."""
+    if not isinstance(spec, dict):
+        raise EclError("bad property spec %r (expected an object)" % (spec,))
+    kind = spec.get("kind")
+    if kind == "always":
+        return Always(parse_pred(spec["pred"]))
+    if kind == "never":
+        return Never(parse_pred(spec["pred"]))
+    if kind == "implies":
+        return Implies(parse_pred(spec["when"]), parse_pred(spec["then"]))
+    if kind == "within":
+        return Within(
+            parse_pred(spec["trigger"]),
+            parse_pred(spec["expect"]),
+            int(spec["limit"]),
+        )
+    if kind == "eventually":
+        return Eventually(parse_pred(spec["pred"]), int(spec["limit"]))
+    raise EclError(
+        "bad property kind %r (one of: always, never, implies, within, eventually)"
+        % (kind,)
+    )

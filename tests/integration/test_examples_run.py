@@ -19,6 +19,7 @@ EXAMPLES = [
     "legacy_migration.py",
     "hardware_synthesis.py",
     "verification_workflow.py",
+    "coverage_campaign.py",
 ]
 
 
@@ -56,3 +57,15 @@ def test_verification_workflow_finds_bug(capsys):
     out = capsys.readouterr().out
     assert "property holds" in out
     assert "violation found" in out
+    assert "never (door_open & motor_on)" in out  # compiled monitor
+
+
+def test_coverage_campaign_reaches_target_and_catches_bug(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR,
+                                        "coverage_campaign.py"))
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "transitions 11/11 (100.0%)" in out
+    assert "VIOLATION never (door_open & motor_on)" in out
+    assert "minimized to 5 instant(s)" in out
+    assert "counterexample trace:" in out

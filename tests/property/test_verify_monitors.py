@@ -1,0 +1,129 @@
+"""Property-style guarantees of the compiled monitors.
+
+Monitors judge the *observable* boundary, so the same property bundle
+stepped alongside ``interp``, ``efsm`` and ``native`` must produce
+identical verdicts (violated properties and instants) under random
+stimulus — anything else means either an engine divergence or a
+monitor that depends on engine internals.  Coverage bitmaps of the two
+EFSM-aware engines must mark identical bits on the same trace.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.designs import AUDIO_BUFFER_ECL, DOOR_CTRL_BUGGY_ECL
+from repro.farm import StimulusSpec
+from repro.pipeline import Pipeline
+from repro.verify import (
+    CoverageMap,
+    MonitoredReactor,
+    compile_bundle,
+    eventually,
+    implies,
+    never,
+    present,
+    sequence,
+    value,
+    within,
+)
+
+ENGINES = ("interp", "efsm", "native")
+
+#: label -> (source, module, property bundle)
+CASES = {
+    "door": (
+        DOOR_CTRL_BUGGY_ECL,
+        "door_ctrl",
+        (
+            never(present("door_open") & present("motor_on")),
+            within("call_btn", "door_open", 6),
+            eventually("motor_on", 10),
+            never(sequence("door_open", "door_open", "door_open")),
+        ),
+    ),
+    "buffer": (
+        AUDIO_BUFFER_ECL,
+        "audio_buffer",
+        (
+            implies("dac_out", "almost_full"),
+            never(value("dac_out") > 200),
+            within("adc_in", "dac_out", 3),
+            eventually("dac_out", 12),
+        ),
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def modules():
+    pipeline = Pipeline()
+    handles = {}
+    for label, (source, module, _props) in CASES.items():
+        build = pipeline.compile_text(source, filename=label + ".ecl")
+        handles[label] = build.module(module)
+    return handles
+
+
+def _alphabet(reactor):
+    return [(slot.name, slot.is_pure)
+            for slot in reactor.signals.inputs()
+            if slot.is_pure or slot.type.is_scalar()]
+
+
+def _verdict(module, engine, program, instants):
+    monitored = MonitoredReactor(module.reactor(engine=engine), program)
+    for instant in instants:
+        pure = [name for name, val in instant.items() if val is None]
+        valued = {name: val for name, val in instant.items()
+                  if val is not None}
+        output = monitored.react(inputs=pure, values=valued)
+        if output.terminated:
+            break
+    return [(v.property_index, v.instant)
+            for v in monitored.monitor.violations]
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+class TestThreeEngineVerdicts:
+    @given(salt=st.integers(min_value=0, max_value=2**32 - 1),
+           length=st.integers(min_value=1, max_value=48))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_monitors_agree_across_engines(self, modules, label, salt,
+                                           length):
+        module = modules[label]
+        program = compile_bundle(CASES[label][2])
+        spec = StimulusSpec.random(length=length, salt=salt)
+        instants = spec.materialize(
+            _alphabet(module.reactor(engine="efsm")), salt)
+        verdicts = {engine: _verdict(module, engine, program, instants)
+                    for engine in ENGINES}
+        assert verdicts["efsm"] == verdicts["interp"]
+        assert verdicts["native"] == verdicts["interp"]
+
+
+@pytest.mark.parametrize("label", sorted(CASES))
+@given(salt=st.integers(min_value=0, max_value=2**20))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_efsm_and_native_coverage_bits_agree(modules, label, salt):
+    module = modules[label]
+    spec = StimulusSpec.random(length=32, salt=salt)
+    instants = spec.materialize(
+        _alphabet(module.reactor(engine="efsm")), salt)
+    bitmaps = {}
+    for engine in ("efsm", "native"):
+        coverage = CoverageMap.for_efsm(module.efsm())
+        reactor = module.reactor(engine=engine)
+        reactor.enable_coverage(coverage)
+        for instant in instants:
+            pure = [name for name, val in instant.items() if val is None]
+            valued = {name: val for name, val in instant.items()
+                      if val is not None}
+            if reactor.react(inputs=pure, values=valued).terminated:
+                break
+        bitmaps[engine] = coverage
+    assert bytes(bitmaps["efsm"].states) == bytes(bitmaps["native"].states)
+    assert bytes(bitmaps["efsm"].transitions) == \
+        bytes(bitmaps["native"].transitions)
+    assert bytes(bitmaps["efsm"].emits) == bytes(bitmaps["native"].emits)

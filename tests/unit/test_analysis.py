@@ -1,6 +1,8 @@
 """Unit tests for the FSM-level analysis tools."""
 
 
+import pytest
+
 from repro.analysis import (
     check_emission_implies,
     check_never_emitted,
@@ -146,3 +148,40 @@ class TestEquivalenceChecker:
                                     [{}, {"req": None}])
         assert mismatch is not None
         assert "ack" in mismatch.describe()
+
+    def test_any_engine_pair_selectable(self):
+        design = EclCompiler().compile_text(SERVER)
+        module = design.module("m")
+        trace = [{}, {"req": None}, {}, {"req": None}]
+        for engine in ("interp", "efsm", "native"):
+            assert compare_on_trace(module.kernel, module.efsm(), trace,
+                                    engine=engine) is None
+        # compiled vs compiled, no interpreter anywhere
+        assert compare_on_trace(module.kernel, module.efsm(), trace,
+                                engine="native",
+                                reference="efsm") is None
+
+    def test_engine_names_appear_in_mismatch(self):
+        from repro.efsm.machine import Efsm, Leaf, State
+        design = EclCompiler().compile_text(SERVER)
+        module = design.module("m")
+        dead = Efsm(name="m", states=[State(0, Leaf(0))], initial=0,
+                    inputs=("req",), outputs=("ack",),
+                    module=module.kernel)
+        mismatch = compare_on_trace(module.kernel, dead,
+                                    [{}, {"req": None}],
+                                    engine="native")
+        assert mismatch is None or "native" in mismatch.describe()
+        # the dead machine also fails under the efsm engine; the text
+        # names whichever side diverged
+        mismatch = compare_on_trace(module.kernel, dead,
+                                    [{}, {"req": None}], engine="efsm")
+        assert "efsm" in mismatch.describe()
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import EclError
+        design = EclCompiler().compile_text(SERVER)
+        module = design.module("m")
+        with pytest.raises(EclError):
+            compare_on_trace(module.kernel, module.efsm(), [{}],
+                             engine="warp")

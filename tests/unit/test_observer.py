@@ -139,6 +139,54 @@ module server (input pure req, input pure tick, output pure ack)
         assert counterexample.length >= 4
 
 
+class TestObserverOnEngines:
+    """The dynamic mode: the composed observer runs over a trace on a
+    selectable engine — native included, so legacy observer checks run
+    at compiled-reaction speed."""
+
+    TRACE = [{}, {"tick": None}, {"tick": None}, {"tick": None},
+             {"tick": None}]
+
+    @pytest.mark.parametrize("engine", ["interp", "efsm", "native"])
+    def test_good_design_stays_silent_on_every_engine(self, engine):
+        design = EclCompiler().compile_text(GOOD)
+        assert verify_with_observer(design, "light", "exclusion",
+                                    engine=engine,
+                                    trace=self.TRACE) is None
+
+    @pytest.mark.parametrize("engine", ["interp", "efsm", "native"])
+    def test_buggy_design_caught_with_located_witness(self, engine):
+        design = EclCompiler().compile_text(BAD)
+        witness = verify_with_observer(design, "light", "exclusion",
+                                       engine=engine, trace=self.TRACE)
+        assert witness is not None
+        # green+red fire together on the second tick; the synchronous
+        # composition raises error in the same instant
+        assert witness.instant == 2
+        assert witness.length == 3
+        assert "<-- error" in witness.describe()
+
+    def test_engines_agree_on_the_witness_instant(self):
+        design = EclCompiler().compile_text(BAD)
+        instants = [
+            verify_with_observer(design, "light", "exclusion",
+                                 engine=engine, trace=self.TRACE).instant
+            for engine in ("interp", "efsm", "native")]
+        assert len(set(instants)) == 1
+
+    def test_engine_without_trace_rejected(self):
+        design = EclCompiler().compile_text(GOOD)
+        with pytest.raises(EclError):
+            verify_with_observer(design, "light", "exclusion",
+                                 engine="native")
+
+    def test_unknown_engine_rejected(self):
+        design = EclCompiler().compile_text(GOOD)
+        with pytest.raises(EclError):
+            verify_with_observer(design, "light", "exclusion",
+                                 engine="warp", trace=self.TRACE)
+
+
 class TestSingleWriterRule:
     def test_two_parallel_writers_rejected(self):
         from repro.errors import TranslationError

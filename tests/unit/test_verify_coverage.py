@@ -1,0 +1,163 @@
+"""Unit coverage of the coverage bitmaps and their engine hooks."""
+
+import pickle
+
+import pytest
+
+from repro.errors import EclError
+from repro.pipeline import Pipeline
+from repro.verify import CoverageMap, CoverageReport
+
+COUNTER_ECL = """
+module counter (input pure tick, input int load,
+                output int level, output pure high)
+{
+    int value;
+
+    while (1) {
+        await (tick | load);
+        present (load) { value = load; }
+        present (tick) { value = value + 1; }
+        emit_v (level, value);
+        if (value > 5) { emit (high); }
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def handle():
+    build = Pipeline().compile_text(COUNTER_ECL, filename="counter.ecl")
+    return build.module("counter")
+
+
+def drive(reactor, coverage):
+    reactor.enable_coverage(coverage)
+    reactor.react()
+    reactor.react(values={"load": 5})
+    for _ in range(3):
+        reactor.react(inputs=["tick"])
+    reactor.react()  # quiet instant
+
+
+class TestCoverageMap:
+    def test_dimensions_follow_the_cached_tables(self, handle):
+        efsm = handle.efsm()
+        coverage = CoverageMap.for_efsm(efsm)
+        assert len(coverage.states) == efsm.state_count
+        assert len(coverage.transitions) == len(efsm.transition_table())
+        assert coverage.emit_names == tuple(sorted(efsm.emitted_signals()))
+        assert len(efsm.transition_table()) == efsm.transition_count()
+
+    def test_native_and_efsm_mark_identical_bits(self, handle):
+        maps = {}
+        for engine in ("efsm", "native"):
+            coverage = CoverageMap.for_efsm(handle.efsm())
+            drive(handle.reactor(engine=engine), coverage)
+            maps[engine] = coverage
+        assert bytes(maps["efsm"].states) == bytes(maps["native"].states)
+        assert bytes(maps["efsm"].transitions) == \
+            bytes(maps["native"].transitions)
+        assert bytes(maps["efsm"].emits) == bytes(maps["native"].emits)
+        assert maps["efsm"].covered_transitions > 0
+
+    def test_react_many_marks_like_sequential_react(self, handle):
+        sequential = CoverageMap.for_efsm(handle.efsm())
+        drive(handle.reactor(engine="native"), sequential)
+        batched = CoverageMap.for_efsm(handle.efsm())
+        reactor = handle.reactor(engine="native")
+        reactor.enable_coverage(batched)
+        reactor.react_many([{}, {"load": 5}, {"tick": None},
+                            {"tick": None}, {"tick": None}, {}])
+        assert bytes(batched.transitions) == bytes(sequential.transitions)
+        assert bytes(batched.states) == bytes(sequential.states)
+
+    def test_merge_is_bytewise_or(self, handle):
+        left = CoverageMap.for_efsm(handle.efsm())
+        right = CoverageMap.for_efsm(handle.efsm())
+        left.mark_state(0)
+        right.mark_state(1)
+        right.mark_transition(0)
+        right.mark_emit(right.emit_names[0])
+        left.merge(right)
+        assert left.covered_states == 2
+        assert left.covered_transitions == 1
+        assert left.covered_emits == 1
+
+    def test_payload_round_trip(self, handle):
+        coverage = CoverageMap.for_efsm(handle.efsm())
+        drive(handle.reactor(engine="native"), coverage)
+        payload = coverage.as_payload()
+        fresh = CoverageMap.for_efsm(handle.efsm())
+        fresh.merge_payload(payload)
+        assert bytes(fresh.transitions) == bytes(coverage.transitions)
+        assert payload["covered_transitions"] == \
+            coverage.covered_transitions
+
+    def test_shape_mismatch_rejected(self, handle):
+        coverage = CoverageMap.for_efsm(handle.efsm())
+        with pytest.raises(EclError):
+            coverage.merge_payload(
+                {"states": "00", "transitions": "00", "emits": "00"})
+
+    def test_adds_to_detects_fresh_bits(self, handle):
+        merged = CoverageMap.for_efsm(handle.efsm())
+        probe = CoverageMap.for_efsm(handle.efsm())
+        assert not probe.adds_to(merged)
+        probe.mark_transition(1)
+        assert probe.adds_to(merged)
+        merged.merge(probe)
+        assert not probe.adds_to(merged)
+
+    def test_maps_pickle(self, handle):
+        coverage = CoverageMap.for_efsm(handle.efsm())
+        coverage.mark_state(0)
+        clone = pickle.loads(pickle.dumps(coverage))
+        assert clone.covered_states == 1
+        clone.mark_emit(clone.emit_names[0])  # index survives
+
+
+class TestCoverageReport:
+    def test_uncovered_transitions_listed(self, handle):
+        efsm = handle.efsm()
+        coverage = CoverageMap.for_efsm(efsm)
+        coverage.mark_transition(0)
+        report = CoverageReport.from_map(coverage, efsm)
+        assert report.covered_transitions == 1
+        assert len(report.uncovered_transitions) == \
+            report.total_transitions - 1
+        listed = {entry[0] for entry in report.uncovered_transitions}
+        assert 0 not in listed
+        assert "uncovered transition" in report.summary()
+
+    def test_complete_flag_and_dict(self, handle):
+        efsm = handle.efsm()
+        coverage = CoverageMap.for_efsm(efsm)
+        for tid in range(len(coverage.transitions)):
+            coverage.mark_transition(tid)
+        report = CoverageReport.from_map(coverage, efsm)
+        assert report.complete
+        assert report.transition_percent == 100.0
+        data = report.as_dict()
+        assert data["uncovered_transitions"] == []
+        assert data["total_transitions"] == efsm.transition_count()
+
+
+class TestTransitionIdStability:
+    def test_table_is_occurrence_based_and_cached(self, handle):
+        efsm = handle.efsm()
+        table = efsm.transition_table()
+        assert len(table) == efsm.transition_count()
+        assert efsm.transition_table() is table  # cached
+        base = efsm.state_leaf_base()
+        assert base[0] == 0
+        assert all(table[base[s.index]][0] == s.index
+                   for s in efsm.states)
+
+    def test_leaf_counts_do_not_survive_pickling(self, handle):
+        efsm = handle.efsm()
+        efsm.leaf_counts()
+        clone = pickle.loads(pickle.dumps(efsm))
+        assert clone._leaf_counts is None  # stale object ids never travel
+        assert clone.transition_table() == efsm.transition_table()
+        assert clone.state_leaf_base() == efsm.state_leaf_base()

@@ -1,0 +1,82 @@
+"""Unit coverage of counterexample minimization."""
+
+from repro.verify import minimize_stimulus
+
+
+def count_entries(trace):
+    return sum(len(instant) for instant in trace)
+
+
+class TestMinimizeStimulus:
+    def test_truncates_after_violation(self):
+        def check(trace):
+            for number, instant in enumerate(trace):
+                if "bad" in instant:
+                    return number
+            return None
+
+        stimulus = [{"x": 1}, {"bad": None}, {"x": 2}, {"x": 3}]
+        minimized, replays = minimize_stimulus(check, stimulus)
+        assert minimized == [{"bad": None}]
+        assert replays >= 1
+
+    def test_drops_noise_instants_and_signals(self):
+        def check(trace):
+            """Violates when an 'a' instant is ever followed by 'b'."""
+            armed = False
+            for number, instant in enumerate(trace):
+                if armed and "b" in instant:
+                    return number
+                if "a" in instant:
+                    armed = True
+            return None
+
+        stimulus = [{"x": 9}, {"a": None, "x": 1}, {}, {"x": 2},
+                    {"b": None, "y": 3}, {"x": 4}]
+        minimized, _ = minimize_stimulus(check, stimulus)
+        assert minimized == [{"a": None}, {"b": None}]
+
+    def test_non_violating_input_is_returned_unchanged(self):
+        stimulus = [{"x": 1}, {"y": 2}]
+        minimized, replays = minimize_stimulus(lambda t: None, stimulus)
+        assert minimized == stimulus
+        assert replays == 1
+
+    def test_result_still_violates_and_is_minimal(self):
+        def check(trace):
+            total = 0
+            for number, instant in enumerate(trace):
+                total += instant.get("v") or 0
+                if total >= 10:
+                    return number
+            return None
+
+        stimulus = [{"v": 3}, {"w": 1}, {"v": 4}, {"v": 1}, {"v": 4},
+                    {"v": 2}]
+        minimized, _ = minimize_stimulus(check, stimulus)
+        assert check(minimized) is not None
+        # no single instant can be dropped any more
+        for index in range(len(minimized)):
+            candidate = minimized[:index] + minimized[index + 1:]
+            assert not candidate or check(candidate) is None
+
+    def test_budget_bounds_replays(self):
+        calls = []
+
+        def check(trace):
+            calls.append(1)
+            return len(trace) - 1 if trace else None
+
+        stimulus = [{"x": index} for index in range(64)]
+        minimized, replays = minimize_stimulus(check, stimulus,
+                                               max_replays=10)
+        assert replays <= 10
+        assert len(calls) <= 10
+        assert check(minimized) is not None
+
+    def test_input_list_is_not_mutated(self):
+        stimulus = [{"a": None}, {"b": None}]
+        original = [dict(instant) for instant in stimulus]
+        minimize_stimulus(lambda t: 0 if t and "a" in t[0] else None,
+                          stimulus)
+        assert stimulus == original

@@ -1,0 +1,278 @@
+"""Unit coverage of the property combinators and compiled monitors.
+
+Each combinator's edge cases run through a real compiled
+:class:`~repro.verify.monitor.Monitor` — vacuous ``implies``,
+``within(0)``, deadline boundaries, ``eventually`` at its exact limit,
+overlapping sequence matches — plus the JSON property-spec surface.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import EclError
+from repro.verify import (
+    Monitor,
+    absent,
+    always,
+    compile_bundle,
+    eventually,
+    implies,
+    never,
+    parse_pred,
+    parse_property,
+    present,
+    sequence,
+    value,
+    within,
+)
+from repro.verify.monitor import bundle_digest
+
+
+def run_monitor(properties, trace):
+    """Drive a compiled monitor over a list of (emitted, inputs,
+    values) triples; returns the violation (index, instant) pairs."""
+    monitor = Monitor(compile_bundle(properties))
+    for emitted, inputs, values in trace:
+        monitor.step(emitted, inputs, values)
+    return [(v.property_index, v.instant) for v in monitor.violations]
+
+
+def instants(*present_sets):
+    """Trace shorthand: each argument is the set of present names."""
+    return [(set(names), {}, {}) for names in present_sets]
+
+
+class TestBasicProperties:
+    def test_never_trips_once(self):
+        trace = instants({"a"}, {"bad"}, {"bad"})
+        assert run_monitor([never(present("bad"))], trace) == [(0, 1)]
+
+    def test_always_trips_on_first_absence(self):
+        trace = instants({"ok"}, {"ok"}, set())
+        assert run_monitor([always(present("ok"))], trace) == [(0, 2)]
+
+    def test_absent_and_operators(self):
+        prop = never(present("a") & ~present("b"))
+        assert run_monitor([prop], instants({"a", "b"}, {"b"})) == []
+        assert run_monitor([prop], instants({"a"})) == [(0, 0)]
+        prop_or = never(present("a") | present("b"))
+        assert run_monitor([prop_or], instants(set(), {"b"})) == [(0, 1)]
+
+    def test_string_shorthand_means_present(self):
+        assert run_monitor([never("bad")], instants({"bad"})) == [(0, 0)]
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(EclError):
+            never(42)
+
+
+class TestImplies:
+    def test_vacuous_implies_holds(self):
+        """`a implies b` with `a` never present: no violation."""
+        trace = instants(set(), {"b"}, set())
+        assert run_monitor([implies("a", "b")], trace) == []
+
+    def test_implies_same_instant(self):
+        assert run_monitor([implies("a", "b")],
+                           instants({"a", "b"})) == []
+        assert run_monitor([implies("a", "b")],
+                           instants({"a"})) == [(0, 0)]
+
+    def test_next_instant_does_not_discharge(self):
+        trace = instants({"a"}, {"b"})
+        assert run_monitor([implies("a", "b")], trace) == [(0, 0)]
+
+
+class TestValuePredicates:
+    def test_comparison_builders(self):
+        prop = never(value("level") >= 10)
+        trace = [({"level"}, {}, {"level": 9}),
+                 ({"level"}, {}, {"level": 10})]
+        assert run_monitor([prop], trace) == [(0, 1)]
+
+    def test_absent_signal_never_satisfies_value(self):
+        prop = always(value("level") < 10)
+        # level absent: the predicate is false, always() trips.
+        assert run_monitor([prop], instants(set())) == [(0, 0)]
+
+    def test_input_values_are_visible(self):
+        prop = never(value("x") == 7)
+        trace = [(set(), {"x": 7}, {})]
+        assert run_monitor([prop], trace) == [(0, 0)]
+
+    def test_non_int_value_is_false(self):
+        """Hex-string aggregate values never satisfy comparisons."""
+        prop = never(value("pkt") == 0)
+        trace = [({"pkt"}, {}, {"pkt": "0x00ff"})]
+        assert run_monitor([prop], trace) == []
+
+    def test_bad_operator_rejected(self):
+        from repro.verify.props import Value
+        with pytest.raises(EclError):
+            Value("x", "<=>", 1)
+
+
+class TestWithin:
+    def test_within_zero_means_same_instant(self):
+        prop = within("req", "ack", 0)
+        assert run_monitor([prop], instants({"req", "ack"})) == []
+        assert run_monitor([prop], instants({"req"}, {"ack"})) == [(0, 0)]
+
+    def test_deadline_met_at_last_instant(self):
+        prop = within("req", "ack", 2)
+        assert run_monitor([prop],
+                           instants({"req"}, set(), {"ack"})) == []
+
+    def test_deadline_missed_one_after(self):
+        prop = within("req", "ack", 2)
+        trace = instants({"req"}, set(), set(), {"ack"})
+        assert run_monitor([prop], trace) == [(0, 2)]
+
+    def test_pending_at_trace_end_is_not_a_violation(self):
+        prop = within("req", "ack", 5)
+        assert run_monitor([prop], instants({"req"}, set())) == []
+
+    def test_one_response_serves_overlapping_triggers(self):
+        prop = within("req", "ack", 3)
+        trace = instants({"req"}, {"req"}, {"ack"}, set(), set(), set())
+        assert run_monitor([prop], trace) == []
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(EclError):
+            within("a", "b", -1)
+
+
+class TestEventually:
+    def test_met_exactly_at_limit(self):
+        prop = eventually("go", 2)
+        assert run_monitor([prop], instants(set(), set(), {"go"})) == []
+
+    def test_violated_at_limit(self):
+        prop = eventually("go", 2)
+        trace = instants(set(), set(), set(), {"go"})
+        assert run_monitor([prop], trace) == [(0, 2)]
+
+    def test_short_trace_is_pending_not_violated(self):
+        prop = eventually("go", 10)
+        assert run_monitor([prop], instants(set(), set())) == []
+
+
+class TestSequence:
+    def test_match_completes_pattern(self):
+        prop = never(sequence("a", "b", "c"))
+        trace = instants({"a"}, set(), {"b"}, {"c"})
+        assert run_monitor([prop], trace) == [(0, 3)]
+
+    def test_elements_need_strictly_increasing_instants(self):
+        prop = never(sequence("a", "b"))
+        # a and b together: no completed a-then-b.
+        assert run_monitor([prop], instants({"a", "b"})) == []
+        assert run_monitor([prop], instants({"a", "b"}, {"b"})) == [(0, 1)]
+
+    def test_overlapping_matches_all_fire(self):
+        """Progress persists: every completion instant holds."""
+        prop = always(~sequence("a", "b"))
+        trace = instants({"a"}, {"b"}, set(), {"b"})
+        # b at instant 1 and again at 3, both completing a..b.
+        assert run_monitor([prop], trace) == [(0, 1)]
+        monitor = Monitor(compile_bundle([never(sequence("a", "b"))]))
+        hits = []
+        for emitted, inputs, values in trace:
+            if monitor.step(emitted, inputs, values):
+                hits.append(monitor.instant - 1)
+        # the property trips once, but a fresh monitor confirms the
+        # second overlap too
+        monitor.reset()
+        for emitted, inputs, values in instants({"a"}, set(), {"b"}):
+            monitor.step(emitted, inputs, values)
+        assert hits == [1]
+        assert [(v.property_index, v.instant)
+                for v in monitor.violations] == [(0, 2)]
+
+    def test_single_step_sequence_is_the_predicate(self):
+        prop = never(sequence("a"))
+        assert run_monitor([prop], instants(set(), {"a"})) == [(0, 1)]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(EclError):
+            sequence()
+
+    def test_nested_sequence_rejected(self):
+        with pytest.raises(EclError):
+            sequence(sequence("a", "b"), "c")
+
+
+class TestBundles:
+    def test_multiple_properties_share_one_step(self):
+        props = [never("x"), implies("a", "b"), within("r", "k", 1)]
+        monitor = Monitor(compile_bundle(props))
+        monitor.step({"x"}, {"a": None}, {})
+        texts = [v.property_text for v in monitor.violations]
+        assert len(texts) == 2  # never(x) and implies both trip
+        assert monitor.first_violation.instant == 0
+
+    def test_programs_pickle(self):
+        program = compile_bundle([within("a", "b", 2), never("x")])
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.source == program.source
+        assert clone.initial == program.initial
+        monitor = Monitor(clone)
+        monitor.step({"x"}, {}, {})
+        assert not monitor.ok
+
+    def test_bundle_digest_is_stable_and_content_addressed(self):
+        a = (never("x"), within("a", "b", 2))
+        b = (never("x"), within("a", "b", 2))
+        c = (never("x"), within("a", "b", 3))
+        assert bundle_digest(a) == bundle_digest(b)
+        assert bundle_digest(a) != bundle_digest(c)
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(EclError):
+            compile_bundle([])
+
+    def test_properties_are_picklable_dataclasses(self):
+        props = (never(present("a") & absent("b")),
+                 eventually(value("v") > 3, 9),
+                 always(sequence("a", "b")))
+        clone = pickle.loads(pickle.dumps(props))
+        assert clone == props
+
+
+class TestPropertySpecs:
+    def test_parse_pred_forms(self):
+        assert parse_pred("a") == present("a")
+        assert parse_pred("!a") == absent("a")
+        assert parse_pred({"all": ["a", "b"]}) == (present("a")
+                                                  & present("b"))
+        assert parse_pred({"any": ["a", "b"]}) == (present("a")
+                                                   | present("b"))
+        assert parse_pred({"not": "a"}) == ~present("a")
+        assert parse_pred({"seq": ["a", "b"]}) == sequence("a", "b")
+        assert parse_pred(
+            {"value": "level", "op": ">=", "const": 3}
+        ) == (value("level") >= 3)
+
+    def test_parse_property_forms(self):
+        assert parse_property(
+            {"kind": "never", "pred": "bad"}) == never("bad")
+        assert parse_property(
+            {"kind": "always", "pred": "ok"}) == always("ok")
+        assert parse_property(
+            {"kind": "implies", "when": "a", "then": "b"}
+        ) == implies("a", "b")
+        assert parse_property(
+            {"kind": "within", "trigger": "r", "expect": "k",
+             "limit": 4}) == within("r", "k", 4)
+        assert parse_property(
+            {"kind": "eventually", "pred": "go", "limit": 7}
+        ) == eventually("go", 7)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(EclError):
+            parse_property({"kind": "sometime", "pred": "x"})
+        with pytest.raises(EclError):
+            parse_pred({"bogus": 1})
+        with pytest.raises(EclError):
+            parse_pred(42)
