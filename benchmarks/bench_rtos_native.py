@@ -1,0 +1,169 @@
+"""RTOS benchmark: native-task vs efsm-task reactions/sec.
+
+The paper's asynchronous rows (Table 1) run several CFSM tasks under
+the priority kernel; this benchmark measures what the multi-layer RTOS
+rework buys there: the 3-task protocol-stack partition streams packets
+byte-by-byte through the kernel with the tasks bound to either
+
+* ``efsm``   — the compiled-automaton tree walker (the reference), or
+* ``native`` — closure-compiled reactors dispatched through the task's
+  slot-indexed fast path (pending events move as array writes into the
+  reactor's ``P``/``S`` slots, the state function runs directly).
+
+Both engines must agree on the functional result (address matches) and
+on every kernel counter — the scheduler, routing and lost-event
+accounting are engine-independent by construction, so the numbers
+always compare equivalent behaviour.  The acceptance floor — native
+tasks >= 5x over efsm tasks — is asserted here and re-checked by the
+CI regression gate (:mod:`benchmarks.check_regression`) against the
+committed baseline in ``benchmarks/baselines/BENCH_rtos.json``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_rtos_native.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rtos_native.py -q
+"""
+
+import json
+import os
+import sys
+from time import perf_counter
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.pipeline import Pipeline
+
+from workloads import GOOD_PACKET, OUT_DIR, ensure_out_dir
+
+#: Workload size; override via environment for bigger machines.
+STACK_PACKETS = int(os.environ.get("RTOS_BENCH_PACKETS", "20"))
+
+#: The acceptance bar: native tasks must beat efsm tasks by this
+#: factor on the multi-task stack partition.
+SPEEDUP_FLOOR = 5.0
+
+TASK_ENGINES = ("efsm", "native")
+
+#: The paper's 3-source-files partition of the protocol stack.
+STACK_TASKS = (
+    ("assemble", "assemble", 3, {"outpkt": "packet"}),
+    ("prochdr", "prochdr", 2, {"inpkt": "packet"}),
+    ("checkcrc", "checkcrc", 1, {"inpkt": "packet"}),
+)
+
+
+def build_kernel(build, task_engine):
+    from repro.rtos import RtosKernel, RtosTask
+
+    kernel = RtosKernel("stack-3task[%s]" % task_engine)
+    for name, module_name, priority, bindings in STACK_TASKS:
+        handle = build.module(module_name)
+        if task_engine == "native":
+            from repro.runtime.native import NativeReactor
+
+            reactor = NativeReactor(handle.efsm(), code=handle.native_code())
+        else:
+            from repro.codegen.py_backend import EfsmReactor
+
+            reactor = EfsmReactor(handle.efsm())
+        kernel.add_task(RtosTask(name, reactor, priority=priority,
+                                 bindings=dict(bindings)))
+    kernel.start()
+    return kernel
+
+
+def drive(kernel, packets):
+    """Stream ``packets`` good packets byte-by-byte; returns the
+    address-match count (must equal ``packets``)."""
+    matches = 0
+    post = kernel.post_input
+    run = kernel.run_until_idle
+    for _ in range(packets):
+        for byte in GOOD_PACKET:
+            post("in_byte", byte)
+            if "addr_match" in run():
+                matches += 1
+    return matches
+
+
+def _best_rate(build, task_engine, packets, repeats=2):
+    """Best-of-N kernel dispatches/sec plus (matches, kernel stats)."""
+    best = None
+    outcome = None
+    for _ in range(repeats):
+        kernel = build_kernel(build, task_engine)
+        started = perf_counter()
+        matches = drive(kernel, packets)
+        elapsed = perf_counter() - started
+        rate = kernel.stats.dispatches / elapsed
+        if best is None or rate > best:
+            best = rate
+        current = (matches, kernel.stats_dict())
+        if outcome is None:
+            outcome = current
+        else:
+            message = "task engine %s is non-deterministic: %r vs %r"
+            assert outcome == current, message % (task_engine, outcome, current)
+    return best, outcome
+
+
+def measure():
+    from repro.designs import PROTOCOL_STACK_ECL
+
+    build = Pipeline().compile_text(PROTOCOL_STACK_ECL, filename="stack.ecl")
+    rates = {}
+    outcomes = {}
+    for task_engine in TASK_ENGINES:
+        rates[task_engine], outcomes[task_engine] = _best_rate(
+            build, task_engine, STACK_PACKETS)
+    matches, stats = outcomes["efsm"]
+    message = "stack workload broke: expected %d matches, got %d"
+    assert matches == STACK_PACKETS, message % (STACK_PACKETS, matches)
+    # The strong equivalence claim: identical kernel accounting.
+    message = "kernel stats diverged across task engines: %r vs %r"
+    assert outcomes["native"] == outcomes["efsm"], \
+        message % (outcomes["native"], outcomes["efsm"])
+    return {
+        "benchmark": "rtos_native_tasks",
+        "workloads": {
+            "stack_3task": {
+                "packets": STACK_PACKETS,
+                "matches": matches,
+                "dispatches": stats["dispatches"],
+                "kernel_stats": stats,
+                "engines": rates,
+                "native_vs_efsm": rates["native"] / rates["efsm"],
+            }
+        },
+    }
+
+
+def write_report(data, path=None):
+    ensure_out_dir()
+    path = path or os.path.join(OUT_DIR, "BENCH_rtos.json")
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return path
+
+
+def test_rtos_native_speedup_floor():
+    data = measure()
+    path = write_report(data)
+    entry = data["workloads"]["stack_3task"]
+    rates = entry["engines"]
+    print("")
+    print("stack 3-task partition: efsm %8.0f r/s  native %8.0f r/s  "
+          "(x%.1f)" % (rates["efsm"], rates["native"],
+                       entry["native_vs_efsm"]))
+    print("wrote %s" % path)
+    message = "native tasks are only x%.2f over efsm tasks (floor x%.1f)"
+    speedup = entry["native_vs_efsm"]
+    assert speedup >= SPEEDUP_FLOOR, message % (speedup, SPEEDUP_FLOOR)
+
+
+if __name__ == "__main__":
+    test_rtos_native_speedup_floor()
+    print("ok")

@@ -15,7 +15,12 @@ and fails (exit 1) on a >2x regression:
 * ``BENCH_verify.json`` (:mod:`benchmarks.bench_verify_overhead`):
   bare/monitored/covered rates must not drop below half the baseline,
   and monitor overhead must stay inside the verify subsystem's <1.3x
-  acceptance band (absolute, not baseline-relative).
+  acceptance band (absolute, not baseline-relative);
+* ``BENCH_rtos.json`` (:mod:`benchmarks.bench_rtos_native`): the
+  per-task-engine dispatch rates on the multi-task stack partition
+  must not drop below half the baseline, and native tasks must keep
+  their >=5x margin over efsm tasks (the RTOS rework's acceptance
+  floor, re-checked on every run).
 
 The factor-2 band absorbs runner-to-runner hardware noise while still
 catching the algorithmic regressions the gate exists for.  Baselines
@@ -113,6 +118,36 @@ def check_native(current, baseline, failures):
                 % (label, speedup, NATIVE_SPEEDUP_FLOOR))
 
 
+#: Native tasks must stay at least this much faster than efsm tasks
+#: under the RTOS (mirrors bench_rtos_native.SPEEDUP_FLOOR).
+RTOS_SPEEDUP_FLOOR = 5.0
+
+
+def check_rtos(current, baseline, failures):
+    for label, base_entry in sorted(baseline["workloads"].items()):
+        entry = current["workloads"].get(label)
+        if entry is None:
+            failures.append("rtos: workload %r missing from current "
+                            "results" % label)
+            continue
+        for engine, base_rate in sorted(base_entry["engines"].items()):
+            rate = entry["engines"].get(engine, 0.0)
+            ratio = base_rate / max(1e-9, rate)
+            status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+            print("rtos      %-40s %8.0f r/s vs %8.0f r/s  (x%.2f)  %s"
+                  % ("%s/%s" % (label, engine), rate, base_rate, ratio,
+                     status))
+            if ratio > REGRESSION_FACTOR:
+                failures.append(
+                    "rtos: %s/%s dropped to %.0f r/s (baseline "
+                    "%.0f r/s)" % (label, engine, rate, base_rate))
+        speedup = entry.get("native_vs_efsm", 0.0)
+        if speedup < RTOS_SPEEDUP_FLOOR:
+            failures.append(
+                "rtos: %s native-task speedup over efsm tasks is x%.2f "
+                "(floor x%.1f)" % (label, speedup, RTOS_SPEEDUP_FLOOR))
+
+
 #: Monitor overhead ceiling (mirrors bench_verify_overhead
 #: .OVERHEAD_CEILING), re-checked against the fresh numbers every run.
 VERIFY_OVERHEAD_CEILING = 1.3
@@ -165,6 +200,7 @@ def main(argv=None):
         ("BENCH_farm.json", check_farm),
         ("BENCH_native.json", check_native),
         ("BENCH_verify.json", check_verify),
+        ("BENCH_rtos.json", check_rtos),
     ]
     for filename, checker in pairs:
         current_path = os.path.join(args.out, filename)

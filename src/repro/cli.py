@@ -114,6 +114,16 @@ def _build_parser():
     run.add_argument("--engines", default="efsm",
                      help="comma-separated engines (efsm, native, "
                           "interp, rtos, equivalence)")
+    run.add_argument("--task-engine", default=None,
+                     choices=["efsm", "native", "interp"],
+                     help="what runs inside each rtos task "
+                          "(default: efsm; 'native' binds "
+                          "closure-compiled reactors from a "
+                          "partition bundle)")
+    run.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="persistent shared code cache (compiled "
+                          "artifacts + native bytecode survive the "
+                          "batch; spawn-based workers warm-start)")
     run.add_argument("--traces", type=int, default=1,
                      help="random traces per design x module x engine")
     run.add_argument("--length", type=int, default=32,
@@ -190,13 +200,19 @@ def _build_parser():
     return parser
 
 
-def _campaign_flags(parser, engines=("interp", "efsm", "native")):
+def _campaign_flags(parser, engines=("interp", "efsm", "native", "rtos")):
     # Defaults are None so `verify run --spec` can tell "flag given"
     # (override the spec) from "flag omitted" (keep the spec's value);
     # _flag_campaign fills the real defaults for the flags-only path.
     parser.add_argument("--engine", default=None,
                         choices=list(engines),
-                        help="simulation engine (default: native)")
+                        help="simulation engine (default: native; rtos "
+                             "checks properties under the kernel but "
+                             "collects record-level emit coverage only)")
+    parser.add_argument("--task-engine", default=None,
+                        choices=["efsm", "native", "interp"],
+                        help="rtos engine only: what runs inside each "
+                             "task (default: efsm)")
     parser.add_argument("--rounds", type=int, default=None,
                         help="campaign rounds (default 6)")
     parser.add_argument("--jobs", type=int, default=None,
@@ -354,7 +370,7 @@ def _cmd_farm_run(args):
     from .pipeline import Pipeline
 
     settings = {"workers": args.workers, "chunk_size": args.chunk_size,
-                "ledger": None}
+                "ledger": None, "cache_dir": args.cache_dir}
     if args.spec:
         designs, jobs, spec_settings = load_spec(args.spec)
         for key, value in spec_settings.items():
@@ -386,7 +402,8 @@ def _cmd_farm_run(args):
             return 2
         jobs = expand_jobs(pairs, engines=engines, traces=args.traces,
                            length=args.length, horizon=args.horizon,
-                           record_vcd=args.vcd, salt=args.seed)
+                           record_vcd=args.vcd, salt=args.seed,
+                           task_engine=args.task_engine or "")
     ledger_root = settings["ledger"]
     if args.ledger == "auto":
         ledger_root = default_ledger_root()
@@ -394,7 +411,8 @@ def _cmd_farm_run(args):
         ledger_root = args.ledger
     farm = SimulationFarm(designs, ledger_root=ledger_root,
                           workers=settings["workers"],
-                          chunk_size=settings["chunk_size"])
+                          chunk_size=settings["chunk_size"],
+                          cache_dir=settings["cache_dir"])
     report = farm.run(jobs)
     print(report.summary(verbose=args.verbose))
     if args.report:
@@ -496,6 +514,7 @@ def _flag_campaign(args, properties):
     return VerifyCampaign(
         designs, label, args.module,
         engine=args.engine if args.engine is not None else "native",
+        task_engine=args.task_engine or "",
         properties=properties,
         rounds=args.rounds if args.rounds is not None else 6,
         jobs_per_round=args.jobs if args.jobs is not None else 16,
@@ -512,6 +531,8 @@ def _apply_spec_overrides(args, campaign):
     (omitted flags keep the spec's)."""
     if args.engine is not None:
         campaign.engine = args.engine
+    if args.task_engine is not None:
+        campaign.task_engine = args.task_engine
     if args.rounds is not None:
         campaign.rounds = max(1, args.rounds)
     if args.jobs is not None:

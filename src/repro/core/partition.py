@@ -10,6 +10,14 @@ and reports Table 1.  :func:`run_partition` reproduces one such row:
 3. fill a :class:`~repro.cost.report.PartitionRow` with static code/data
    estimates and the measured task/RTOS cycle split.
 
+``engine`` selects what runs inside each task: ``"efsm"`` (default,
+the compiled-automaton walker), ``"native"`` (closure-compiled
+reactors dispatched through the task's slot-indexed fast path — same
+traces and kernel statistics, an order of magnitude faster) or
+``"interp"``.  The native engine does not report per-operation cycle
+classes, so Table 1 cycle splits keep using ``"efsm"``; exploration
+loops that only need functional results should ask for ``"native"``.
+
 The design-space exploration the paper advocates ("simulation and
 exploration at the specification level") is then just a loop over
 :class:`PartitionSpec`s.

@@ -32,7 +32,8 @@ on the command line (flags or a JSON batch spec,
 
 from .engines import ENGINES, build_engine
 from .farm import FarmReport, SimulationFarm
-from .jobs import ENGINE_NAMES, SimJob, SimResult, StimulusSpec, expand_jobs
+from .jobs import (ENGINE_NAMES, TASK_ENGINE_NAMES, SimJob, SimResult,
+                   StimulusSpec, expand_jobs)
 from .ledger import TraceLedger, default_ledger_root
 from .spec import load_spec
 from .worker import WorkerState
@@ -40,6 +41,7 @@ from .worker import WorkerState
 __all__ = [
     "ENGINES",
     "ENGINE_NAMES",
+    "TASK_ENGINE_NAMES",
     "FarmReport",
     "SimJob",
     "SimResult",

@@ -21,13 +21,19 @@ Engines:
   (:class:`repro.codegen.py_backend.EfsmReactor`);
 * ``native`` — the closure-compiled reaction functions
   (:class:`repro.runtime.native.NativeReactor`), the fastest software
-  engine; it additionally offers ``step_many`` so the worker can run a
-  whole stimulus through one batched-instant loop;
+  engine; it additionally offers ``step_many`` (batched instants) and
+  ``run_spec`` (a compiled whole-trace driver loop per (design,
+  stimulus-spec) pair — zero per-instant dict handling);
 * ``rtos``   — the module (or a multi-task partition of the design)
   under the simulated priority kernel
   (:class:`repro.rtos.kernel.RtosKernel`): each instant posts the
   step's events and runs the dispatch cascade to quiescence, so one
-  record may cover several task reactions.
+  record may cover several task reactions.  ``job.task_engine``
+  selects what runs inside each task ("efsm" default; "native" binds
+  closure-compiled reactors from one content-addressed partition
+  bundle and dispatches through the slot-indexed fast path); the
+  engine reports the kernel's operation counters via
+  ``kernel_stats()``.
 
 ``equivalence`` is not an engine class: the executor runs ``interp``
 in lockstep with both compiled engines (``efsm`` and ``native``) and
@@ -186,8 +192,10 @@ class NativeEngine(ReactorEngine):
     def __init__(self, handles, job):
         from ..runtime.native import NativeReactor
 
-        handle = handles(job.module)
-        super().__init__(NativeReactor(handle.efsm(), code=handle.native_code()))
+        self._handle = handles(job.module)
+        super().__init__(
+            NativeReactor(self._handle.efsm(), code=self._handle.native_code())
+        )
 
     def step_many(self, instants):
         """Run a whole stimulus through the reactor's batched-instant
@@ -199,6 +207,24 @@ class NativeEngine(ReactorEngine):
             for instant, output in zip(instants, outputs)
         ]
 
+    def run_spec(self, job):
+        """The whole-trace fast path: run the job's *random* stimulus
+        through a compiled driver loop (pipeline stage
+        ``trace-driver``, one per (design, stimulus-spec) pair) — no
+        per-instant dict handling on the injection side.  Returns the
+        record list, or None when the stimulus is not driver-shaped
+        (explicit traces replay through step_many)."""
+        spec = job.stimulus
+        if spec.kind != "random":
+            return None
+        driver = self._handle.trace_driver(
+            spec.length,
+            spec.present_prob,
+            tuple(spec.value_range),
+            budget=job.instant_budget,
+        )
+        return self.reactor.run_trace(driver, job.seed)
+
 
 @register_engine("rtos")
 class RtosEngine:
@@ -209,29 +235,75 @@ class RtosEngine:
     becomes one task and signals route between tasks by (bound) name,
     exactly as :func:`repro.core.partition.run_partition` wires
     Table 1's asynchronous rows.
+
+    ``job.task_engine`` selects what runs inside each task:
+
+    * ``"efsm"`` (default) — the compiled-automaton tree walker, the
+      reference for cross-task-engine equivalence;
+    * ``"native"`` — closure-compiled reactors bound from one
+      content-addressed partition bundle
+      (:meth:`~repro.pipeline.pipeline.DesignBuild.partition_bundle`),
+      dispatched through the task's slot-indexed fast path;
+    * ``"interp"`` — the kernel-term interpreter (slowest, for
+      three-way checks).
     """
 
     def __init__(self, handles, job):
-        from ..codegen.py_backend import EfsmReactor
         from ..rtos.kernel import RtosKernel
         from ..rtos.tasks import RtosTask
 
+        task_engine = getattr(job, "task_engine", "") or "efsm"
+        self.task_engine = task_engine
         self.kernel = RtosKernel(name=job.label())
         specs = job.tasks or ((job.module, job.module, 1),)
-        for spec in specs:
-            task_name, module_name, priority = spec[0], spec[1], spec[2]
-            bindings = dict(spec[3]) if len(spec) > 3 else None
-            reactor = EfsmReactor(handles(module_name).efsm())
-            self.kernel.add_task(
-                RtosTask(
-                    task_name,
-                    reactor,
-                    priority=priority,
-                    bindings=bindings,
+        if task_engine == "native":
+            # All task reactors bind from one content-addressed bundle.
+            bundle = handles(specs[0][1]).design.partition_bundle(specs)
+            from ..runtime.native import NativeReactor
+
+            for entry in bundle.tasks:
+                reactor = NativeReactor(entry.efsm, code=entry.code)
+                self.kernel.add_task(
+                    RtosTask(
+                        entry.name,
+                        reactor,
+                        priority=entry.priority,
+                        bindings=dict(entry.bindings),
+                    )
                 )
-            )
+        else:
+            for spec in specs:
+                task_name, module_name, priority = spec[0], spec[1], spec[2]
+                bindings = dict(spec[3]) if len(spec) > 3 else None
+                reactor = self._task_reactor(handles(module_name), task_engine)
+                self.kernel.add_task(
+                    RtosTask(
+                        task_name,
+                        reactor,
+                        priority=priority,
+                        bindings=bindings,
+                    )
+                )
         self.kernel.start()
         self._alphabet = None
+
+    @staticmethod
+    def _task_reactor(handle, task_engine):
+        if task_engine == "efsm":
+            from ..codegen.py_backend import EfsmReactor
+
+            return EfsmReactor(handle.efsm())
+        if task_engine == "interp":
+            return Reactor(handle.kernel())
+        raise EclError(
+            "unknown rtos task engine %r (one of: efsm, native, interp)"
+            % task_engine
+        )
+
+    def kernel_stats(self):
+        """The kernel's raw counters plus the network lost-event total
+        (what :class:`~repro.farm.jobs.SimResult` carries back)."""
+        return self.kernel.stats_dict()
 
     @property
     def terminated(self):

@@ -75,6 +75,17 @@ class FarmReport:
             return 0.0
         return self.reactions / self.elapsed
 
+    def kernel_stats(self) -> Dict[str, int]:
+        """Summed RTOS kernel counters across the batch's rtos jobs
+        (empty when no job carried stats) — the paper's task-vs-RTOS
+        accounting at farm scale."""
+        totals: Dict[str, int] = {}
+        for result in self.results:
+            if result.kernel_stats:
+                for key, value in result.kernel_stats.items():
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
     @property
     def divergences(self):
         return [result for result in self.results if result.divergence is not None]
@@ -100,6 +111,7 @@ class FarmReport:
             "reactions": self.reactions,
             "reactions_per_sec": self.reactions_per_sec,
             "status_counts": self.status_counts(),
+            "kernel_stats": self.kernel_stats() or None,
             "ledger_root": self.ledger_root,
             "results": [result.as_dict() for result in self.results],
         }
@@ -117,6 +129,19 @@ class FarmReport:
                 counts or "empty",
             ),
         ]
+        kernel = self.kernel_stats()
+        if kernel:
+            lines.append(
+                "      rtos: dispatches=%d context_switches=%d posts=%d "
+                "self_triggers=%d lost_events=%d"
+                % (
+                    kernel.get("dispatches", 0),
+                    kernel.get("context_switches", 0),
+                    kernel.get("posts", 0),
+                    kernel.get("self_triggers", 0),
+                    kernel.get("lost_events", 0),
+                )
+            )
         if self.ledger_root:
             lines.append("      ledger: %s" % self.ledger_root)
         failing = [r for r in self.results if not r.ok]
@@ -136,14 +161,19 @@ class SimulationFarm:
         ledger_root=None,
         workers=None,
         chunk_size=None,
+        cache_dir=None,
     ):
         """``designs`` maps batch labels to ECL source text;
-        ``ledger_root=None`` disables trace persistence."""
+        ``ledger_root=None`` disables trace persistence;
+        ``cache_dir`` enables the persistent shared code cache (compiled
+        artifacts and native bytecode survive the batch, so spawn-based
+        workers and future runs warm-start)."""
         self.designs = dict(designs)
         self.options = options
         self.ledger_root = ledger_root
         self.workers = workers
         self.chunk_size = chunk_size
+        self.cache_dir = cache_dir
 
     def run(self, jobs) -> FarmReport:
         """Execute every job; failures become per-job statuses, the
@@ -163,6 +193,7 @@ class SimulationFarm:
                 self.designs,
                 options=self.options,
                 ledger_root=self.ledger_root,
+                cache_dir=self.cache_dir,
             )
             results = [state.run_job(job) for job in jobs]
             workers = 1
@@ -213,6 +244,7 @@ class SimulationFarm:
             self.designs,
             options=self.options,
             ledger_root=self.ledger_root,
+            cache_dir=self.cache_dir,
         )
         for design, module in sorted({(job.design, job.module) for job in jobs}):
             try:
@@ -221,12 +253,38 @@ class SimulationFarm:
                 handle.efsm()
             except EclError:
                 pass  # surfaces per job as a status="error" result
+        # Engine-specific artifacts (lowered native code, partition
+        # bundles), deduped per distinct target; forked workers inherit
+        # them all copy-on-write.
+        native_targets = set()
+        bundle_targets = set()
+        for job in jobs:
+            if job.engine in ("native", "equivalence"):
+                native_targets.add((job.design, job.module))
+            if job.engine == "rtos" and job.task_engine == "native":
+                specs = job.tasks or ((job.module, job.module, 1),)
+                bundle_targets.add((job.design, specs))
+        for design, module in sorted(native_targets):
+            try:
+                state.build(design).module(module).native_code()
+            except EclError:
+                pass  # surfaces per job as a status="error" result
+        for design, specs in sorted(bundle_targets):
+            try:
+                state.build(design).partition_bundle(specs)
+            except EclError:
+                pass  # surfaces per job as a status="error" result
         worker_mod.adopt(state)
         try:
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=worker_mod.initialize,
-                initargs=(self.designs, self.options, self.ledger_root),
+                initargs=(
+                    self.designs,
+                    self.options,
+                    self.ledger_root,
+                    self.cache_dir,
+                ),
             ) as pool:
                 futures = [pool.submit(worker_mod.run_chunk, chunk) for chunk in chunks]
                 results = []

@@ -30,6 +30,9 @@ from ..errors import EclError
 #: "diverged" on the first observable mismatch.
 ENGINE_NAMES = ("efsm", "native", "interp", "rtos", "equivalence")
 
+#: Task engines the rtos farm engine accepts ("" = default efsm).
+TASK_ENGINE_NAMES = ("", "efsm", "native", "interp")
+
 #: Job outcome classes.  "ok" and "terminated" count as success.
 STATUS_OK = "ok"
 STATUS_TERMINATED = "terminated"
@@ -152,12 +155,22 @@ class SimJob:
     tasks: Tuple[tuple, ...] = ()
     properties: Tuple = ()
     collect_coverage: bool = False
+    #: rtos engine only: what runs inside each task ("" = "efsm";
+    #: "native" binds closure-compiled reactors from a partition
+    #: bundle).  Like properties, only enters the job identity when
+    #: set, so pre-existing job ids (and their traces) stay stable.
+    task_engine: str = ""
 
     def __post_init__(self):
         if self.engine not in ENGINE_NAMES:
             raise EclError(
                 "unknown engine %r (one of: %s)"
                 % (self.engine, ", ".join(ENGINE_NAMES))
+            )
+        if self.task_engine not in TASK_ENGINE_NAMES:
+            raise EclError(
+                "unknown task engine %r (one of: efsm, native, interp)"
+                % self.task_engine
             )
 
     @property
@@ -176,6 +189,8 @@ class SimJob:
             parts.append("properties=%r" % (self.properties,))
         if self.collect_coverage:
             parts.append("coverage=1")
+        if self.task_engine:
+            parts.append("task_engine=%s" % self.task_engine)
         return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
     @property
@@ -217,6 +232,10 @@ class SimResult:
     violation: Optional[str] = None
     violation_instant: int = -1
     coverage: Optional[dict] = None
+    #: rtos engine only: the kernel's operation counters (dispatches,
+    #: context_switches, posts, self_triggers, lost_events, ...) — the
+    #: paper's task-vs-RTOS accounting, surfaced at farm scale.
+    kernel_stats: Optional[dict] = None
     worker_pid: int = 0
 
     @property
@@ -263,6 +282,7 @@ def expand_jobs(
     record_vcd=False,
     start_index=0,
     salt=0,
+    task_engine="",
 ):
     """Cartesian job expansion: every (design, module) x engine x trace
     replicate, with batch-unique indices (the index feeds each job's
@@ -292,6 +312,7 @@ def expand_jobs(
                         horizon=horizon,
                         index=index,
                         record_vcd=record_vcd,
+                        task_engine=task_engine if engine == "rtos" else "",
                     )
                 )
                 index += 1

@@ -22,7 +22,11 @@ x trace replicate becomes one :class:`~repro.farm.jobs.SimJob`;
 Optional per-entry keys: ``seed``, ``horizon``, ``present_prob``,
 ``value_range``, ``vcd`` (record waveforms), ``tasks`` (rtos
 partitions, ``[[task, module, priority, {formal: network}], ...]``
-with priority and the binding map optional).
+with priority and the binding map optional) and ``task_engine``
+("efsm", "native" or "interp" — what runs inside each rtos task).
+Farm-level keys: ``workers``, ``chunk_size``, ``ledger`` and
+``cache_dir`` (persistent shared code cache, resolved against the
+spec location).
 """
 
 from __future__ import annotations
@@ -54,6 +58,7 @@ def load_spec(path):
         "workers": document.get("workers"),
         "chunk_size": document.get("chunk_size"),
         "ledger": _resolve(base, document.get("ledger")),
+        "cache_dir": _resolve(base, document.get("cache_dir")),
     }
     return designs, jobs, settings
 
@@ -116,6 +121,7 @@ def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
             salt=int(entry.get("seed", 0)),
         )
         tasks = _task_specs(entry.get("tasks"))
+        task_engine = str(entry.get("task_engine", "") or "")
         for module in modules:
             for engine in engines:
                 for _ in range(int(entry.get("traces", 1))):
@@ -129,6 +135,7 @@ def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
                             index=index,
                             record_vcd=bool(entry.get("vcd", False)),
                             tasks=tasks,
+                            task_engine=task_engine if engine == "rtos" else "",
                         )
                     )
                     index += 1

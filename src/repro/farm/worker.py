@@ -40,11 +40,28 @@ from .ledger import TraceLedger
 class WorkerState:
     """Everything one worker process caches across its jobs."""
 
-    def __init__(self, designs, options=None, ledger_root=None):
+    def __init__(self, designs, options=None, ledger_root=None, cache_dir=None):
         #: design label -> ECL source text
         self.designs = dict(designs)
         self.options = options if options is not None else CompileOptions()
-        self.pipeline = Pipeline(options=self.options, cache=ArtifactCache.memory())
+        from ..runtime.native import enable_code_cache
+
+        if cache_dir:
+            # Persistent shared cache: compiled artifacts (EFSMs,
+            # NativeCode, partition bundles, trace drivers) land on
+            # disk, and the native engine's compiled *bytecode* is
+            # marshalled next to them — spawn-based workers warm-start
+            # without re-running codegen or re-exec'ing sources.
+            cache = ArtifactCache.persistent(cache_dir)
+            enable_code_cache(os.path.join(cache_dir, "native-pyc"))
+        else:
+            # The bytecode cache location is process-global: reset it
+            # so a cache-less farm never inherits an earlier run's
+            # directory (the ECL_CODE_CACHE_DIR fallback still applies).
+            cache = ArtifactCache.memory()
+            enable_code_cache(None)
+        self.cache_dir = cache_dir
+        self.pipeline = Pipeline(options=self.options, cache=cache)
         self.ledger = TraceLedger(ledger_root) if ledger_root else None
         self._builds: Dict[str, object] = {}
 
@@ -88,10 +105,15 @@ class WorkerState:
             coverage = self._coverage_for(job) if job.collect_coverage else None
             attached = False
             if job.engine == "equivalence":
-                records, status, divergence = self._run_equivalence(job)
+                records, status, divergence, attached = self._run_equivalence(
+                    job, coverage
+                )
                 result.divergence = divergence
             else:
-                records, status, attached = self._run_single(job, coverage)
+                records, status, attached, kernel_stats = self._run_single(
+                    job, coverage
+                )
+                result.kernel_stats = kernel_stats
             if coverage is not None:
                 if not attached:
                     # Engines without reactor instrumentation (interp,
@@ -152,39 +174,55 @@ class WorkerState:
         return monitor.first_violation
 
     def _run_single(self, job, coverage=None):
-        """``(records, status, coverage_attached)`` for one plain job."""
+        """``(records, status, coverage_attached, kernel_stats)`` for
+        one plain job."""
         engine = build_engine(job.engine, self.handles(job.design), job)
         attached = False
         if coverage is not None:
             attach = getattr(engine, "enable_coverage", None)
             if attach is not None:
                 attached = bool(attach(coverage))
-        stimulus = self._stimulus(job, engine)
-        step_many = getattr(engine, "step_many", None)
-        if step_many is not None:
-            # Batched-instant loop (native engine): one call per job.
-            records = step_many(stimulus)
-            status = STATUS_TERMINATED if engine.terminated else STATUS_OK
-            return records, status, attached
-        records = []
-        status = STATUS_OK
-        for instant in stimulus:
-            records.append(engine.step(instant))
-            if engine.terminated:
-                status = STATUS_TERMINATED
-                break
-        return records, status, attached
+        records = None
+        run_spec = getattr(engine, "run_spec", None)
+        if run_spec is not None:
+            # Whole-trace driver loop (native engine, random stimulus):
+            # the per-(design, stimulus-spec) compiled driver owns the
+            # entire inner loop.
+            records = run_spec(job)
+        if records is None:
+            stimulus = self._stimulus(job, engine)
+            step_many = getattr(engine, "step_many", None)
+            if step_many is not None:
+                # Batched-instant loop (native engine): one call per job.
+                records = step_many(stimulus)
+            else:
+                records = []
+                for instant in stimulus:
+                    records.append(engine.step(instant))
+                    if engine.terminated:
+                        break
+        status = STATUS_TERMINATED if engine.terminated else STATUS_OK
+        stats_hook = getattr(engine, "kernel_stats", None)
+        kernel_stats = stats_hook() if stats_hook is not None else None
+        return records, status, attached, kernel_stats
 
-    def _run_equivalence(self, job):
+    def _run_equivalence(self, job, coverage=None):
         """The interpreter in lockstep with both compiled engines (efsm
         and native) on one stimulus; the efsm records are what gets
-        persisted (stable trace digests across engine additions)."""
+        persisted (stable trace digests across engine additions).
+
+        A coverage map attaches to the lockstepped efsm candidate, so
+        cross-engine verification jobs merge full state/transition
+        bitmaps instead of record-level emit coverage only."""
         handles = self.handles(job.design)
         reference = build_engine("interp", handles, job)
         candidates = [
             build_engine("efsm", handles, job),
             build_engine("native", handles, job),
         ]
+        attached = False
+        if coverage is not None:
+            attached = bool(candidates[0].enable_coverage(coverage))
         records = []
         status = STATUS_OK
         divergence = None
@@ -216,7 +254,7 @@ class WorkerState:
             if candidates[0].terminated:
                 status = STATUS_TERMINATED
                 break
-        return records, status, divergence
+        return records, status, divergence, attached
 
     def _render_vcd(self, job, records) -> Optional[str]:
         """Replay the records through a VcdRecorder when asked to."""
@@ -259,12 +297,15 @@ def adopt(state):
     _STATE = state
 
 
-def initialize(designs, options, ledger_root):
+def initialize(designs, options, ledger_root, cache_dir=None):
     """Pool initializer: reuse a fork-inherited state if present,
-    otherwise build this worker's own exactly once."""
+    otherwise build this worker's own exactly once (served from the
+    persistent artifact/code cache when ``cache_dir`` is set)."""
     global _STATE
     if _STATE is None:
-        _STATE = WorkerState(designs, options=options, ledger_root=ledger_root)
+        _STATE = WorkerState(
+            designs, options=options, ledger_root=ledger_root, cache_dir=cache_dir
+        )
 
 
 def run_chunk(jobs):

@@ -25,6 +25,7 @@ this module.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 import uuid
@@ -54,6 +55,12 @@ from .stages import (
 
 #: Upper bound on the default worker count for batch builds.
 DEFAULT_MAX_JOBS = 8
+
+#: Format tag of the ``native`` lowering stage.  Artifacts that embed
+#: lowered state-function layout (native code bundles, partition
+#: bundles, trace drivers) carry this tag in their cache keys, so a
+#: persistent cache can never pair a stale layout with newer code.
+NATIVE_STAGE_TAG = "native@v2"
 
 
 class Pipeline:
@@ -235,6 +242,47 @@ class DesignBuild:
                 self._handles[name] = ModuleHandle(self, name)
             return self._handles[name]
 
+    def partition_bundle(self, tasks):
+        """Stage ``partition``: one content-addressed artifact holding
+        every task's lowered :class:`~repro.runtime.native.NativeCode`
+        plus its EFSM and signal bindings — what the simulation farm's
+        ``rtos`` engine binds when its task engine is ``native``.
+
+        ``tasks`` is a tuple of ``(task_name, module_name, priority)``
+        or ``(task_name, module_name, priority, bindings)`` entries
+        (bindings: ``(formal, network)`` pairs), the same shape
+        :class:`~repro.farm.jobs.SimJob` carries.  The key carries the
+        native stage tag, so a lowering format change can never serve a
+        stale bundle.
+        """
+        specs = tuple(tuple(spec) for spec in tasks)
+        digest = hashlib.sha256(repr(specs).encode("utf-8")).hexdigest()
+        key = self._design_key(
+            "partition@v1+%s:%s" % (NATIVE_STAGE_TAG, digest[:16]))
+        artifact = self.pipeline.cache.get(key)
+        if artifact is None:
+            from ..runtime.native import PartitionBundle, PartitionTask
+
+            entries = []
+            for spec in specs:
+                task_name, module_name, priority = spec[0], spec[1], spec[2]
+                bindings = tuple(sorted(dict(spec[3]).items())) \
+                    if len(spec) > 3 else ()
+                handle = self.module(module_name)
+                entries.append(PartitionTask(
+                    name=task_name,
+                    module=module_name,
+                    priority=int(priority),
+                    bindings=bindings,
+                    efsm=handle.efsm(),
+                    code=handle.native_code(),
+                ))
+            payload = PartitionBundle(design=self.filename,
+                                      tasks=tuple(entries))
+            artifact = self.pipeline.cache.put(key, payload,
+                                               kind="partition-bundle")
+        return artifact.payload
+
 
 class ModuleHandle:
     """Runs the per-module stages of one design, cache-backed.
@@ -363,7 +411,25 @@ class ModuleHandle:
             from ..runtime.native import compile_native
             return compile_native(self.efsm())
         return self._stage("native", compute, kind="native-code",
-                           key_stage="native@v2")
+                           key_stage=NATIVE_STAGE_TAG)
+
+    def trace_driver(self, length, present_prob, value_range, budget=0):
+        """Stage ``trace-driver``: the compiled whole-trace driver loop
+        for one (design, stimulus-spec) pair
+        (:func:`repro.runtime.native.compile_trace_driver`) — the
+        farm's native engine runs a whole random trace through it with
+        zero per-instant dict handling on the injection side."""
+        def compute():
+            from ..runtime.native import compile_trace_driver
+            return compile_trace_driver(
+                self.efsm(), self.native_code(), length,
+                present_prob, tuple(value_range), budget=budget)
+        shape = "%d:%r:%r:%d" % (length, present_prob,
+                                 tuple(value_range), budget)
+        digest = hashlib.sha256(shape.encode("utf-8")).hexdigest()[:16]
+        return self._stage(
+            "trace-driver", compute, kind="trace-driver",
+            key_stage="trace-driver@v1+%s:%s" % (NATIVE_STAGE_TAG, digest))
 
     def monitor_bundle(self, properties):
         """Stage ``monitor``: the compiled

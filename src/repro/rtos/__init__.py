@@ -8,11 +8,12 @@
 from .kernel import KernelStats, RtosKernel
 from .network import AsyncNetwork
 from .services import EventFlag, Mailbox, MessageQueue
-from .tasks import RtosTask
+from .tasks import CarrierView, RtosTask
 from .trace import TraceEvent, TraceRecorder
 
 __all__ = [
     "AsyncNetwork",
+    "CarrierView",
     "KernelStats",
     "RtosKernel",
     "EventFlag",

@@ -85,5 +85,9 @@ class AsyncNetwork:
     def stats(self):
         return self.kernel.stats
 
+    def stats_dict(self):
+        """The kernel's counters plus the network lost-event total."""
+        return self.kernel.stats_dict()
+
     def lost_events(self):
         return self.kernel.total_lost_events()

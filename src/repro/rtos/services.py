@@ -2,11 +2,18 @@
 
 The paper: "The ECL signal is conceptually closer to the event flag or
 mailbox synchronization services offered by several RTOSs".  In the
-asynchronous implementation each ECL signal is mapped to exactly these:
-a pure signal becomes an :class:`EventFlag`, a valued signal a
-one-place :class:`Mailbox` (the "bounded and small" buffering of CFSM
-networks the paper cites [1]); deeper :class:`MessageQueue`s are
-available for explicitly buffered designs.
+asynchronous implementation each ECL signal maps to exactly these
+semantics: a pure signal behaves as an :class:`EventFlag`, a valued
+signal as a one-place :class:`Mailbox` (the "bounded and small"
+buffering of CFSM networks the paper cites [1]); deeper
+:class:`MessageQueue`s are available for explicitly buffered designs.
+
+:class:`~repro.rtos.tasks.RtosTask` no longer allocates one of these
+objects per input — its carriers are slot-indexed pending/value arrays
+with the identical post/consume/lost-event semantics (asserted by the
+cross-engine property suite).  The classes here remain the reference
+implementation of those semantics and the building blocks for designs
+that buffer connections explicitly.
 """
 
 from __future__ import annotations

@@ -24,8 +24,7 @@ class TraceEvent:
 
     def describe(self):
         if self.kind == "dispatch":
-            extra = " -> %s" % "+".join(self.emitted) if self.emitted \
-                else ""
+            extra = " -> %s" % "+".join(self.emitted) if self.emitted else ""
             return "t%04d dispatch %s%s" % (self.time, self.task, extra)
         if self.kind == "post":
             return "t%04d post %s -> %s" % (self.time, self.signal,
@@ -95,11 +94,21 @@ class TraceRecorder:
         slots = dispatches[-width:]
         rows = []
         for task in tasks:
-            cells = "".join(
-                "#" if event.task == task else "." for event in slots)
+            cells = "".join("#" if event.task == task else "." for event in slots)
             rows.append("%-12s |%s|" % (task, cells))
         return "\n".join(rows)
 
     def log(self, limit=None):
         events = self.events if limit is None else self.events[:limit]
         return "\n".join(event.describe() for event in events)
+
+    def stats_summary(self):
+        """One line of kernel counters (task-vs-RTOS accounting) to
+        print under :meth:`timeline`."""
+        if self._kernel is None:
+            return "(recorder not attached)"
+        stats = self._kernel.stats_dict()
+        return ("dispatches=%(dispatches)d "
+                "context_switches=%(context_switches)d "
+                "posts=%(posts)d self_triggers=%(self_triggers)d "
+                "lost_events=%(lost_events)d" % stats)

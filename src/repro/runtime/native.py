@@ -51,8 +51,13 @@ counts ``react`` instants.
 
 from __future__ import annotations
 
+import hashlib
+import marshal
+import os
 import re
-from dataclasses import dataclass
+import sys
+import tempfile
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..efsm.machine import (
@@ -251,12 +256,73 @@ class NativeCode:
 #: per process no matter how many reactors bind the same design).
 _CODE_CACHE: Dict[str, object] = {}
 
+#: Optional on-disk layer under _CODE_CACHE: marshalled code objects
+#: keyed by source digest, shared by every worker process on the
+#: machine.  Spawn-based farm workers (which inherit nothing) load the
+#: marshalled bytecode instead of re-running ``compile`` on warm
+#: starts.  Enabled via :func:`enable_code_cache` or the
+#: ``ECL_CODE_CACHE_DIR`` environment variable.
+_CODE_CACHE_DIR = None
+
+CODE_CACHE_ENV = "ECL_CODE_CACHE_DIR"
+
+
+def enable_code_cache(root):
+    """Persist compiled reaction code under ``root`` (None disables)."""
+    global _CODE_CACHE_DIR
+    _CODE_CACHE_DIR = root
+    if root is not None:
+        os.makedirs(root, exist_ok=True)
+    return root
+
+
+def _code_cache_root():
+    if _CODE_CACHE_DIR is not None:
+        return _CODE_CACHE_DIR
+    return os.environ.get(CODE_CACHE_ENV) or None
+
+
+def _code_cache_path(root, source):
+    # The cache tag isolates bytecode across interpreter versions —
+    # marshal is not stable between them.
+    tag = sys.implementation.cache_tag or "python"
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()[:32]
+    return os.path.join(root, "%s-%s.nrc" % (tag, digest))
+
 
 def _compiled(source):
     code = _CODE_CACHE.get(source)
-    if code is None:
-        code = compile(source, "<native-reactions>", "exec")
-        _CODE_CACHE[source] = code
+    if code is not None:
+        return code
+    root = _code_cache_root()
+    path = _code_cache_path(root, source) if root else None
+    if path is not None:
+        try:
+            with open(path, "rb") as handle:
+                code = marshal.load(handle)
+        except (OSError, ValueError, EOFError, TypeError):
+            code = None
+        if code is not None:
+            _CODE_CACHE[source] = code
+            return code
+    code = compile(source, "<native-reactions>", "exec")
+    _CODE_CACHE[source] = code
+    if path is not None:
+        try:
+            os.makedirs(root, exist_ok=True)
+            fd, temp = tempfile.mkstemp(dir=root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    marshal.dump(code, handle)
+                os.replace(temp, path)
+            except BaseException:
+                try:
+                    os.unlink(temp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, ValueError):
+            pass  # the cache is an optimization, never a failure
     return code
 
 
@@ -1358,7 +1424,282 @@ class NativeReactor:
     def data_bytes(self):
         return self.space.allocated_bytes
 
+    def run_trace(self, driver, seed):
+        """Run one compiled whole-trace driver (see
+        :func:`compile_trace_driver`) with the job's derived ``seed``;
+        returns one farm-format record per executed instant."""
+        if self.terminated:
+            return []
+        import random
+
+        return _driver_func(driver)(random.Random(seed), self)
+
     def reset(self):
         self.state = self.code.initial
         self.terminated = False
         self.instants = 0
+
+
+# ----------------------------------------------------------------------
+# Whole-trace drivers: the react_many idea lifted to traces.
+#
+# A driver is generated once per (design, stimulus-spec) pair: the
+# random-stimulus draws are inlined per input signal with the slot
+# indices burned in, so the farm's inner loop performs zero per-instant
+# dict handling on the injection side — presence writes are P[i] = 1,
+# scalar values go straight into the slot array, and the rng is
+# consumed in exactly the order StimulusSpec.materialize consumes it
+# (trace-for-trace identical to the step()/react_many paths).
+
+
+@dataclass
+class TraceDriverCode:
+    """Picklable compiled driver for one (module, stimulus-spec) pair."""
+
+    module: str
+    source: str
+    #: instants drawn from the rng (spec length clipped to the budget).
+    length: int = 0
+    #: total instants including empty horizon padding.
+    budget: int = 0
+    #: drivable alphabet burned into the source: ``(name, is_pure)``.
+    alphabet: Tuple[tuple, ...] = ()
+    present_prob: float = 0.5
+    value_range: Tuple[int, int] = (0, 255)
+
+    def describe(self):
+        return "trace-driver %s: %d drawn + %d padded instants, %d inputs" % (
+            self.module,
+            self.length,
+            self.budget - self.length,
+            len(self.alphabet),
+        )
+
+
+#: driver source -> bound _drive function (exec'd once per process).
+_DRIVER_FUNCS: Dict[str, object] = {}
+
+
+def _hex_loader(signal):
+    def load():
+        return "0x" + bytes(signal.load()).hex()
+
+    return load
+
+
+def _driver_func(driver):
+    func = _DRIVER_FUNCS.get(driver.source)
+    if func is None:
+        namespace = {"_hex_loader": _hex_loader}
+        exec(_compiled(driver.source), namespace)
+        func = namespace["_drive"]
+        _DRIVER_FUNCS[driver.source] = func
+    return func
+
+
+#: The per-reactor prologue of every generated driver (hot references
+#: hoisted into locals, plus the emitted-mask decoder).
+_DRIVER_PRELUDE = '''\
+    random = rng.random
+    randint = rng.randint
+    P = reactor._present
+    PZERO = reactor._pzero
+    S = reactor._slots
+    F = reactor._funcs
+    signals = reactor.signals
+    count = reactor.env.count
+    cov = reactor.coverage
+    mark = reactor._mark_coverage
+    state = reactor.state
+    records = []
+    append = records.append
+    mask_cache = {}
+
+    def _decode(m):
+        names = []
+        valued = []
+        for bit, name in OUT_BITS:
+            if m & bit:
+                names.append(name)
+                s = signals[name]
+                if not s.is_pure:
+                    if s.type.is_scalar():
+                        valued.append((name, s.load))
+                    else:
+                        valued.append((name, _hex_loader(s)))
+        names.sort()
+        entry = (names, tuple(valued))
+        mask_cache[m] = entry
+        return entry
+'''
+
+#: The per-instant epilogue: run the state function, decode the mask
+#: into a farm record, handle termination.  Indented for the driver's
+#: instant loop body.
+_DRIVER_INSTANT_TAIL = '''\
+        count("react")
+        entry = state
+        target, m, packed = F[entry]()
+        reactor.instants += 1
+        if cov is not None:
+            mark(cov, entry, packed)
+        if m:
+            e = mask_cache.get(m)
+            if e is None:
+                e = _decode(m)
+            names, valued = e
+            if valued:
+                values = {}
+                for n, ld in valued:
+                    values[n] = ld()
+                append({"inputs": inputs, "emitted": list(names), "values": values})
+            else:
+                append({"inputs": inputs, "emitted": list(names), "values": {}})
+        else:
+            append({"inputs": inputs, "emitted": [], "values": {}})
+        if target < 0:
+            reactor.terminated = True
+            reactor.state = state
+            return records
+        state = target
+'''
+
+
+def _wrap_text(text, ctype):
+    """Inline ``IntType.wrap`` (mirrors :meth:`_Lowerer.wrap`)."""
+    if isinstance(ctype, BoolType):
+        return "(1 if %s else 0)" % text
+    mask = (1 << (8 * ctype.size)) - 1
+    if not ctype.signed:
+        return "(%s) & %d" % (text, mask)
+    offset = 1 << (8 * ctype.size - 1)
+    return "(((%s) + %d) & %d) - %d" % (text, offset, mask, offset)
+
+
+def _driver_alphabet(module, code):
+    """Drivable inputs in declaration order (the order the farm's
+    ``input_alphabet`` exposes and the rng consumes): ``(name, pure,
+    pidx, sidx, ctype)`` with sidx < 0 for mem-backed values."""
+    pindex = {name: i for i, name in enumerate(code.presence)}
+    slot_index = {}
+    for i, (name, kind, _ctype) in enumerate(code.value_slots):
+        if kind == "signal":
+            slot_index[name] = i
+    entries = []
+    for param in module.params:
+        if param.direction != "input":
+            continue
+        if isinstance(param.type, PureType):
+            entries.append((param.name, True, pindex[param.name], -1, None))
+        elif param.type.is_scalar():
+            entries.append(
+                (
+                    param.name,
+                    False,
+                    pindex[param.name],
+                    slot_index.get(param.name, -1),
+                    param.type,
+                )
+            )
+        # aggregate-valued inputs are not drivable by random stimulus
+    return entries
+
+
+def compile_trace_driver(efsm, code, length, present_prob, value_range, budget=0):
+    """Generate the whole-trace driver source for one stimulus shape.
+
+    ``length``/``present_prob``/``value_range`` mirror a random
+    :class:`~repro.farm.jobs.StimulusSpec`; ``budget`` is the job's
+    instant budget (horizon): when larger than ``length`` the driver
+    appends empty instants, when smaller it clips the drawn prefix.
+    """
+    budget = budget if budget > 0 else length
+    drawn = min(length, budget)
+    low, high = value_range
+    alphabet = _driver_alphabet(efsm.module, code)
+    bits = ["(%d, %r), " % (bit, name) for name, bit in code.output_bits]
+    lines = [
+        '"""Whole-trace driver for ECL module %s (native backend)."""' % efsm.name,
+        "",
+        "OUT_BITS = (%s)" % "".join(bits),
+        "",
+        "",
+        "def _drive(rng, reactor):",
+    ]
+    lines.extend(_DRIVER_PRELUDE.splitlines())
+    for name, _pure, _pidx, sidx, ctype in alphabet:
+        if sidx < 0 and ctype is not None:
+            lines.append("    _st_%s = signals[%r].store" % (name, name))
+    if drawn:
+        lines.append("    for _i in range(%d):" % drawn)
+        lines.append("        P[:] = PZERO")
+        lines.append("        inputs = {}")
+        for name, pure, pidx, sidx, ctype in alphabet:
+            lines.append("        if random() < %r:" % present_prob)
+            if pure:
+                lines.append("            P[%d] = 1" % pidx)
+                lines.append("            inputs[%r] = None" % name)
+            else:
+                lines.append("            v = randint(%d, %d)" % (low, high))
+                lines.append("            P[%d] = 1" % pidx)
+                if sidx >= 0:
+                    store = "            S[%d] = %s"
+                    lines.append(store % (sidx, _wrap_text("v", ctype)))
+                else:
+                    lines.append("            _st_%s(v)" % name)
+                lines.append("            inputs[%r] = v" % name)
+        lines.extend(_DRIVER_INSTANT_TAIL.splitlines())
+    if budget > drawn:
+        lines.append("    for _i in range(%d):" % (budget - drawn))
+        lines.append("        P[:] = PZERO")
+        lines.append("        inputs = {}")
+        lines.extend(_DRIVER_INSTANT_TAIL.splitlines())
+    lines.append("    reactor.state = state")
+    lines.append("    return records")
+    source = "\n".join(lines) + "\n"
+    return TraceDriverCode(
+        module=efsm.name,
+        source=source,
+        length=drawn,
+        budget=budget,
+        alphabet=tuple((name, pure) for name, pure, _p, _s, _t in alphabet),
+        present_prob=present_prob,
+        value_range=(low, high),
+    )
+
+
+# ----------------------------------------------------------------------
+# Partition bundles: one content-addressed artifact per RTOS partition.
+
+
+@dataclass
+class PartitionTask:
+    """One task of a partition bundle, fully self-contained."""
+
+    name: str
+    module: str
+    priority: int = 1
+    #: ``(formal, network)`` signal renames, sorted.
+    bindings: Tuple[Tuple[str, str], ...] = ()
+    efsm: object = None
+    code: NativeCode = None
+
+
+@dataclass
+class PartitionBundle:
+    """Every task's lowered :class:`NativeCode` (plus its EFSM and
+    bindings) in one artifact — what the farm's ``rtos`` engine binds
+    when the task engine is ``native``.  The pipeline content-addresses
+    bundles under the ``partition`` stage, so fork-based workers
+    inherit them copy-on-write and spawn-based workers load one pickle
+    instead of re-running translate/efsm/native per task module."""
+
+    design: str
+    tasks: Tuple[PartitionTask, ...] = field(default_factory=tuple)
+
+    def describe(self):
+        parts = ", ".join(
+            "%s:%s@%d" % (task.name, task.module, task.priority)
+            for task in self.tasks
+        )
+        return "partition %s: %s" % (self.design, parts)

@@ -145,6 +145,7 @@ class VerifyCampaign:
         design,
         module,
         engine="native",
+        task_engine="",
         properties=(),
         rounds=6,
         jobs_per_round=16,
@@ -180,6 +181,8 @@ class VerifyCampaign:
         self.design = design
         self.module = module
         self.engine = engine
+        #: rtos engine only: what runs inside each task.
+        self.task_engine = task_engine
         self.properties = tuple(properties)
         self.rounds = max(1, int(rounds))
         self.jobs_per_round = max(1, int(jobs_per_round))
@@ -205,8 +208,14 @@ class VerifyCampaign:
 
     # -- local replay plumbing -----------------------------------------
 
+    def _task_engine(self):
+        """The job-level task engine ("" unless the campaign runs the
+        rtos engine — the field only enters job ids when set)."""
+        return self.task_engine if self.engine == "rtos" else ""
+
     def _engine(self):
-        probe = SimJob(design=self.design, module=self.module, engine=self.engine)
+        probe = SimJob(design=self.design, module=self.module,
+                       engine=self.engine, task_engine=self._task_engine())
         return build_engine(self.engine, lambda name: self._build.module(name), probe)
 
     def alphabet(self):
@@ -331,6 +340,7 @@ class VerifyCampaign:
                         design=self.design,
                         module=self.module,
                         engine=self.engine,
+                        task_engine=self._task_engine(),
                         stimulus=spec,
                         index=next_index,
                         properties=self.properties,
@@ -421,6 +431,7 @@ class VerifyCampaign:
                 design=self.design,
                 module=self.module,
                 engine=self.engine,
+                task_engine=self._task_engine(),
                 stimulus=StimulusSpec.explicit(stimulus),
                 index=job.index,
                 properties=self.properties,

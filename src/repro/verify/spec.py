@@ -65,6 +65,7 @@ def load_campaign_spec(path):
         design,
         module,
         engine=document.get("engine", "native"),
+        task_engine=str(document.get("task_engine", "") or ""),
         properties=properties,
         rounds=int(document.get("rounds", 6)),
         jobs_per_round=int(document.get("jobs_per_round", 16)),

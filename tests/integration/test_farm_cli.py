@@ -139,3 +139,51 @@ module fine (input pure go, output pure done)
                             in TraceLedger(ledger_dir).entries()])
         assert digests[0] == digests[1]
         assert len(set(digests[0])) == 5   # distinct traces per job
+
+
+class TestNativeTaskEngine:
+    """``--task-engine native`` / spec ``task_engine`` end to end."""
+
+    def test_flag_drives_native_tasks_and_prints_kernel_stats(
+            self, design_files, tmp_path, capsys):
+        stack, _buffer = design_files
+        report_path = str(tmp_path / "rtos-report.json")
+        assert main([
+            "farm", "run", stack, "-m", "toplevel",
+            "--engines", "rtos", "--task-engine", "native",
+            "--traces", "2", "--length", "6", "-j", "1",
+            "--report", report_path,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rtos: dispatches=" in out
+        with open(report_path) as handle:
+            report = json.load(handle)
+        assert report["ok"]
+        assert report["kernel_stats"]["dispatches"] > 0
+        for row in report["results"]:
+            assert row["kernel_stats"]["dispatches"] > 0
+
+    def test_spec_task_engine_partition(self, design_files, tmp_path,
+                                        capsys):
+        stack, _buffer = design_files
+        spec = tmp_path / "partition.json"
+        spec.write_text(json.dumps({
+            "workers": 1,
+            "cache_dir": "spec-cache",
+            "designs": {"stack": stack},
+            "jobs": [
+                {"design": "stack", "modules": ["toplevel"],
+                 "engines": ["rtos"], "traces": 2, "length": 6,
+                 "task_engine": "native",
+                 "tasks": [
+                     ["assemble", "assemble", 3, {"outpkt": "packet"}],
+                     ["prochdr", "prochdr", 2, {"inpkt": "packet"}],
+                     ["checkcrc", "checkcrc", 1,
+                      {"inpkt": "packet"}]]},
+            ],
+        }))
+        assert main(["farm", "run", "--spec", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "2 job(s) over 1 design(s)" in out
+        assert "rtos: dispatches=" in out
+        assert os.path.isdir(str(tmp_path / "spec-cache"))

@@ -7,6 +7,8 @@ backend registration, code-bundle caching, the standalone emitted
 module, and the reactor conveniences.
 """
 
+import os
+
 import pytest
 
 from repro.codegen.py_backend import EfsmReactor
@@ -265,3 +267,123 @@ class TestHotObjectLayout:
         assert efsm._transition_count is not None
         assert efsm.emitted_signals() is efsm.emitted_signals()
         assert efsm.tested_inputs() is efsm.tested_inputs()
+
+
+class TestWholeTraceDrivers:
+    """compile_trace_driver / run_trace: the farm's zero-dict fast path."""
+
+    def _records_by_steps(self, handle, driver, seed):
+        import random
+
+        from repro.farm.jobs import random_instant
+
+        reactor = NativeReactor(handle.efsm(), code=handle.native_code())
+        rng = random.Random(seed)
+        alphabet = [(s.name, s.is_pure) for s in reactor.signals.inputs()
+                    if s.is_pure or s.type.is_scalar()]
+        records = []
+        for _ in range(driver.length):
+            instant = random_instant(rng, alphabet, driver.present_prob,
+                                     driver.value_range)
+            out = reactor.react(
+                inputs=[n for n, v in instant.items() if v is None],
+                values={n: v for n, v in instant.items() if v is not None})
+            records.append((dict(sorted(instant.items())),
+                            sorted(out.emitted),
+                            dict(sorted(out.values.items()))))
+        for _ in range(driver.budget - driver.length):
+            out = reactor.react()
+            records.append(({}, sorted(out.emitted),
+                            dict(sorted(out.values.items()))))
+        return records
+
+    def test_driver_matches_step_loop(self, handle):
+        driver = handle.trace_driver(20, 0.5, (0, 255), budget=26)
+        assert driver.length == 20 and driver.budget == 26
+        reactor = NativeReactor(handle.efsm(), code=handle.native_code())
+        got = reactor.run_trace(driver, seed=99)
+        expected = self._records_by_steps(handle, driver, seed=99)
+        assert len(got) == 26
+        for record, (inputs, emitted, values) in zip(got, expected):
+            assert dict(sorted(record["inputs"].items())) == inputs
+            assert record["emitted"] == emitted
+            assert record["values"] == values
+        # Same (design, spec) pair -> the cached stage artifact.
+        assert handle.trace_driver(20, 0.5, (0, 255), budget=26) is driver
+        other = handle.trace_driver(21, 0.5, (0, 255), budget=26)
+        assert other is not driver
+        # The driver is a picklable compile artifact.
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(driver))
+        reactor2 = NativeReactor(handle.efsm(), code=handle.native_code())
+        assert reactor2.run_trace(clone, seed=99) == got
+
+    def test_driver_horizon_clips_drawn_prefix(self, handle):
+        driver = handle.trace_driver(30, 0.5, (0, 255), budget=5)
+        assert driver.length == 5 and driver.budget == 5
+        reactor = NativeReactor(handle.efsm(), code=handle.native_code())
+        assert len(reactor.run_trace(driver, seed=4)) == 5
+
+    def test_driver_marks_coverage(self, handle):
+        from repro.verify.coverage import CoverageMap
+
+        driver = handle.trace_driver(40, 0.7, (0, 9), budget=40)
+        reactor = NativeReactor(handle.efsm(), code=handle.native_code())
+        coverage = CoverageMap.for_efsm(handle.efsm())
+        reactor.enable_coverage(coverage)
+        reactor.run_trace(driver, seed=11)
+        assert coverage.covered_states > 0
+        assert coverage.covered_transitions > 0
+
+
+class TestPersistentCodeCache:
+    """The marshal-backed on-disk layer under the source->code cache."""
+
+    def test_warm_start_loads_marshalled_code(self, handle, tmp_path):
+        from repro.runtime import native
+
+        source = handle.native_code().source
+        root = str(tmp_path / "pyc")
+        previous = native._CODE_CACHE_DIR
+        native.enable_code_cache(root)
+        try:
+            native._CODE_CACHE.pop(source, None)
+            first = native._compiled(source)
+            cached = [name for name in os.listdir(root)
+                      if name.endswith(".nrc")]
+            assert cached, "no marshalled code written"
+            # A cold process (simulated: drop the memory layer) must
+            # load the marshalled bytecode, not recompile.
+            native._CODE_CACHE.pop(source, None)
+            compile_calls = []
+
+            def counting_compile(*args, **kwargs):
+                compile_calls.append(args)
+                return compile(*args, **kwargs)
+
+            native.compile = counting_compile
+            try:
+                warm = native._compiled(source)
+            finally:
+                del native.compile
+            assert not compile_calls
+            assert warm.co_names == first.co_names
+        finally:
+            native.enable_code_cache(previous)
+
+    def test_corrupt_cache_entry_recompiles(self, handle, tmp_path):
+        from repro.runtime import native
+
+        source = handle.native_code().source
+        root = str(tmp_path / "pyc")
+        previous = native._CODE_CACHE_DIR
+        native.enable_code_cache(root)
+        try:
+            path = native._code_cache_path(root, source)
+            with open(path, "wb") as out:
+                out.write(b"not marshal data")
+            native._CODE_CACHE.pop(source, None)
+            assert native._compiled(source) is not None
+        finally:
+            native.enable_code_cache(previous)

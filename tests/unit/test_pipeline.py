@@ -436,3 +436,55 @@ module quiet (input pure go, input pure unused, output pure done)
         module = compiler.compile_text(ECHO).module("echo")
         assert module.efsm() is module.efsm(optimized=False)
         assert compiler.pipeline.options.optimize is False
+
+
+class TestPartitionBundles:
+    """DesignBuild.partition_bundle: the rtos engine's one-artifact bind."""
+
+    TASKS = (
+        ("assemble", "assemble", 3, (("outpkt", "packet"),)),
+        ("prochdr", "prochdr", 2, (("inpkt", "packet"),)),
+        ("checkcrc", "checkcrc", 1, (("inpkt", "packet"),)),
+    )
+
+    def test_bundle_contains_every_task(self):
+        build = Pipeline().compile_text(designs.PROTOCOL_STACK_ECL,
+                                        filename="stack.ecl")
+        bundle = build.partition_bundle(self.TASKS)
+        assert [task.name for task in bundle.tasks] == \
+            ["assemble", "prochdr", "checkcrc"]
+        for task in bundle.tasks:
+            assert task.code is not None and task.efsm is not None
+        assert bundle.tasks[0].bindings == (("outpkt", "packet"),)
+        assert "assemble:assemble@3" in bundle.describe()
+
+    def test_bundle_is_content_addressed(self):
+        pipeline = Pipeline()
+        build = pipeline.compile_text(designs.PROTOCOL_STACK_ECL,
+                                      filename="stack.ecl")
+        first = build.partition_bundle(self.TASKS)
+        assert build.partition_bundle(self.TASKS) is first
+        other = build.partition_bundle(self.TASKS[:2])
+        assert other is not first
+
+    def test_bundle_survives_persistent_cache(self, tmp_path):
+        import pickle
+
+        cache = ArtifactCache.persistent(str(tmp_path / "cache"))
+        pipeline = Pipeline(cache=cache)
+        build = pipeline.compile_text(designs.PROTOCOL_STACK_ECL,
+                                      filename="stack.ecl")
+        bundle = build.partition_bundle(self.TASKS)
+        clone = pickle.loads(pickle.dumps(bundle))
+        assert [t.module for t in clone.tasks] == \
+            [t.module for t in bundle.tasks]
+        # A second pipeline over the same cache serves the bundle from
+        # disk without recompiling any stage.
+        warm = Pipeline(cache=ArtifactCache.persistent(
+            str(tmp_path / "cache")))
+        warm_build = warm.compile_text(designs.PROTOCOL_STACK_ECL,
+                                       filename="stack.ecl")
+        warm_bundle = warm_build.partition_bundle(self.TASKS)
+        assert warm.cache.stats.disk_hits >= 1
+        assert [t.name for t in warm_bundle.tasks] == \
+            [t.name for t in bundle.tasks]

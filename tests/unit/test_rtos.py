@@ -238,3 +238,89 @@ module looper (input pure go, output pure never)
         task.deliver("kick")  # second before any dispatch: lost
         kernel.run_until_idle()
         assert kernel.total_lost_events() == 1
+
+    def test_add_task_after_start_rejected(self):
+        kernel = make_kernel((PING, "ping", "ping", 1))
+        kernel.start()
+        reactor = EclCompiler().compile_text(PING).module("ping").reactor()
+        with pytest.raises(RtosError):
+            kernel.add_task(RtosTask("late", reactor, 1))
+
+    def test_stats_dict_reports_network_lost_total(self):
+        kernel = make_kernel((PING, "ping", "ping", 1))
+        kernel.start()
+        task = kernel.task("ping")
+        task.deliver("kick")
+        task.deliver("kick")
+        kernel.run_until_idle()
+        stats = kernel.stats_dict()
+        assert stats["lost_events"] == 1
+        assert stats["dispatches"] == kernel.stats.dispatches
+
+
+def make_native_kernel(*sources_and_names):
+    kernel = RtosKernel()
+    for source, module_name, task_name, priority in sources_and_names:
+        reactor = EclCompiler().compile_text(source) \
+            .module(module_name).reactor(engine="native")
+        kernel.add_task(RtosTask(task_name, reactor, priority))
+    return kernel
+
+
+class TestNativeTasks:
+    """The slot-indexed fast dispatch path (native reactors)."""
+
+    def test_fast_path_selected(self):
+        kernel = make_native_kernel((PING, "ping", "ping", 1))
+        assert kernel.tasks[0].uses_native_path
+        classic = make_kernel((PING, "ping", "ping", 1))
+        assert not classic.tasks[0].uses_native_path
+
+    def test_event_to_external_output(self):
+        kernel = make_native_kernel((PING, "ping", "ping", 1))
+        kernel.start()
+        kernel.post_input("kick")
+        assert "pong" in kernel.run_until_idle()
+
+    def test_valued_event(self):
+        kernel = make_native_kernel((ADDER, "adder", "adder", 1))
+        kernel.start()
+        kernel.post_input("a", 5)
+        assert kernel.run_until_idle() == {"total": 5}
+        kernel.post_input("a", 7)
+        assert kernel.run_until_idle() == {"total": 12}
+
+    def test_self_trigger_cascade(self):
+        kernel = make_native_kernel((DELTA, "stepper", "stepper", 1))
+        kernel.start()
+        kernel.post_input("go")
+        assert "done" in kernel.run_until_idle()
+        assert kernel.stats.self_triggers >= 2
+
+    def test_stats_match_efsm_tasks(self):
+        """Same stimulus, same kernel counters, either task engine."""
+        def run(factory):
+            kernel = factory((PING, "ping", "ping", 2),
+                             (DELTA, "stepper", "stepper", 1))
+            kernel.start()
+            outputs = []
+            for signal in ("kick", "go", "kick", "go", "kick"):
+                kernel.post_input(signal)
+                outputs.append(sorted(kernel.run_until_idle()))
+            return outputs, kernel.stats.as_dict()
+
+        efsm_out, efsm_stats = run(make_kernel)
+        native_out, native_stats = run(make_native_kernel)
+        assert efsm_out == native_out
+        assert efsm_stats == native_stats
+
+    def test_carrier_view(self):
+        kernel = make_native_kernel((ADDER, "adder", "adder", 1))
+        kernel.start()
+        task = kernel.task("adder")
+        task.deliver("a", 3)
+        view = task.carrier("a")
+        assert view.pending and view.value == 3
+        assert view.post_count == 1 and view.lost_count == 0
+        with pytest.raises(RtosError):
+            task.carrier("nope")
