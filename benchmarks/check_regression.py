@@ -20,7 +20,12 @@ and fails (exit 1) on a >2x regression:
   per-task-engine dispatch rates on the multi-task stack partition
   must not drop below half the baseline, and native tasks must keep
   their >=5x margin over efsm tasks (the RTOS rework's acceptance
-  floor, re-checked on every run).
+  floor, re-checked on every run);
+* ``BENCH_serve.json`` (:mod:`benchmarks.bench_serve_latency`): warm
+  and cold jobs/sec must not drop below half the baseline, and a warm
+  service batch must stay >= 1.5x faster than a cold farm run of the
+  identical spec (the serving layer's acceptance floor, re-checked on
+  every run).
 
 The factor-2 band absorbs runner-to-runner hardware noise while still
 catching the algorithmic regressions the gate exists for.  Baselines
@@ -188,6 +193,33 @@ def check_verify(current, baseline, failures):
                 "ceiling" % (label, overhead, VERIFY_OVERHEAD_CEILING))
 
 
+#: A warm service batch must stay at least this much faster than a
+#: cold farm run (mirrors bench_serve_latency.SPEEDUP_FLOOR).
+SERVE_SPEEDUP_FLOOR = 1.5
+
+
+def check_serve(current, baseline, failures):
+    for side in ("cold", "warm"):
+        rate = current[side]["jobs_per_sec"]
+        base_rate = baseline[side]["jobs_per_sec"]
+        ratio = base_rate / max(1e-9, rate)
+        status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+        print("serve     %-40s %8.0f j/s vs %8.0f j/s  (x%.2f)  %s"
+              % (side, rate, base_rate, ratio, status))
+        if ratio > REGRESSION_FACTOR:
+            failures.append(
+                "serve: %s throughput dropped to %.0f jobs/s "
+                "(baseline %.0f jobs/s)" % (side, rate, base_rate))
+    speedup = current.get("warm_speedup", 0.0)
+    status = "ok" if speedup >= SERVE_SPEEDUP_FLOOR else "REGRESSED"
+    print("serve     %-40s x%.2f (floor x%.1f)  %s"
+          % ("warm_speedup", speedup, SERVE_SPEEDUP_FLOOR, status))
+    if speedup < SERVE_SPEEDUP_FLOOR:
+        failures.append(
+            "serve: warm batch is only x%.2f faster than a cold farm "
+            "run (floor x%.1f)" % (speedup, SERVE_SPEEDUP_FLOOR))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=os.path.join(HERE, "out"))
@@ -201,6 +233,7 @@ def main(argv=None):
         ("BENCH_native.json", check_native),
         ("BENCH_verify.json", check_verify),
         ("BENCH_rtos.json", check_rtos),
+        ("BENCH_serve.json", check_serve),
     ]
     for filename, checker in pairs:
         current_path = os.path.join(args.out, filename)

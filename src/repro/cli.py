@@ -8,6 +8,8 @@ Subcommands::
     eclc simulate design.ecl -m top --trace stimuli.txt [--vcd out.vcd]
     eclc farm run design.ecl [more.ecl] --engines native,interp --traces 25
     eclc farm run --spec batch.json       # versioned simulation campaign
+    eclc serve --port 8732 --data-root .eclc-serve   # persistent service
+    eclc submit batch.json --watch        # inline designs, submit, stream
     eclc verify run design.ecl -m top --never "door_open&motor_on"
     eclc verify run --spec campaign.json  # versioned verification campaign
     eclc cover design.ecl -m top --rounds 4 --report coverage.json
@@ -145,6 +147,51 @@ def _build_parser():
     run.add_argument("-v", "--verbose", action="store_true",
                      help="print every job row, not only failures")
     run.set_defaults(handler=_cmd_farm_run)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent simulation service")
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default 8732; 0 = pick free)")
+    serve.add_argument("--data-root", default=None, metavar="DIR",
+                       help="persistence root: per-tenant artifact "
+                            "namespaces, trace-ledger shards and native "
+                            "bytecode live here (default: in-memory)")
+    serve.add_argument("-j", "--workers", type=int, default=None,
+                       help="resident worker threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="bounded job-queue depth; a batch that "
+                            "does not fit is rejected queue_full "
+                            "(default 1024)")
+    serve.add_argument("--max-attempts", type=int, default=None,
+                       help="total tries a job gets across "
+                            "worker-death retries (default 3)")
+    serve.add_argument("-v", "--verbose", action="store_true",
+                       help="log every HTTP request")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a farm spec to a running service")
+    submit.add_argument("spec", help="JSON batch spec file (designs are "
+                                     "inlined before sending)")
+    submit.add_argument("--host", default=None,
+                        help="service address (default 127.0.0.1)")
+    submit.add_argument("--port", type=int, default=None,
+                        help="service port (default 8732)")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant namespace (default: 'default')")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="batch priority (higher runs earlier)")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream results until the batch completes")
+    submit.add_argument("--stable", action="store_true",
+                        help="with --watch: stream the reproducible "
+                             "serialization (drops elapsed/pid/paths)")
+    submit.add_argument("--report", default=None, metavar="PATH",
+                        help="with --watch: write streamed rows as a "
+                             "JSON list")
+    submit.set_defaults(handler=_cmd_submit)
 
     verify = sub.add_parser(
         "verify", help="compiled temporal monitors + fuzz campaigns")
@@ -422,6 +469,74 @@ def _cmd_farm_run(args):
                       sort_keys=True)
         print("wrote %s" % args.report)
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args):
+    from .serve import (DEFAULT_HOST, DEFAULT_PORT, DEFAULT_QUEUE_DEPTH,
+                        DEFAULT_WORKERS, SimulationService, make_server,
+                        serve_forever)
+    from .serve.pool import DEFAULT_MAX_ATTEMPTS
+
+    host = args.host or DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    service = SimulationService(
+        data_root=args.data_root,
+        workers=args.workers if args.workers is not None
+        else DEFAULT_WORKERS,
+        queue_depth=args.queue_depth if args.queue_depth is not None
+        else DEFAULT_QUEUE_DEPTH,
+        max_attempts=args.max_attempts if args.max_attempts is not None
+        else DEFAULT_MAX_ATTEMPTS,
+    )
+    # Bind before announcing: with --port 0 the OS picks the port.
+    server = make_server(service, host=host, port=port,
+                         verbose=args.verbose)
+    print("eclc serve: listening on %s:%d (%d workers, depth %d%s)"
+          % (host, server.server_address[1], service.pool.workers,
+             service.queue.depth,
+             ", data %s" % args.data_root if args.data_root
+             else ", in-memory"),
+          flush=True)
+    serve_forever(service, server=server)
+    print("eclc serve: stopped")
+    return 0
+
+
+def _cmd_submit(args):
+    from .farm.spec import inline_spec
+    from .serve import DEFAULT_HOST, DEFAULT_PORT, ServeClient
+
+    document = inline_spec(args.spec)
+    client = ServeClient(host=args.host or DEFAULT_HOST,
+                         port=args.port if args.port is not None
+                         else DEFAULT_PORT)
+    admitted = client.submit(document, tenant=args.tenant,
+                             priority=args.priority)
+    print("batch %s: %d job(s) admitted (tenant %s, priority %d)"
+          % (admitted["batch"], admitted["jobs"], admitted["tenant"],
+             admitted["priority"]))
+    if not args.watch:
+        return 0
+    rows = []
+    failures = 0
+    for row in client.stream_results(admitted["batch"],
+                                     stable=args.stable):
+        rows.append(row)
+        ok = row.get("status") in ("ok", "terminated")
+        if not ok:
+            failures += 1
+        print("  [%s] %s/%s %s: %s"
+              % (row.get("status"), row.get("design"), row.get("module"),
+                 row.get("engine"),
+                 row.get("error") or "%s instants" % row.get("instants")))
+    print("batch %s: %d/%d ok" % (admitted["batch"],
+                                  len(rows) - failures, len(rows)))
+    if args.report:
+        import json
+        with open(args.report, "w") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+        print("wrote %s" % args.report)
+    return 0 if failures == 0 else 1
 
 
 _SIGNAL_NAME = re.compile(r"[A-Za-z_]\w*")

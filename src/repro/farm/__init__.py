@@ -34,8 +34,8 @@ from .engines import ENGINES, build_engine
 from .farm import FarmReport, SimulationFarm
 from .jobs import (ENGINE_NAMES, TASK_ENGINE_NAMES, SimJob, SimResult,
                    StimulusSpec, expand_jobs)
-from .ledger import TraceLedger, default_ledger_root
-from .spec import load_spec
+from .ledger import TraceLedger, check_tenant, default_ledger_root
+from .spec import expand_document, inline_spec, load_designs, load_spec
 from .worker import WorkerState
 
 __all__ = [
@@ -50,7 +50,11 @@ __all__ = [
     "TraceLedger",
     "WorkerState",
     "build_engine",
+    "check_tenant",
     "default_ledger_root",
+    "expand_document",
     "expand_jobs",
+    "inline_spec",
+    "load_designs",
     "load_spec",
 ]

@@ -305,6 +305,31 @@ class RtosEngine:
         (what :class:`~repro.farm.jobs.SimResult` carries back)."""
         return self.kernel.stats_dict()
 
+    def enable_coverage(self, coverage):
+        """Attach coverage to every task reactor that supports it.
+
+        ``coverage`` is one :class:`~repro.verify.coverage.CoverageMap`
+        (single-module job) or a dict mapping partition-member module
+        names to maps (partitioned job) — tasks wrapping the same
+        module share one map, so their marks merge per module.  Returns
+        True only when *every* task reactor was instrumented (interp
+        task reactors cannot be; the caller then falls back to
+        record-level emit marking).
+        """
+        maps = coverage if isinstance(coverage, dict) else None
+        attached = bool(self.kernel.tasks)
+        for task in self.kernel.tasks:
+            if maps is None:
+                target = coverage
+            else:
+                target = maps.get(task.reactor.module.name)
+            hook = getattr(task.reactor, "enable_coverage", None)
+            if hook is None or target is None:
+                attached = False
+                continue
+            hook(target)
+        return attached
+
     @property
     def terminated(self):
         return all(task.reactor.terminated for task in self.kernel.tasks)

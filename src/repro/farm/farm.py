@@ -27,7 +27,7 @@ Dispatch discipline (the part that makes it fast):
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional
@@ -100,21 +100,33 @@ class FarmReport:
             counts[result.status] = counts.get(result.status, 0) + 1
         return dict(sorted(counts.items()))
 
-    def as_dict(self):
-        return {
+    def to_dict(self, volatile=True):
+        """Stable JSON-clean dict of the whole report.  ``volatile``
+        is forwarded to each result's
+        :meth:`~repro.farm.jobs.SimResult.to_dict`; with
+        ``volatile=False`` the per-result rows are the reproducible
+        payload the serving API streams."""
+        payload = {
             "total": self.total,
             "ok": self.ok,
-            "elapsed": self.elapsed,
             "workers": self.workers,
             "chunks": self.chunks,
             "designs": self.designs,
             "reactions": self.reactions,
-            "reactions_per_sec": self.reactions_per_sec,
             "status_counts": self.status_counts(),
             "kernel_stats": self.kernel_stats() or None,
-            "ledger_root": self.ledger_root,
-            "results": [result.as_dict() for result in self.results],
+            "results": [
+                result.to_dict(volatile=volatile) for result in self.results
+            ],
         }
+        if volatile:
+            payload["elapsed"] = self.elapsed
+            payload["reactions_per_sec"] = self.reactions_per_sec
+            payload["ledger_root"] = self.ledger_root
+        return payload
+
+    def as_dict(self):
+        return self.to_dict()
 
     def summary(self, verbose=False):
         counts = ", ".join("%s=%d" % item for item in self.status_counts().items())
@@ -175,9 +187,15 @@ class SimulationFarm:
         self.chunk_size = chunk_size
         self.cache_dir = cache_dir
 
-    def run(self, jobs) -> FarmReport:
+    def run(self, jobs, on_result=None) -> FarmReport:
         """Execute every job; failures become per-job statuses, the
-        batch itself always returns a report."""
+        batch itself always returns a report.
+
+        ``on_result`` is the streaming hook: called with each
+        :class:`SimResult` as it lands (inline: per job; pooled: per
+        completed chunk, in completion order) — what lets a serving
+        layer forward results while the batch is still running.
+        Callback errors are the caller's problem and propagate."""
         jobs = list(jobs)
         for job in jobs:
             if job.design not in self.designs:
@@ -195,10 +213,15 @@ class SimulationFarm:
                 ledger_root=self.ledger_root,
                 cache_dir=self.cache_dir,
             )
-            results = [state.run_job(job) for job in jobs]
+            results = []
+            for job in jobs:
+                result = state.run_job(job)
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
             workers = 1
         else:
-            results = self._run_pool(jobs, chunks, workers)
+            results = self._run_pool(jobs, chunks, workers, on_result)
         results.sort(key=lambda result: result.index)
         return FarmReport(
             results=results,
@@ -235,7 +258,7 @@ class SimulationFarm:
                 chunks.append(design_jobs[start : start + size])
         return chunks
 
-    def _run_pool(self, jobs, chunks, workers):
+    def _run_pool(self, jobs, chunks, workers, on_result=None):
         # Compile every needed (design, module) pair up front and
         # adopt the state module-wide: fork-based pools then inherit
         # the compiled artifacts copy-on-write, so worker processes
@@ -288,8 +311,12 @@ class SimulationFarm:
             ) as pool:
                 futures = [pool.submit(worker_mod.run_chunk, chunk) for chunk in chunks]
                 results = []
-                for future in futures:
-                    results.extend(future.result())
+                for future in as_completed(futures):
+                    chunk_results = future.result()
+                    results.extend(chunk_results)
+                    if on_result is not None:
+                        for result in chunk_results:
+                            on_result(result)
         finally:
             worker_mod.adopt(None)
         return results

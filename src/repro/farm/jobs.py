@@ -212,6 +212,33 @@ class SimJob:
         )
 
 
+#: Field order of :meth:`SimResult.to_dict` — one explicit list, so the
+#: wire format of the farm report and the serving API cannot drift from
+#: whatever ``__dict__`` happens to hold.
+RESULT_FIELDS = (
+    "job_id",
+    "design",
+    "module",
+    "engine",
+    "index",
+    "status",
+    "instants",
+    "emitted_events",
+    "trace_digest",
+    "error",
+    "divergence",
+    "violation",
+    "violation_instant",
+    "coverage",
+    "kernel_stats",
+)
+
+#: Fields that legitimately differ between two executions of the same
+#: job (timings, process ids, absolute paths).  Excluded from the
+#: stable serialization so identical runs serialize identically.
+RESULT_VOLATILE_FIELDS = ("elapsed", "trace_path", "worker_pid")
+
+
 @dataclass
 class SimResult:
     """What one job produced, reduced to picklable plain data."""
@@ -242,8 +269,31 @@ class SimResult:
     def ok(self):
         return self.status in (STATUS_OK, STATUS_TERMINATED)
 
+    def to_dict(self, volatile=True):
+        """Stable JSON-clean dict of this result.
+
+        ``volatile=False`` drops the fields that differ between two
+        executions of the same job (elapsed, worker_pid, trace_path),
+        leaving the *reproducible* payload: two runs of the same job
+        under the same seeds then serialize byte-identically
+        (``json.dumps(..., sort_keys=True)``) — the serving API's
+        equivalence contract with ``eclc farm run``.
+        """
+        payload = {name: getattr(self, name) for name in RESULT_FIELDS}
+        if volatile:
+            for name in RESULT_VOLATILE_FIELDS:
+                payload[name] = getattr(self, name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a result from :meth:`to_dict` output (unknown keys
+        are ignored, missing volatile fields default)."""
+        known = set(RESULT_FIELDS) | set(RESULT_VOLATILE_FIELDS)
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
     def as_dict(self):
-        return dict(self.__dict__)
+        return self.to_dict()
 
     def summary_line(self):
         tail = ""

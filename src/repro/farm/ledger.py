@@ -17,6 +17,17 @@ discipline and lives next to it by default
   recorded job linking ``job_id`` to its trace digest.  Appends are
   single ``O_APPEND`` writes, so concurrent worker processes never
   interleave records.
+
+Multi-tenant sharding (the serving layer's namespace model): a ledger
+opened with ``tenant="alice"`` appends to its *own* shard
+``index/alice.jsonl`` instead of the shared ``ledger.jsonl``, and every
+read (``entries``/``find``/``has``) sees only that shard.  Trace
+*objects* stay in the shared content-addressed ``objects/`` tree — two
+tenants running the identical job dedupe to one file — but a digest is
+only *servable* to a tenant whose index records it
+(:meth:`TraceLedger.has`), which is what the service's fetch endpoint
+enforces.  Each shard is append-only per tenant, so tenants never
+contend on one index file.
 """
 
 from __future__ import annotations
@@ -24,13 +35,33 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 from typing import Iterator, List, Optional
 
+from ..errors import EclError
 from ..pipeline.cache import default_cache_root
 
-#: Name of the append-only index file at the ledger root.
+#: Name of the append-only index file at the ledger root (the
+#: tenant-less shard, kept for backward compatibility).
 INDEX_NAME = "ledger.jsonl"
+
+#: Directory of per-tenant index shards under the ledger root.
+INDEX_DIR = "index"
+
+#: Tenant names must be filesystem- and URL-safe slugs.
+TENANT_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def check_tenant(tenant):
+    """Validate a tenant slug; returns it.  Raises EclError on names
+    that could escape the index directory or break URLs."""
+    if not TENANT_NAME.match(tenant or ""):
+        raise EclError(
+            "bad tenant name %r (want 1-64 chars of [A-Za-z0-9._-], "
+            "not starting with '.' or '-')" % (tenant,)
+        )
+    return tenant
 
 
 def default_ledger_root():
@@ -41,9 +72,25 @@ def default_ledger_root():
 class TraceLedger:
     """Append-only, content-addressed store of simulation traces."""
 
-    def __init__(self, root=None):
+    def __init__(self, root=None, tenant=None):
         self.root = root or default_ledger_root()
+        self.tenant = check_tenant(tenant) if tenant is not None else None
         os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+
+    def for_tenant(self, tenant):
+        """This ledger's root, scoped to one tenant's index shard."""
+        return TraceLedger(self.root, tenant=tenant)
+
+    def tenants(self) -> List[str]:
+        """Tenant names with an index shard at this root."""
+        index_dir = os.path.join(self.root, INDEX_DIR)
+        if not os.path.isdir(index_dir):
+            return []
+        return sorted(
+            name[: -len(".jsonl")]
+            for name in os.listdir(index_dir)
+            if name.endswith(".jsonl")
+        )
 
     # -- writing -------------------------------------------------------
 
@@ -101,7 +148,7 @@ class TraceLedger:
         return list(self.iter_entries())
 
     def iter_entries(self) -> Iterator[dict]:
-        index = os.path.join(self.root, INDEX_NAME)
+        index = self._index_path()
         if not os.path.exists(index):
             return
         with open(index) as handle:
@@ -118,10 +165,23 @@ class TraceLedger:
                 found = entry
         return found
 
+    def has(self, digest) -> bool:
+        """True when this ledger's index (i.e. this tenant's shard)
+        records ``digest`` — the servability check: objects are shared
+        across tenants, index membership is not."""
+        return any(
+            entry.get("trace") == digest for entry in self.iter_entries()
+        )
+
     def __len__(self):
         return sum(1 for _ in self.iter_entries())
 
     # -- plumbing ------------------------------------------------------
+
+    def _index_path(self):
+        if self.tenant is None:
+            return os.path.join(self.root, INDEX_NAME)
+        return os.path.join(self.root, INDEX_DIR, self.tenant + ".jsonl")
 
     def _object_path(self, digest):
         return os.path.join(self.root, "objects", digest[:2], digest + ".jsonl")
@@ -142,9 +202,11 @@ class TraceLedger:
             raise
 
     def _append_index(self, entry):
+        path = self._index_path()
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         line = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
         fd = os.open(
-            os.path.join(self.root, INDEX_NAME),
+            path,
             os.O_WRONLY | os.O_CREAT | os.O_APPEND,
             0o644,
         )

@@ -16,8 +16,12 @@ whole simulation campaign::
     }
 
 ``designs`` maps batch labels to ECL file paths (relative to the spec
-file).  Each ``jobs`` entry is a matrix: every listed module x engine
-x trace replicate becomes one :class:`~repro.farm.jobs.SimJob`;
+file) or to inline source objects ``{"text": "module ..."}`` — the
+inline form is what the serving layer's HTTP API accepts (a remote
+service cannot resolve client-side paths; ``eclc submit`` inlines the
+files before sending).  Each ``jobs`` entry is a matrix: every listed
+module x engine x trace replicate becomes one
+:class:`~repro.farm.jobs.SimJob`;
 ``modules`` may be omitted to mean "every module of the design".
 Optional per-entry keys: ``seed``, ``horizon``, ``present_prob``,
 ``value_range``, ``vcd`` (record waveforms), ``tasks`` (rtos
@@ -44,16 +48,10 @@ def load_spec(path):
     ``designs`` maps labels to source text, ``jobs`` is the expanded
     job list and ``settings`` holds farm-level options (workers,
     chunk_size, ledger root resolved against the spec location)."""
-    with open(path) as handle:
-        try:
-            document = json.load(handle)
-        except ValueError as error:
-            raise EclError("bad farm spec %s: %s" % (path, error))
-    if not isinstance(document, dict):
-        raise EclError("bad farm spec %s: expected a JSON object" % path)
+    document = read_document(path)
     base = os.path.dirname(os.path.abspath(path))
-    designs = _load_designs(document.get("designs"), base, path)
-    jobs = _expand_entries(document.get("jobs"), designs, path)
+    designs = load_designs(document.get("designs"), base, path)
+    jobs = expand_document(document, designs, path)
     settings = {
         "workers": document.get("workers"),
         "chunk_size": document.get("chunk_size"),
@@ -61,6 +59,41 @@ def load_spec(path):
         "cache_dir": _resolve(base, document.get("cache_dir")),
     }
     return designs, jobs, settings
+
+
+def read_document(path):
+    """Load and type-check one spec file's JSON document."""
+    with open(path) as handle:
+        try:
+            document = json.load(handle)
+        except ValueError as error:
+            raise EclError("bad farm spec %s: %s" % (path, error))
+    if not isinstance(document, dict):
+        raise EclError("bad farm spec %s: expected a JSON object" % path)
+    return document
+
+
+def expand_document(document, designs, origin="<request>"):
+    """Expand an already-loaded spec document's job matrix against
+    ``designs`` (labels to source text).  This is the single expansion
+    path shared by ``eclc farm run --spec``, the serving layer and
+    ``eclc submit`` — which is what makes a service batch reproduce a
+    local farm run job-for-job (same indices, same derived seeds)."""
+    return _expand_entries(document.get("jobs"), designs, origin)
+
+
+def inline_spec(path):
+    """The spec document at ``path`` with every design entry replaced
+    by its inline ``{"text": ...}`` form — the submission payload for
+    a (possibly remote) simulation service."""
+    document = read_document(path)
+    base = os.path.dirname(os.path.abspath(path))
+    designs = load_designs(document.get("designs"), base, path)
+    document = dict(document)
+    document["designs"] = {
+        label: {"text": text} for label, text in designs.items()
+    }
+    return document
 
 
 def _resolve(base, path):
@@ -71,15 +104,37 @@ def _resolve(base, path):
     return os.path.join(base, path)
 
 
-def _load_designs(section, base, spec_path) -> Dict[str, str]:
+def load_designs(section, base, spec_path, allow_paths=True) -> Dict[str, str]:
+    """``label -> source text`` from a spec's ``designs`` section.
+
+    String entries are file paths resolved against ``base``; object
+    entries ``{"text": ...}`` carry the source inline.  A service
+    passes ``allow_paths=False``: it must never resolve client-side
+    paths against its own filesystem.
+    """
     if not isinstance(section, dict) or not section:
         raise EclError(
-            'farm spec %s: "designs" must map labels to ECL file paths'
-            % spec_path
+            'farm spec %s: "designs" must map labels to ECL file paths '
+            'or inline {"text": ...} objects' % spec_path
         )
     designs = {}
-    for label, file_path in section.items():
-        full = _resolve(base, file_path)
+    for label, entry in section.items():
+        if isinstance(entry, dict):
+            text = entry.get("text")
+            if not isinstance(text, str):
+                raise EclError(
+                    'farm spec %s: design %r: inline form wants '
+                    '{"text": "<ECL source>"}' % (spec_path, label)
+                )
+            designs[label] = text
+            continue
+        if not allow_paths:
+            raise EclError(
+                "farm spec %s: design %r must be inline "
+                '({"text": ...}) — the service does not resolve '
+                "file paths" % (spec_path, label)
+            )
+        full = _resolve(base, entry)
         try:
             with open(full) as handle:
                 designs[label] = handle.read()

@@ -40,30 +40,60 @@ from .ledger import TraceLedger
 class WorkerState:
     """Everything one worker process caches across its jobs."""
 
-    def __init__(self, designs, options=None, ledger_root=None, cache_dir=None):
+    def __init__(
+        self,
+        designs,
+        options=None,
+        ledger_root=None,
+        cache_dir=None,
+        cache=None,
+        tenant=None,
+    ):
         #: design label -> ECL source text
         self.designs = dict(designs)
         self.options = options if options is not None else CompileOptions()
-        from ..runtime.native import enable_code_cache
+        # cache=None: build one from cache_dir; otherwise the caller
+        # owns it (the serving layer hands every tenant worker its
+        # namespace's ArtifactCache and manages the process-global
+        # bytecode cache itself).
+        if cache is None:
+            from ..runtime.native import enable_code_cache
 
-        if cache_dir:
-            # Persistent shared cache: compiled artifacts (EFSMs,
-            # NativeCode, partition bundles, trace drivers) land on
-            # disk, and the native engine's compiled *bytecode* is
-            # marshalled next to them — spawn-based workers warm-start
-            # without re-running codegen or re-exec'ing sources.
-            cache = ArtifactCache.persistent(cache_dir)
-            enable_code_cache(os.path.join(cache_dir, "native-pyc"))
-        else:
-            # The bytecode cache location is process-global: reset it
-            # so a cache-less farm never inherits an earlier run's
-            # directory (the ECL_CODE_CACHE_DIR fallback still applies).
-            cache = ArtifactCache.memory()
-            enable_code_cache(None)
+            if cache_dir:
+                # Persistent shared cache: compiled artifacts (EFSMs,
+                # NativeCode, partition bundles, trace drivers) land on
+                # disk, and the native engine's compiled *bytecode* is
+                # marshalled next to them — spawn-based workers warm-start
+                # without re-running codegen or re-exec'ing sources.
+                cache = ArtifactCache.persistent(cache_dir)
+                enable_code_cache(os.path.join(cache_dir, "native-pyc"))
+            else:
+                # The bytecode cache location is process-global: reset it
+                # so a cache-less farm never inherits an earlier run's
+                # directory (the ECL_CODE_CACHE_DIR fallback still applies).
+                cache = ArtifactCache.memory()
+                enable_code_cache(None)
         self.cache_dir = cache_dir
+        self.tenant = tenant
         self.pipeline = Pipeline(options=self.options, cache=cache)
-        self.ledger = TraceLedger(ledger_root) if ledger_root else None
+        if ledger_root:
+            self.ledger = TraceLedger(ledger_root, tenant=tenant)
+        else:
+            self.ledger = None
         self._builds: Dict[str, object] = {}
+
+    # -- serving-layer surface -----------------------------------------
+
+    def adopt_designs(self, designs):
+        """Merge a new batch's design sources into this (long-lived)
+        worker state.  A label re-bound to *different* source drops the
+        stale cached build; identical source keeps the warm build —
+        what lets the serving pool reuse compiles across requests."""
+        for label, source in designs.items():
+            old = self.designs.get(label)
+            if old is not None and old != source:
+                self._builds.pop(label, None)
+            self.designs[label] = source
 
     # -- compiled-design cache -----------------------------------------
 
@@ -117,12 +147,18 @@ class WorkerState:
             if coverage is not None:
                 if not attached:
                     # Engines without reactor instrumentation (interp,
-                    # rtos) still contribute observable emit coverage;
-                    # instrumented reactors marked emits per instant
-                    # already (including local signals records miss).
+                    # and rtos with interp tasks) still contribute
+                    # observable emit coverage; instrumented reactors
+                    # marked emits per instant already (including
+                    # local signals records miss).
+                    if isinstance(coverage, dict):
+                        maps = coverage.values()
+                    else:
+                        maps = (coverage,)
                     for record in records:
-                        coverage.mark_emits(record["emitted"])
-                result.coverage = coverage.as_payload()
+                        for cov in maps:
+                            cov.mark_emits(record["emitted"])
+                result.coverage = self._coverage_payload(coverage)
             if job.properties:
                 violation = self._check_properties(job, records)
                 if violation is not None:
@@ -154,11 +190,40 @@ class WorkerState:
         return instants[:budget]
 
     def _coverage_for(self, job):
-        """A fresh coverage map sized by the job module's EFSM tables."""
+        """Fresh coverage map(s) sized by the job's EFSM tables.
+
+        Plain jobs get one map sized by ``job.module``.  A partitioned
+        rtos job instead gets one map per partition *member module*
+        (``{module: CoverageMap}``): two tasks wrapping the same module
+        share a map (their marks merge per module), and a member whose
+        module differs from ``job.module`` is no longer mis-sized by
+        the wrong machine's tables.
+        """
         from ..verify.coverage import CoverageMap
 
-        handle = self.build(job.design).module(job.module)
-        return CoverageMap.for_efsm(handle.efsm())
+        build = self.build(job.design)
+        if job.engine == "rtos" and job.tasks:
+            modules = sorted({spec[1] for spec in job.tasks})
+            if modules != [job.module]:
+                return {
+                    module: CoverageMap.for_efsm(build.module(module).efsm())
+                    for module in modules
+                }
+        return CoverageMap.for_efsm(build.module(job.module).efsm())
+
+    @staticmethod
+    def _coverage_payload(coverage):
+        """The result-row payload: one hex-bitmap payload for a single
+        map, ``{"modules": {name: payload}}`` for a partitioned job's
+        per-module maps."""
+        if isinstance(coverage, dict):
+            return {
+                "modules": {
+                    module: cov.as_payload()
+                    for module, cov in sorted(coverage.items())
+                }
+            }
+        return coverage.as_payload()
 
     def _check_properties(self, job, records):
         """Step a compiled monitor bundle over the job's records;

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import re
 import tempfile
 import threading
 from collections import OrderedDict
@@ -34,6 +35,15 @@ CACHE_DIR_ENV = "ECL_CACHE_DIR"
 #: roughly 8 artifacts per module — but finite, so a long-lived
 #: pipeline compiling many distinct designs cannot grow without bound.
 DEFAULT_MEMORY_ENTRIES = 4096
+
+
+def _check_namespace(namespace):
+    """Namespaces must be path-safe single-level slugs."""
+    if not re.match(r"[A-Za-z0-9][A-Za-z0-9._-]{0,63}$", namespace or ""):
+        raise ValueError(
+            "bad cache namespace %r (want 1-64 chars of [A-Za-z0-9._-], "
+            "not starting with '.' or '-')" % (namespace,))
+    return namespace
 
 
 def default_cache_root():
@@ -75,17 +85,26 @@ class ArtifactCache:
     is LRU-bounded by ``max_memory_entries``; repeated lookups return
     the identical payload object for as long as the entry stays
     resident.
+
+    ``namespace`` scopes the *disk* layer to a sub-tree
+    (``<root>/<namespace>/...``) without changing the key scheme —
+    the multi-tenant discipline of the serving layer: artifacts are
+    content-addressed, so namespaces cost nothing in correctness, but
+    one tenant's persisted builds are never visible under another
+    tenant's namespace.
     """
 
-    def __init__(self, root=None, max_memory_entries=None):
+    def __init__(self, root=None, max_memory_entries=None, namespace=None):
         self.root = root
+        self.namespace = _check_namespace(namespace) \
+            if namespace is not None else None
         self.max_memory_entries = DEFAULT_MEMORY_ENTRIES \
             if max_memory_entries is None else max_memory_entries
         self._memory: "OrderedDict[ArtifactKey, Artifact]" = OrderedDict()
         self._lock = threading.Lock()
         self.stats = CacheStats()
         if root is not None:
-            os.makedirs(root, exist_ok=True)
+            os.makedirs(self._disk_root(), exist_ok=True)
 
     @classmethod
     def memory(cls, max_memory_entries=None):
@@ -93,11 +112,17 @@ class ArtifactCache:
         return cls(root=None, max_memory_entries=max_memory_entries)
 
     @classmethod
-    def persistent(cls, root=None, max_memory_entries=None):
+    def persistent(cls, root=None, max_memory_entries=None, namespace=None):
         """A disk-backed cache (default root: see
         :func:`default_cache_root`)."""
         return cls(root=root or default_cache_root(),
-                   max_memory_entries=max_memory_entries)
+                   max_memory_entries=max_memory_entries,
+                   namespace=namespace)
+
+    def _disk_root(self):
+        if self.namespace is None:
+            return self.root
+        return os.path.join(self.root, "ns", self.namespace)
 
     # ------------------------------------------------------------------
 
@@ -146,12 +171,14 @@ class ArtifactCache:
             self._memory.popitem(last=False)
 
     def clear(self):
-        """Drop the memory layer and delete every persisted artifact."""
+        """Drop the memory layer and delete every persisted artifact
+        (namespaced caches only clear their own namespace)."""
         with self._lock:
             self._memory.clear()
-        if self.root is not None and os.path.isdir(self.root):
-            for shard in os.listdir(self.root):
-                shard_dir = os.path.join(self.root, shard)
+        if self.root is not None and os.path.isdir(self._disk_root()):
+            disk_root = self._disk_root()
+            for shard in os.listdir(disk_root):
+                shard_dir = os.path.join(disk_root, shard)
                 if not os.path.isdir(shard_dir):
                     continue
                 for name in os.listdir(shard_dir):
@@ -169,7 +196,8 @@ class ArtifactCache:
 
     def _path(self, key: ArtifactKey):
         cache_id = key.cache_id
-        return os.path.join(self.root, cache_id[:2], cache_id + ".pkl")
+        return os.path.join(self._disk_root(), cache_id[:2],
+                            cache_id + ".pkl")
 
     def _disk_get(self, key):
         path = self._path(key)

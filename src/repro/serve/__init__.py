@@ -1,0 +1,57 @@
+"""repro.serve — a persistent simulation service in front of the farm.
+
+The farm (:mod:`repro.farm`) is batch-shaped: every ``eclc farm run``
+pays design compilation, native lowering and worker warm-up before the
+first reaction executes, then throws that warmth away.  For the
+workloads the paper's methodology implies — regression banks re-running
+the same specs on every commit, interactive what-if loops over one
+design, verification campaigns streaming jobs at a shared box — the
+compile tax dominates.  This package keeps the farm *resident*:
+
+* :mod:`repro.serve.queue` — bounded priority intake with atomic batch
+  admission; overload is an explicit ``queue_full`` rejection (HTTP
+  429), never unbounded memory growth;
+* :mod:`repro.serve.pool` — self-healing worker threads; a worker
+  death requeues its in-hand job (bounded attempts) and replaces the
+  thread, so a crash degrades one batch instead of the service;
+* :mod:`repro.serve.service` — the core: per-tenant warm
+  :class:`~repro.farm.worker.WorkerState` over namespaced artifact
+  caches and sharded trace-ledger indices, streaming per-batch result
+  feeds, graceful draining shutdown;
+* :mod:`repro.serve.api` / :mod:`repro.serve.client` — the stdlib
+  HTTP/JSON surface (submit, poll, NDJSON result streams, trace
+  fetch) and its :mod:`http.client` counterpart.
+
+Entry points: ``eclc serve`` runs the service, ``eclc submit`` inlines
+a spec file's designs and submits it over HTTP.  Determinism carries
+through: a batch submitted to the service yields byte-identical stable
+result rows to ``eclc farm run`` of the same spec, because both expand
+jobs through :func:`repro.farm.spec.expand_document` and seeds derive
+from job identity alone.
+"""
+
+from .api import DEFAULT_HOST, DEFAULT_PORT, make_server, serve_forever
+from .client import ServeClient
+from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool
+from .queue import DEFAULT_QUEUE_DEPTH, JobQueue, QueueEntry, QueueFullError
+from .service import (DEFAULT_TENANT, DEFAULT_WORKERS, Batch,
+                      SimulationService, TenantSpace)
+
+__all__ = [
+    "Batch",
+    "DEFAULT_HOST",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_TENANT",
+    "DEFAULT_WORKERS",
+    "JobQueue",
+    "QueueEntry",
+    "QueueFullError",
+    "ServeClient",
+    "SimulationService",
+    "TenantSpace",
+    "WorkerPool",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,227 @@
+"""HTTP/JSON front of :class:`~repro.serve.service.SimulationService`.
+
+Stdlib only — :class:`http.server.ThreadingHTTPServer` with one
+handler thread per connection — because the service must run wherever
+the compiler runs.  The surface, all under ``/v1``:
+
+============================================  ==============================
+``GET  /v1/healthz``                          liveness probe
+``GET  /v1/status``                           queue/pool/tenant/batch stats
+``POST /v1/batches``                          submit one batch document
+``GET  /v1/batches/<id>``                     poll one batch's progress
+``GET  /v1/batches/<id>/results``             stream results as NDJSON
+``GET  /v1/tenants/<t>/ledger``               the tenant's trace index
+``GET  /v1/tenants/<t>/traces/<digest>``      fetch one recorded trace
+``POST /v1/shutdown``                         graceful (draining) stop
+============================================  ==============================
+
+Submissions are ``{"tenant": ..., "priority": ..., "spec": {...}}``
+where ``spec`` is the farm batch schema with designs inline
+(``eclc submit`` builds this from a normal spec file).  Backpressure
+maps to HTTP directly: a full queue is ``429`` with
+``error="queue_full"``, a draining service is ``503`` — a client never
+distinguishes overload from shutdown by parsing prose.
+
+The results endpoint streams NDJSON: one serialized
+:class:`~repro.farm.jobs.SimResult` per line, written as each job
+completes, connection held open until the batch drains.  ``?stable=1``
+serializes with ``volatile=False`` (drops elapsed/pid/paths), which is
+the byte-reproducible form — identical to ``eclc farm run --report``
+rows for the same spec and seeds.  Responses are HTTP/1.0 with
+``Connection: close`` so the stream's end *is* the connection's end:
+no chunked-encoding framing for minimal clients to mis-parse.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import EclError
+from .queue import QueueFullError
+from .service import SimulationService
+
+#: Default bind address of ``eclc serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8732
+
+#: Cap on request bodies — a batch spec is text, not a core dump.
+MAX_BODY_BYTES = 8 << 20
+
+
+def result_line(result, stable=False):
+    """One NDJSON line for a result: compact separators, sorted keys —
+    the canonical byte form the acceptance comparison relies on."""
+    payload = result.to_dict(volatile=not stable)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes one connection's request against ``server.service``."""
+
+    # HTTP/1.0 + the default Connection: close turns "response done"
+    # into "socket closed" — exactly the framing the NDJSON stream
+    # wants, with no chunked encoding involved.
+    protocol_version = "HTTP/1.0"
+    server_version = "eclc-serve/1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self):  # noqa: N802 - stdlib handler name
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        try:
+            if parts == ["v1", "healthz"]:
+                self._send_json(200, {"ok": True})
+            elif parts == ["v1", "status"]:
+                self._send_json(200, self.service.status_dict())
+            elif len(parts) == 3 and parts[:2] == ["v1", "batches"]:
+                self._send_json(200,
+                                self.service.batch(parts[2]).status_dict())
+            elif (len(parts) == 4 and parts[:2] == ["v1", "batches"]
+                  and parts[3] == "results"):
+                self._stream_results(parts[2])
+            elif (len(parts) == 4 and parts[:2] == ["v1", "tenants"]
+                  and parts[3] == "ledger"):
+                self._send_json(
+                    200, {"entries": self.service.ledger_entries(parts[2])}
+                )
+            elif (len(parts) == 5 and parts[:2] == ["v1", "tenants"]
+                  and parts[3] == "traces"):
+                header, records = self.service.fetch_trace(parts[2], parts[4])
+                self._send_json(200, {"header": header, "records": records})
+            else:
+                self._send_json(404, {"error": "not_found", "path": path})
+        except EclError as error:
+            missing = "unknown batch" in str(error) or "has no trace" in str(error)
+            status = 404 if missing else 400
+            self._send_json(status, {"error": str(error)})
+
+    def do_POST(self):  # noqa: N802 - stdlib handler name
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+        if parts == ["v1", "batches"]:
+            self._submit()
+        elif parts == ["v1", "shutdown"]:
+            self._send_json(200, {"ok": True, "draining": True})
+            # Drain on a side thread: this handler's own connection
+            # must finish before join would ever return.
+            threading.Thread(
+                target=self._shutdown_server, daemon=True
+            ).start()
+        else:
+            self._send_json(404, {"error": "not_found", "path": path})
+
+    # -- handlers ------------------------------------------------------
+
+    def _submit(self):
+        try:
+            body = self._read_body()
+        except EclError as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        spec = body.get("spec")
+        tenant = body.get("tenant", "default")
+        priority = body.get("priority", 0)
+        try:
+            batch = self.service.submit(spec, tenant=tenant,
+                                        priority=priority)
+        except QueueFullError as error:
+            self._send_json(429, {"error": "queue_full",
+                                  "detail": str(error)})
+            return
+        except EclError as error:
+            status = 503 if "shutting down" in str(error) else 400
+            self._send_json(status, {"error": str(error)})
+            return
+        self._send_json(
+            200,
+            {
+                "batch": batch.id,
+                "tenant": batch.tenant,
+                "jobs": batch.total,
+                "priority": batch.priority,
+            },
+        )
+
+    def _stream_results(self, batch_id):
+        batch = self.service.batch(batch_id)
+        stable = "stable=1" in (self.path.split("?", 1) + [""])[1]
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        for result in batch.stream():
+            self.wfile.write(result_line(result, stable=stable).encode())
+            self.wfile.flush()
+
+    def _shutdown_server(self):
+        self.service.shutdown(drain=True)
+        self.server.shutdown()
+
+    # -- plumbing ------------------------------------------------------
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise EclError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise EclError("request body too large (%d bytes)" % length)
+        try:
+            body = json.loads(self.rfile.read(length))
+        except ValueError as error:
+            raise EclError("bad JSON body: %s" % error)
+        if not isinstance(body, dict):
+            raise EclError("request body must be a JSON object")
+        return body
+
+    def _send_json(self, status, payload):
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service, verbose=False):
+        self.service = service
+        self.verbose = verbose
+        ThreadingHTTPServer.__init__(self, address, ServeHandler)
+
+
+def make_server(service, host=DEFAULT_HOST, port=DEFAULT_PORT,
+                verbose=False) -> ServeServer:
+    """Bind the service's HTTP front (``port=0`` picks a free port —
+    the bound one is ``server.server_address[1]``)."""
+    return ServeServer((host, port), service, verbose=verbose)
+
+
+def serve_forever(service, host=DEFAULT_HOST, port=DEFAULT_PORT,
+                  verbose=False, server=None):
+    """Blocking entry point used by ``eclc serve``.  Pass a pre-bound
+    ``server`` (from :func:`make_server`) to announce the actual port
+    before blocking — with ``port=0`` the OS picks one."""
+    if server is None:
+        server = make_server(service, host=host, port=port,
+                             verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        service.shutdown(drain=True)
+    finally:
+        server.server_close()
+    return server

@@ -1,0 +1,138 @@
+"""ServeClient: the stdlib HTTP client behind ``eclc submit``.
+
+A thin, dependency-free wrapper over :mod:`http.client` that speaks
+the :mod:`repro.serve.api` surface: submit a batch document, stream
+its NDJSON results line-by-line as jobs complete, poll status, fetch
+recorded traces.  Backpressure and shutdown surface as typed errors
+(:class:`~repro.serve.queue.QueueFullError`,
+:class:`~repro.errors.EclError`) so callers handle ``queue_full`` the
+same way whether they hit the service in-process or over the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator
+
+from ..errors import EclError
+from .api import DEFAULT_HOST, DEFAULT_PORT
+from .queue import QueueFullError
+
+
+class ServeClient:
+    """One service endpoint; connections are per-call (HTTP/1.0)."""
+
+    def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT, timeout=60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- core ----------------------------------------------------------
+
+    def _request(self, method, path, body=None):
+        """``(status, parsed-JSON)`` of one non-streaming request."""
+        connection = self._connect()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            blob = response.read()
+        finally:
+            connection.close()
+        try:
+            parsed = json.loads(blob) if blob else {}
+        except ValueError:
+            raise EclError(
+                "bad response from service (%d): %r" % (response.status, blob)
+            )
+        return response.status, parsed
+
+    def _connect(self):
+        try:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            connection.connect()
+            return connection
+        except OSError as error:
+            raise EclError(
+                "cannot reach simulation service at %s:%d: %s"
+                % (self.host, self.port, error)
+            )
+
+    @staticmethod
+    def _check(status, payload):
+        if status == 429:
+            raise QueueFullError(payload.get("detail")
+                                 or payload.get("error") or "queue_full")
+        if status >= 400:
+            raise EclError(
+                payload.get("error") or "service error (HTTP %d)" % status
+            )
+        return payload
+
+    # -- surface -------------------------------------------------------
+
+    def healthz(self) -> bool:
+        status, payload = self._request("GET", "/v1/healthz")
+        return status == 200 and bool(payload.get("ok"))
+
+    def status(self) -> dict:
+        return self._check(*self._request("GET", "/v1/status"))
+
+    def submit(self, spec, tenant="default", priority=0) -> dict:
+        """Submit one batch document (designs inline); returns the
+        service's ``{"batch": ..., "jobs": ...}`` admission record."""
+        return self._check(*self._request(
+            "POST", "/v1/batches",
+            body={"spec": spec, "tenant": tenant, "priority": priority},
+        ))
+
+    def batch_status(self, batch_id) -> dict:
+        return self._check(*self._request(
+            "GET", "/v1/batches/%s" % batch_id
+        ))
+
+    def stream_results(self, batch_id, stable=False) -> Iterator[dict]:
+        """Yield one result dict per completed job, as the service
+        streams them; the generator ends when the batch is done."""
+        path = "/v1/batches/%s/results" % batch_id
+        if stable:
+            path += "?stable=1"
+        connection = self._connect()
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            if response.status >= 400:
+                blob = response.read()
+                try:
+                    payload = json.loads(blob)
+                except ValueError:
+                    payload = {"error": "service error (HTTP %d)"
+                               % response.status}
+                self._check(response.status, payload)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def fetch_trace(self, tenant, digest) -> dict:
+        return self._check(*self._request(
+            "GET", "/v1/tenants/%s/traces/%s" % (tenant, digest)
+        ))
+
+    def ledger(self, tenant) -> list:
+        payload = self._check(*self._request(
+            "GET", "/v1/tenants/%s/ledger" % tenant
+        ))
+        return payload.get("entries", [])
+
+    def shutdown(self) -> dict:
+        return self._check(*self._request("POST", "/v1/shutdown"))

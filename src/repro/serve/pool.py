@@ -1,0 +1,153 @@
+"""Warm worker pool: resident threads draining the job queue.
+
+Each worker is a daemon thread looping ``queue.get() -> execute``.
+Warmth lives one level down — the per-tenant
+:class:`~repro.farm.worker.WorkerState` instances the service owns keep
+compiled designs, lowered native code and partition bundles resident in
+the shared :class:`~repro.pipeline.cache.ArtifactCache` — so a worker
+thread is deliberately stateless: it can die and be replaced without
+losing any warmth.
+
+Worker death is the fault model the pool exists to contain.
+``WorkerState.run_job`` already converts *job-level* failures into
+``status="error"`` results, so anything that escapes the execute
+callback is a *worker* fault (a harness bug, a ``MemoryError``, the
+test suite's injected crashes).  The dying worker requeues its in-hand
+entry (bounded by ``max_attempts`` total tries), reports a synthesized
+error result once the bound is exhausted — so a crashed worker degrades
+the batch rather than hanging it — and replaces itself with a fresh
+thread before exiting.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from time import monotonic
+
+#: Total tries a job gets before a worker-death error is reported.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class WorkerPool:
+    """Self-healing thread pool over a :class:`~repro.serve.queue.JobQueue`."""
+
+    def __init__(self, queue, execute, on_dead_job=None,
+                 workers=2, max_attempts=DEFAULT_MAX_ATTEMPTS):
+        """``execute(entry)`` runs one queue entry to completion
+        (recording its result); ``on_dead_job(entry, error)`` reports
+        an entry whose retry budget is exhausted."""
+        self.queue = queue
+        self.execute = execute
+        self.on_dead_job = on_dead_job
+        # workers=0 is a paused pool: jobs queue but nothing drains
+        # them (the deterministic mode the backpressure tests use).
+        self.workers = max(0, workers)
+        self.max_attempts = max(1, max_attempts)
+        #: test seam: ``fault_hook(entry)`` runs before execute and may
+        #: raise to simulate a worker crash mid-job.
+        self.fault_hook = None
+        self._threads = []
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._spawned = 0
+        self._stopping = False
+        self.worker_deaths = 0
+        self.jobs_executed = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        with self._lock:
+            for _ in range(self.workers):
+                self._spawn_locked()
+
+    def _spawn_locked(self):
+        self._spawned += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name="serve-worker-%d" % self._spawned,
+            daemon=True,
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def join(self, timeout=None):
+        """Wait for worker threads to exit (queue must be closed)."""
+        with self._lock:
+            self._stopping = True
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=timeout)
+
+    def wait_idle(self, timeout=None):
+        """Block until no worker holds a job and the queue is empty.
+        Returns True when idle was reached, False on timeout.
+
+        The wait polls: queue-size changes are not signalled on this
+        pool's condition (the queue has its own lock), so a short
+        bounded wait re-checks both sides of the idle predicate."""
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._idle:
+            while self._active > 0 or len(self.queue) > 0:
+                wait = 0.05
+                if deadline is not None:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        return False
+                    wait = min(wait, remaining)
+                self._idle.wait(timeout=wait)
+            return True
+
+    # -- the loop ------------------------------------------------------
+
+    def _worker_loop(self):
+        while True:
+            entry = self.queue.get(timeout=0.1)
+            if entry is None:
+                if self.queue.closed:
+                    return
+                continue
+            with self._lock:
+                self._active += 1
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(entry)
+                self.execute(entry)
+                self.jobs_executed += 1
+            except BaseException:
+                self._handle_death(entry, traceback.format_exc(limit=4))
+                return  # the replacement thread takes over
+            finally:
+                with self._idle:
+                    self._active -= 1
+                    self._idle.notify_all()
+
+    def _handle_death(self, entry, error_text):
+        """Requeue (bounded) or report the dying worker's entry, then
+        spawn a replacement thread."""
+        self.worker_deaths += 1
+        entry.attempts += 1
+        requeued = False
+        if entry.attempts < self.max_attempts:
+            requeued = self.queue.requeue(entry)
+        if not requeued and self.on_dead_job is not None:
+            self.on_dead_job(
+                entry,
+                "worker died (%d attempt(s)): %s"
+                % (entry.attempts, error_text.strip().splitlines()[-1]),
+            )
+        with self._lock:
+            if not self._stopping and not self.queue.closed:
+                self._spawn_locked()
+
+    def stats_dict(self):
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "active": self._active,
+                "spawned": self._spawned,
+                "worker_deaths": self.worker_deaths,
+                "jobs_executed": self.jobs_executed,
+            }

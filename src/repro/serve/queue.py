@@ -1,0 +1,178 @@
+"""Bounded priority queue of simulation jobs — the service's intake.
+
+The queue is the backpressure point of :mod:`repro.serve`: depth is
+bounded, and a submission that does not fit is rejected *atomically*
+with :class:`QueueFullError` (either every job of a batch is admitted
+or none is) instead of growing without bound until the process dies.
+Rejection is cheap and explicit — the HTTP layer turns it into a 429 —
+so a client under load sees ``queue_full`` and backs off, and the
+service itself never OOMs on intake.
+
+Ordering is strict priority first (higher numbers run earlier), then
+submission order: entries carry a monotonically increasing sequence
+number, so two jobs of equal priority dequeue in the order they were
+admitted.  A *requeued* entry (worker-death retry) keeps its original
+sequence number and therefore its place in line — retries of old work
+are not penalized by later arrivals — and requeues bypass the depth
+bound: a retry must never be dropped by backpressure that admitted the
+job in the first place.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import EclError
+
+#: Default bound on queued (not yet executing) jobs.
+DEFAULT_QUEUE_DEPTH = 1024
+
+
+class QueueFullError(EclError):
+    """A submission exceeded the queue's bounded depth."""
+
+
+@dataclass(order=True)
+class QueueEntry:
+    """One queued job plus its scheduling metadata.
+
+    The dataclass ordering (``sort_key`` only) is what heapq uses:
+    ``(-priority, seq)`` — higher priority first, FIFO within a
+    priority class.
+    """
+
+    sort_key: tuple
+    job: object = field(compare=False)
+    batch: object = field(compare=False, default=None)
+    tenant: str = field(compare=False, default="default")
+    priority: int = field(compare=False, default=0)
+    seq: int = field(compare=False, default=0)
+    attempts: int = field(compare=False, default=0)
+
+    @classmethod
+    def make(cls, job, batch=None, tenant="default", priority=0, seq=0):
+        return cls(
+            sort_key=(-priority, seq),
+            job=job,
+            batch=batch,
+            tenant=tenant,
+            priority=priority,
+            seq=seq,
+        )
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue with atomic batch admission."""
+
+    def __init__(self, depth=DEFAULT_QUEUE_DEPTH):
+        if depth < 1:
+            raise EclError("queue depth must be >= 1, got %r" % (depth,))
+        self.depth = depth
+        self._heap: List[QueueEntry] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        self._closed = False
+        #: lifetime counters, surfaced by the status endpoint.
+        self.admitted = 0
+        self.rejected = 0
+        self.requeued = 0
+
+    # -- intake --------------------------------------------------------
+
+    def put_batch(self, jobs, batch=None, tenant="default", priority=0):
+        """Admit every job of a batch, or none.
+
+        Returns the admitted entries.  Raises :class:`QueueFullError`
+        when the batch does not fit in the remaining depth — partially
+        admitted batches would stream partial results forever, so
+        admission is all-or-nothing.
+        """
+        jobs = list(jobs)
+        with self._lock:
+            if self._closed:
+                raise EclError("job queue is closed (service shutting down)")
+            if len(self._heap) + len(jobs) > self.depth:
+                self.rejected += len(jobs)
+                raise QueueFullError(
+                    "queue_full: %d queued + %d submitted exceeds depth %d"
+                    % (len(self._heap), len(jobs), self.depth)
+                )
+            entries = [
+                QueueEntry.make(
+                    job,
+                    batch=batch,
+                    tenant=tenant,
+                    priority=priority,
+                    seq=next(self._seq),
+                )
+                for job in jobs
+            ]
+            for entry in entries:
+                heapq.heappush(self._heap, entry)
+            self.admitted += len(entries)
+            self._not_empty.notify(len(entries))
+            return entries
+
+    def requeue(self, entry):
+        """Re-admit a retried entry, bypassing the depth bound (its
+        original admission already paid the backpressure toll) and
+        keeping its original sequence number (its place in line)."""
+        with self._lock:
+            if self._closed:
+                return False
+            heapq.heappush(self._heap, entry)
+            self.requeued += 1
+            self._not_empty.notify()
+            return True
+
+    # -- draining ------------------------------------------------------
+
+    def get(self, timeout=None) -> Optional[QueueEntry]:
+        """Block for the next entry.  Returns None when the queue is
+        closed and drained (the worker's signal to exit), or on
+        timeout."""
+        with self._not_empty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)
+
+    def drain(self) -> List[QueueEntry]:
+        """Remove and return every queued entry (non-graceful
+        shutdown: the service synthesizes cancelled results so no
+        stream hangs on jobs that will never run)."""
+        with self._lock:
+            entries, self._heap = self._heap, []
+            return sorted(entries)
+
+    def close(self):
+        """Stop admissions and wake every blocked getter; queued
+        entries remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def __len__(self):
+        with self._lock:
+            return len(self._heap)
+
+    def stats_dict(self):
+        with self._lock:
+            return {
+                "depth": self.depth,
+                "queued": len(self._heap),
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "requeued": self.requeued,
+            }

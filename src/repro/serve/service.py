@@ -1,0 +1,343 @@
+"""SimulationService: the long-lived core behind ``eclc serve``.
+
+Where :class:`~repro.farm.farm.SimulationFarm` is batch-oriented —
+build jobs, block, collect one report, pay compile and warm-up every
+time — the service is *resident*: it accepts job batches continuously,
+executes them on a warm worker pool, and streams per-job results as
+they complete.  The pieces:
+
+* **intake** — submissions carry the same JSON document schema as
+  ``eclc farm run --spec`` (designs inline as ``{"text": ...}``), are
+  expanded through the *same* code path
+  (:func:`repro.farm.spec.expand_document`), and are admitted
+  atomically into a bounded priority queue; a batch that does not fit
+  is rejected with ``queue_full`` instead of growing the heap;
+* **warmth** — each tenant owns one long-lived
+  :class:`~repro.farm.worker.WorkerState` over a namespaced
+  :class:`~repro.pipeline.cache.ArtifactCache`: the first batch
+  compiles, every identical later batch is served entirely from cache
+  (zero compile-stage misses — the acceptance bar), because designs
+  are adopted by source equality, not replaced per request;
+* **tenancy** — artifact namespaces (``<data>/artifacts/ns/<tenant>``)
+  and trace-ledger index shards (``<data>/traces/index/<tenant>.jsonl``)
+  isolate tenants; trace *objects* stay content-addressed and shared,
+  but a digest is only servable to a tenant whose shard records it;
+* **fault containment** — the pool requeues a dying worker's job
+  (bounded attempts) and synthesizes an error result when the budget
+  is exhausted, so a crashed worker degrades a batch, never hangs it;
+* **graceful shutdown** — intake closes first, in-flight and queued
+  jobs drain (or are cancelled with explicit results on a non-drain
+  stop), then workers exit; no stream is ever left waiting on a job
+  that will not run.
+
+Determinism contract: a batch submitted to the service produces the
+same jobs, the same derived seeds, and therefore (volatile fields
+aside) byte-identically serialized results as ``eclc farm run`` of the
+same spec.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from time import monotonic
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import EclError
+from ..farm.jobs import STATUS_ERROR, SimResult
+from ..farm.ledger import TraceLedger, check_tenant
+from ..farm.spec import expand_document, load_designs
+from ..farm.worker import WorkerState
+from ..pipeline import ArtifactCache
+from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool
+from .queue import DEFAULT_QUEUE_DEPTH, JobQueue
+
+#: Default number of resident worker threads.
+DEFAULT_WORKERS = 2
+
+#: Tenant used when a submission names none.
+DEFAULT_TENANT = "default"
+
+
+class Batch:
+    """One admitted submission: its jobs, and results as they land."""
+
+    def __init__(self, batch_id, tenant, jobs, priority=0):
+        self.id = batch_id
+        self.tenant = tenant
+        self.jobs = list(jobs)
+        self.priority = priority
+        self.created = monotonic()
+        self.results: List[SimResult] = []
+        self._cond = threading.Condition()
+
+    # -- recording -----------------------------------------------------
+
+    def add_result(self, result):
+        with self._cond:
+            self.results.append(result)
+            self._cond.notify_all()
+
+    # -- observation ---------------------------------------------------
+
+    @property
+    def total(self):
+        return len(self.jobs)
+
+    @property
+    def done(self):
+        return len(self.results) >= self.total
+
+    def wait(self, timeout=None):
+        """Block until every job reported; True when complete."""
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._cond:
+            while len(self.results) < self.total:
+                if deadline is None:
+                    remaining = None
+                else:
+                    remaining = deadline - monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining)
+            return True
+
+    def stream(self, timeout=None) -> Iterator[SimResult]:
+        """Yield results in completion order, blocking for the next
+        one until the batch is complete.  ``timeout`` bounds the wait
+        *between* results; on expiry the stream ends early."""
+        served = 0
+        while True:
+            with self._cond:
+                if served >= self.total:
+                    return
+                if served >= len(self.results):
+                    if not self._cond.wait(timeout=timeout):
+                        return
+                    continue
+                result = self.results[served]
+            served += 1
+            yield result
+
+    def status_dict(self):
+        with self._cond:
+            statuses: Dict[str, int] = {}
+            for result in self.results:
+                statuses[result.status] = statuses.get(result.status, 0) + 1
+            return {
+                "id": self.id,
+                "tenant": self.tenant,
+                "priority": self.priority,
+                "total": self.total,
+                "completed": len(self.results),
+                "done": len(self.results) >= self.total,
+                "status_counts": dict(sorted(statuses.items())),
+            }
+
+
+class TenantSpace:
+    """One tenant's warm, namespaced slice of the service."""
+
+    def __init__(self, name, data_root, options=None):
+        self.name = check_tenant(name)
+        if data_root:
+            cache = ArtifactCache.persistent(
+                os.path.join(data_root, "artifacts"), namespace=name
+            )
+            ledger_root = os.path.join(data_root, "traces")
+        else:
+            cache = ArtifactCache.memory()
+            ledger_root = None
+        self.cache = cache
+        #: the warm core: designs/builds stay resident across batches.
+        self.state = WorkerState(
+            {}, options=options, ledger_root=ledger_root,
+            cache=cache, tenant=name,
+        )
+        self.jobs_run = 0
+
+    @property
+    def ledger(self) -> Optional[TraceLedger]:
+        return self.state.ledger
+
+    def status_dict(self):
+        return {
+            "tenant": self.name,
+            "jobs_run": self.jobs_run,
+            "designs": sorted(self.state.designs),
+            "cache": self.cache.stats.as_dict(),
+        }
+
+
+class SimulationService:
+    """The resident simulation service: queue + warm pool + tenants."""
+
+    def __init__(
+        self,
+        data_root=None,
+        workers=DEFAULT_WORKERS,
+        queue_depth=DEFAULT_QUEUE_DEPTH,
+        max_attempts=DEFAULT_MAX_ATTEMPTS,
+        options=None,
+        start=True,
+    ):
+        """``data_root=None`` keeps everything in memory (no trace
+        persistence, no artifact disk layer) — the unit-test mode.
+        With a directory, artifacts live under ``<data_root>/artifacts``
+        (per-tenant namespaces), traces under ``<data_root>/traces``
+        (per-tenant index shards) and native bytecode under
+        ``<data_root>/native-pyc``."""
+        self.data_root = data_root
+        self.options = options
+        if data_root:
+            os.makedirs(data_root, exist_ok=True)
+            from ..runtime.native import enable_code_cache
+
+            enable_code_cache(os.path.join(data_root, "native-pyc"))
+        self.queue = JobQueue(depth=queue_depth)
+        self.pool = WorkerPool(
+            self.queue,
+            self._execute,
+            on_dead_job=self._report_dead_job,
+            workers=workers,
+            max_attempts=max_attempts,
+        )
+        self._tenants: Dict[str, TenantSpace] = {}
+        self._batches: Dict[str, Batch] = {}
+        self._lock = threading.Lock()
+        self._accepting = True
+        self.started = monotonic()
+        if start:
+            self.pool.start()
+
+    # -- intake --------------------------------------------------------
+
+    def submit(self, document, tenant=DEFAULT_TENANT, priority=0) -> Batch:
+        """Admit one batch document (the farm spec schema, designs
+        inline).  Returns the :class:`Batch`; raises
+        :class:`~repro.serve.queue.QueueFullError` on backpressure and
+        :class:`EclError` on bad specs or a draining service."""
+        if not self._accepting:
+            raise EclError("service is shutting down (not accepting jobs)")
+        tenant = check_tenant(tenant)
+        if not isinstance(document, dict):
+            raise EclError("batch submission must be a JSON object")
+        batch_id = uuid.uuid4().hex[:16]
+        origin = "<batch %s>" % batch_id
+        designs = load_designs(
+            document.get("designs"), base=None, spec_path=origin,
+            allow_paths=False,
+        )
+        jobs = expand_document(document, designs, origin)
+        space = self._space(tenant)
+        # Adopt by source equality: an identical design keeps its warm
+        # build, a changed one drops only its own stale entry.
+        space.state.adopt_designs(designs)
+        batch = Batch(batch_id, tenant, jobs, priority=int(priority))
+        self.queue.put_batch(
+            jobs, batch=batch, tenant=tenant, priority=int(priority)
+        )
+        with self._lock:
+            self._batches[batch_id] = batch
+        return batch
+
+    def _space(self, tenant) -> TenantSpace:
+        with self._lock:
+            space = self._tenants.get(tenant)
+            if space is None:
+                space = TenantSpace(tenant, self.data_root,
+                                    options=self.options)
+                self._tenants[tenant] = space
+            return space
+
+    # -- execution (pool callbacks) ------------------------------------
+
+    def _execute(self, entry):
+        space = self._space(entry.tenant)
+        result = space.state.run_job(entry.job)
+        space.jobs_run += 1
+        entry.batch.add_result(result)
+
+    def _report_dead_job(self, entry, error_text):
+        entry.batch.add_result(self._synthetic_result(entry, error_text))
+
+    @staticmethod
+    def _synthetic_result(entry, error_text):
+        job = entry.job
+        return SimResult(
+            job_id=job.job_id,
+            design=job.design,
+            module=job.module,
+            engine=job.engine,
+            index=job.index,
+            status=STATUS_ERROR,
+            error=error_text,
+        )
+
+    # -- observation ---------------------------------------------------
+
+    def batch(self, batch_id) -> Batch:
+        with self._lock:
+            batch = self._batches.get(batch_id)
+        if batch is None:
+            raise EclError("unknown batch %r" % (batch_id,))
+        return batch
+
+    def fetch_trace(self, tenant, digest):
+        """``(header, records)`` of a trace *this tenant's* ledger
+        shard recorded; other tenants' digests are not servable even
+        when the shared object store holds them."""
+        space = self._space(check_tenant(tenant))
+        ledger = space.ledger
+        if ledger is None:
+            raise EclError("service has no trace ledger (no data_root)")
+        if not ledger.has(digest):
+            raise EclError(
+                "tenant %r has no trace %s" % (tenant, digest)
+            )
+        return ledger.load(digest)
+
+    def ledger_entries(self, tenant) -> List[dict]:
+        space = self._space(check_tenant(tenant))
+        if space.ledger is None:
+            return []
+        return space.ledger.entries()
+
+    def status_dict(self):
+        with self._lock:
+            batches = [b.status_dict() for b in self._batches.values()]
+            tenants = [t.status_dict() for t in self._tenants.values()]
+        return {
+            "accepting": self._accepting,
+            "uptime": monotonic() - self.started,
+            "queue": self.queue.stats_dict(),
+            "pool": self.pool.stats_dict(),
+            "batches": sorted(batches, key=lambda b: b["id"]),
+            "tenants": sorted(tenants, key=lambda t: t["tenant"]),
+        }
+
+    # -- shutdown ------------------------------------------------------
+
+    def shutdown(self, drain=True, timeout=None):
+        """Stop the service.
+
+        ``drain=True`` (graceful): close intake, let queued and
+        in-flight jobs finish, then stop the workers.  ``drain=False``:
+        cancel queued jobs — each gets an explicit ``status="error"``
+        cancellation result, so no stream hangs — and stop as soon as
+        in-flight jobs return.  Returns True when fully stopped within
+        ``timeout``."""
+        self._accepting = False
+        if drain:
+            idle = self.pool.wait_idle(timeout=timeout)
+        else:
+            for entry in self.queue.drain():
+                entry.batch.add_result(
+                    self._synthetic_result(entry, "cancelled: service "
+                                           "shutdown without drain")
+                )
+            idle = self.pool.wait_idle(timeout=timeout)
+        self.queue.close()
+        self.pool.join(timeout=timeout)
+        return idle

@@ -1,0 +1,200 @@
+"""Integration: the serving layer's HTTP surface end to end.
+
+Covers the PR's acceptance bars over the real socket: a second
+submission of an identical batch hits the warm per-tenant cache with
+zero compile-stage misses, and the streamed stable result rows are
+byte-identical to a direct ``eclc farm run`` of the same spec.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.designs import PROTOCOL_STACK_ECL
+from repro.serve import ServeClient, SimulationService, make_server
+
+SPEC_JOBS = [
+    {"design": "stack", "modules": ["toplevel"],
+     "engines": ["efsm", "native"], "traces": 3, "length": 6,
+     "seed": 11},
+]
+
+
+def batch_document():
+    return {
+        "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
+        "jobs": [dict(entry) for entry in SPEC_JOBS],
+    }
+
+
+@pytest.fixture()
+def served(tmp_path):
+    """A live service + HTTP server on a free port, torn down after."""
+    service = SimulationService(data_root=str(tmp_path / "serve-data"),
+                                workers=2)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(port=server.server_address[1])
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=False, timeout=10)
+
+
+class TestHttpSurface:
+    def test_healthz_and_status(self, served):
+        _service, client = served
+        assert client.healthz()
+        status = client.status()
+        assert status["accepting"] is True
+        assert status["queue"]["depth"] >= 1
+
+    def test_submit_poll_stream_and_ledger(self, served):
+        _service, client = served
+        admitted = client.submit(batch_document(), tenant="alice")
+        assert admitted["jobs"] == 6
+        rows = list(client.stream_results(admitted["batch"]))
+        assert len(rows) == 6
+        assert all(row["status"] == "ok" for row in rows)
+        polled = client.batch_status(admitted["batch"])
+        assert polled["done"] is True
+        assert polled["completed"] == 6
+        assert polled["status_counts"] == {"ok": 6}
+        entries = client.ledger("alice")
+        assert len(entries) == 6
+        trace = client.fetch_trace("alice", entries[0]["trace"])
+        assert trace["header"]["design"] == "stack"
+        assert len(trace["records"]) == trace["header"]["instants"]
+
+    def test_cross_tenant_trace_fetch_is_404(self, served):
+        _service, client = served
+        admitted = client.submit(batch_document(), tenant="alice")
+        list(client.stream_results(admitted["batch"]))
+        digest = client.ledger("alice")[0]["trace"]
+        # make the other tenant exist server-side, then be refused
+        client.submit(batch_document(), tenant="bob")
+        with pytest.raises(Exception, match="no trace"):
+            client.fetch_trace("bob", digest)
+
+    def test_bad_requests_are_clean_errors(self, served):
+        from repro.errors import EclError
+
+        _service, client = served
+        with pytest.raises(EclError, match="unknown batch"):
+            client.batch_status("nope")
+        with pytest.raises(EclError, match="designs"):
+            client.submit({"jobs": []})
+        with pytest.raises(EclError, match="tenant"):
+            client.submit(batch_document(), tenant="../escape")
+
+    def test_queue_full_maps_to_429(self, tmp_path):
+        from repro.serve import QueueFullError
+
+        service = SimulationService(workers=0, queue_depth=3)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        client = ServeClient(port=server.server_address[1])
+        try:
+            # 6 jobs > depth 3: rejected before anything queues
+            with pytest.raises(QueueFullError):
+                client.submit(batch_document())
+            assert client.status()["queue"]["rejected"] == 6
+            assert client.status()["queue"]["queued"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain=False, timeout=5)
+
+
+class TestAcceptance:
+    def test_second_submission_zero_compile_misses(self, served):
+        service, client = served
+        first = client.submit(batch_document(), tenant="warm")
+        rows = list(client.stream_results(first["batch"]))
+        assert all(row["status"] == "ok" for row in rows)
+        cache = service._space("warm").cache
+        misses_before = cache.stats.misses
+        second = client.submit(batch_document(), tenant="warm")
+        rows = list(client.stream_results(second["batch"]))
+        assert all(row["status"] == "ok" for row in rows)
+        assert cache.stats.misses == misses_before, \
+            "repeat submission must be fully cache-served"
+
+    def test_streamed_results_match_direct_farm_run(self, served,
+                                                    tmp_path, capsys):
+        """Same spec through the service and through ``eclc farm run``
+        yields byte-identical stable result rows."""
+        _service, client = served
+        admitted = client.submit(batch_document())
+        streamed = sorted(client.stream_results(admitted["batch"],
+                                                stable=True),
+                          key=lambda row: row["index"])
+
+        stack = tmp_path / "stack.ecl"
+        stack.write_text(PROTOCOL_STACK_ECL)
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps({
+            "workers": 1,
+            "ledger": "direct-ledger",
+            "designs": {"stack": str(stack)},
+            "jobs": SPEC_JOBS,
+        }))
+        report_path = tmp_path / "report.json"
+        assert main(["farm", "run", "--spec", str(spec),
+                     "--report", str(report_path)]) == 0
+        capsys.readouterr()
+        report = json.load(open(report_path))
+        direct = sorted(report["results"], key=lambda row: row["index"])
+
+        def stable_bytes(row):
+            payload = {key: value for key, value in row.items()
+                       if key not in ("elapsed", "trace_path",
+                                      "worker_pid")}
+            return json.dumps(payload, sort_keys=True,
+                              separators=(",", ":"))
+
+        assert len(streamed) == len(direct) == 6
+        for service_row, farm_row in zip(streamed, direct):
+            assert json.dumps(service_row, sort_keys=True,
+                              separators=(",", ":")) == \
+                stable_bytes(farm_row)
+
+
+class TestCliServeSubmit:
+    def test_submit_against_in_process_server(self, tmp_path, capsys):
+        """``eclc submit`` (inlining a path-based spec) against a live
+        server: the CLI round trip of the HTTP surface."""
+        stack = tmp_path / "stack.ecl"
+        stack.write_text(PROTOCOL_STACK_ECL)
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps({
+            "designs": {"stack": str(stack)},
+            "jobs": SPEC_JOBS,
+        }))
+        service = SimulationService(workers=2)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        port = str(server.server_address[1])
+        try:
+            assert main(["submit", str(spec), "--port", port,
+                         "--watch", "--stable",
+                         "--report", str(tmp_path / "rows.json")]) == 0
+            out = capsys.readouterr().out
+            assert "6 job(s) admitted" in out
+            assert "6/6 ok" in out
+            rows = json.load(open(tmp_path / "rows.json"))
+            assert len(rows) == 6
+            assert all("elapsed" not in row for row in rows)
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain=False, timeout=5)

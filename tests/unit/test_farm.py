@@ -368,6 +368,109 @@ class TestEquivalenceCoverage:
         assert result.coverage["covered_states"] > 0
 
 
+class TestResultSerialization:
+    """SimResult/FarmReport to_dict: the service's wire format."""
+
+    def test_to_dict_has_stable_field_order(self, state):
+        result = state.run_job(job(length=4))
+        keys = list(result.to_dict())
+        from repro.farm.jobs import RESULT_FIELDS, RESULT_VOLATILE_FIELDS
+        assert keys == list(RESULT_FIELDS) + list(RESULT_VOLATILE_FIELDS)
+
+    def test_stable_form_drops_volatile_fields(self, state):
+        result = state.run_job(job(length=4))
+        stable = result.to_dict(volatile=False)
+        for name in ("elapsed", "trace_path", "worker_pid"):
+            assert name not in stable
+        assert stable["job_id"] == result.job_id
+        assert stable["status"] == "ok"
+
+    def test_stable_bytes_identical_across_runs(self, state):
+        import json
+        fresh = WorkerState(DESIGNS)
+        a = state.run_job(job("counter", length=6))
+        b = fresh.run_job(job("counter", length=6))
+        dump = lambda r: json.dumps(r.to_dict(volatile=False),  # noqa: E731
+                                    sort_keys=True)
+        assert dump(a) == dump(b)
+
+    def test_from_dict_round_trip(self, state):
+        result = state.run_job(job(length=4))
+        clone = SimResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+        # unknown keys from a newer peer are ignored, not fatal
+        payload = result.to_dict()
+        payload["future_field"] = 1
+        assert SimResult.from_dict(payload).job_id == result.job_id
+
+    def test_report_to_dict_volatile_toggle(self, state):
+        report = FarmReport(results=[state.run_job(job(length=4))],
+                            elapsed=0.5)
+        full = report.to_dict()
+        assert "elapsed" in full and "reactions_per_sec" in full
+        stable = report.to_dict(volatile=False)
+        for name in ("elapsed", "reactions_per_sec", "ledger_root"):
+            assert name not in stable
+        assert "elapsed" not in stable["results"][0]
+        assert stable["total"] == 1
+
+
+DUO = """
+module echo (input pure ping, output pure pong)
+{
+    while (1) { await (ping); emit (pong); }
+}
+
+module once (input pure go, output pure done)
+{
+    await (go);
+    emit (done);
+}
+"""
+
+
+class TestPartitionedRtosCoverage:
+    """Partitioned rtos jobs: one coverage map per member module."""
+
+    def test_maps_sized_per_member_module(self):
+        state = WorkerState({"duo": DUO})
+        j = SimJob(design="duo", module="echo", engine="rtos",
+                   stimulus=StimulusSpec.random(length=8),
+                   tasks=(("e", "echo", 2), ("o", "once", 1)),
+                   collect_coverage=True)
+        coverage = state._coverage_for(j)
+        assert set(coverage) == {"echo", "once"}
+        # each map is sized by its own module's EFSM, not job.module's
+        for name, cov in coverage.items():
+            assert cov.module == name
+
+    def test_partitioned_result_merges_per_module(self):
+        state = WorkerState({"duo": DUO})
+        j = SimJob(design="duo", module="echo", engine="rtos",
+                   stimulus=StimulusSpec.random(length=16),
+                   tasks=(("e", "echo", 2), ("o", "once", 1)),
+                   collect_coverage=True)
+        result = state.run_job(j)
+        assert result.ok, result.error
+        payload = result.coverage
+        assert set(payload["modules"]) == {"echo", "once"}
+        # the echo task reacted, so its module's map has marks
+        assert payload["modules"]["echo"]["covered_states"] > 0
+
+    def test_same_module_tasks_share_one_map(self, state):
+        j = SimJob(design="echo", module="echo", engine="rtos",
+                   stimulus=StimulusSpec.random(length=8),
+                   tasks=(("a", "echo", 2), ("b", "echo", 1)),
+                   collect_coverage=True)
+        coverage = state._coverage_for(j)
+        # member modules == [job.module]: the classic single map
+        assert not isinstance(coverage, dict)
+        result = state.run_job(j)
+        assert result.ok, result.error
+        assert "modules" not in result.coverage
+        assert result.coverage["covered_states"] > 0
+
+
 class TestTraceDriverFastPath:
     """The native engine's run_spec must match the generic paths."""
 

@@ -1,0 +1,177 @@
+"""Unit tests for the serving layer's intake: JobQueue + WorkerPool."""
+
+import threading
+
+import pytest
+
+from repro.errors import EclError
+from repro.serve import JobQueue, QueueEntry, QueueFullError, WorkerPool
+
+
+def entries_of(queue):
+    out = []
+    while True:
+        entry = queue.get(timeout=0)
+        if entry is None:
+            return out
+        out.append(entry)
+
+
+class TestJobQueue:
+    def test_fifo_within_one_priority(self):
+        queue = JobQueue(depth=8)
+        queue.put_batch(["a", "b", "c"])
+        assert [e.job for e in entries_of(queue)] == ["a", "b", "c"]
+
+    def test_higher_priority_dequeues_first(self):
+        queue = JobQueue(depth=8)
+        queue.put_batch(["low"], priority=0)
+        queue.put_batch(["high"], priority=5)
+        queue.put_batch(["mid"], priority=2)
+        assert [e.job for e in entries_of(queue)] == ["high", "mid", "low"]
+
+    def test_admission_is_atomic_all_or_nothing(self):
+        queue = JobQueue(depth=4)
+        queue.put_batch(["a", "b", "c"])
+        with pytest.raises(QueueFullError, match="queue_full"):
+            queue.put_batch(["d", "e"])  # 3 + 2 > 4
+        # the oversized batch left nothing behind
+        assert len(queue) == 3
+        assert queue.stats_dict()["rejected"] == 2
+        # a batch that fits is still admitted after a rejection
+        queue.put_batch(["d"])
+        assert len(queue) == 4
+
+    def test_requeue_bypasses_depth_and_keeps_place_in_line(self):
+        queue = JobQueue(depth=2)
+        (first, second) = queue.put_batch(["a", "b"])
+        got = queue.get(timeout=0)
+        assert got is first
+        # the queue is at depth again after the requeue (2 entries),
+        # yet requeue never rejects — its admission already paid.
+        assert queue.requeue(got)
+        assert len(queue) == 2
+        # the retried entry keeps its original (earlier) sequence
+        # number, so it dequeues before later arrivals.
+        assert queue.get(timeout=0) is got
+        assert queue.get(timeout=0) is second
+
+    def test_get_blocks_until_put(self):
+        queue = JobQueue(depth=4)
+        seen = []
+
+        def getter():
+            seen.append(queue.get(timeout=5))
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.put_batch(["x"])
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen[0].job == "x"
+
+    def test_close_wakes_getters_and_stops_admission(self):
+        queue = JobQueue(depth=4)
+        results = []
+
+        def getter():
+            results.append(queue.get(timeout=10))
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert results == [None]
+        with pytest.raises(EclError, match="closed"):
+            queue.put_batch(["x"])
+        assert queue.requeue(QueueEntry.make("x")) is False
+
+    def test_drain_empties_in_priority_order(self):
+        queue = JobQueue(depth=8)
+        queue.put_batch(["low"], priority=0)
+        queue.put_batch(["high"], priority=9)
+        drained = queue.drain()
+        assert [e.job for e in drained] == ["high", "low"]
+        assert len(queue) == 0
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(EclError, match="depth"):
+            JobQueue(depth=0)
+
+
+class TestWorkerPool:
+    def make_pool(self, workers=2, max_attempts=3, depth=64):
+        queue = JobQueue(depth=depth)
+        done = []
+        dead = []
+        lock = threading.Lock()
+
+        def execute(entry):
+            with lock:
+                done.append(entry.job)
+
+        def on_dead(entry, error):
+            with lock:
+                dead.append((entry.job, error))
+
+        pool = WorkerPool(queue, execute, on_dead_job=on_dead,
+                          workers=workers, max_attempts=max_attempts)
+        return queue, pool, done, dead
+
+    def stop(self, queue, pool):
+        queue.close()
+        pool.join(timeout=5)
+
+    def test_executes_every_queued_job(self):
+        queue, pool, done, _dead = self.make_pool()
+        queue.put_batch(list(range(20)))
+        pool.start()
+        assert pool.wait_idle(timeout=10)
+        self.stop(queue, pool)
+        assert sorted(done) == list(range(20))
+        assert pool.stats_dict()["jobs_executed"] == 20
+
+    def test_worker_death_retries_then_succeeds(self):
+        queue, pool, done, dead = self.make_pool(workers=1)
+        crashes = {"left": 2}
+
+        def fault(entry):
+            if entry.job == "fragile" and crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise RuntimeError("injected worker crash")
+
+        pool.fault_hook = fault
+        queue.put_batch(["fragile", "solid"])
+        pool.start()
+        assert pool.wait_idle(timeout=10)
+        self.stop(queue, pool)
+        # two crashes burned two attempts; the third (== max_attempts)
+        # succeeded, and the healthy job was never lost.
+        assert sorted(done) == ["fragile", "solid"]
+        assert dead == []
+        assert pool.stats_dict()["worker_deaths"] == 2
+        # each death spawned a replacement thread
+        assert pool.stats_dict()["spawned"] == 3
+
+    def test_retry_budget_exhaustion_reports_dead_job(self):
+        queue, pool, done, dead = self.make_pool(workers=1, max_attempts=2)
+
+        def fault(entry):
+            if entry.job == "doomed":
+                raise RuntimeError("always crashes")
+
+        pool.fault_hook = fault
+        queue.put_batch(["doomed", "fine"])
+        pool.start()
+        assert pool.wait_idle(timeout=10)
+        self.stop(queue, pool)
+        assert done == ["fine"]
+        assert len(dead) == 1
+        assert dead[0][0] == "doomed"
+        assert "worker died (2 attempt(s))" in dead[0][1]
+
+    def test_wait_idle_times_out_when_work_remains(self):
+        queue, pool, _done, _dead = self.make_pool(workers=1)
+        queue.put_batch(["never-run"])
+        # pool not started: the queue stays non-empty
+        assert pool.wait_idle(timeout=0.2) is False

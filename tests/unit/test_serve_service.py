@@ -1,0 +1,271 @@
+"""Unit tests for SimulationService: warmth, tenancy, faults, drain."""
+
+import pytest
+
+from repro.errors import EclError
+from repro.serve import QueueFullError, SimulationService
+
+ECHO = """
+module echo (input pure ping, output pure pong)
+{
+    while (1) { await (ping); emit (pong); }
+}
+"""
+
+ONCE = """
+module once (input pure go, output pure done)
+{
+    await (go);
+    emit (done);
+}
+"""
+
+
+def document(source=ECHO, module="echo", engines=("efsm",), traces=2,
+             length=8, label="d"):
+    return {
+        "designs": {label: {"text": source}},
+        "jobs": [{"design": label, "modules": [module],
+                  "engines": list(engines), "traces": traces,
+                  "length": length}],
+    }
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("workers", 2)
+    return SimulationService(**kwargs)
+
+
+class TestSubmission:
+    def test_submit_runs_batch_and_streams_results(self):
+        service = make_service()
+        try:
+            batch = service.submit(document(traces=3))
+            rows = list(batch.stream(timeout=30))
+            assert len(rows) == 3
+            assert all(r.status == "ok" for r in rows)
+            assert batch.done
+        finally:
+            service.shutdown()
+
+    def test_results_match_fresh_worker_state(self):
+        """Service results are the farm's results: same jobs, same
+        seeds, same stable serialization."""
+        from repro.farm import WorkerState
+        from repro.farm.spec import expand_document, load_designs
+
+        doc = document(traces=2)
+        service = make_service()
+        try:
+            batch = service.submit(doc)
+            assert batch.wait(timeout=30)
+        finally:
+            service.shutdown()
+        designs = load_designs(doc["designs"], None, "<test>")
+        jobs = expand_document(doc, designs)
+        direct = [WorkerState(designs).run_job(j) for j in jobs]
+        service_rows = sorted(batch.results, key=lambda r: r.index)
+        assert [r.to_dict(volatile=False) for r in service_rows] == \
+            [r.to_dict(volatile=False) for r in direct]
+
+    def test_file_path_designs_rejected(self):
+        service = make_service(workers=0)
+        doc = {"designs": {"d": "evil/../../etc/passwd"},
+               "jobs": [{"design": "d"}]}
+        with pytest.raises(EclError, match="inline"):
+            service.submit(doc)
+
+    def test_bad_document_rejected(self):
+        service = make_service(workers=0)
+        with pytest.raises(EclError, match="JSON object"):
+            service.submit(["not", "a", "dict"])
+        with pytest.raises(EclError, match="designs"):
+            service.submit({"jobs": [{"design": "d"}]})
+
+    def test_unknown_batch_raises(self):
+        service = make_service(workers=0)
+        with pytest.raises(EclError, match="unknown batch"):
+            service.batch("nope")
+
+
+class TestBackpressure:
+    def test_queue_full_rejects_batch_atomically(self):
+        # workers=0: nothing drains the queue, so depth is exact.
+        service = make_service(workers=0, queue_depth=3)
+        service.submit(document(traces=2))
+        with pytest.raises(QueueFullError, match="queue_full"):
+            service.submit(document(traces=2))
+        # the rejected batch admitted nothing; a fitting one still goes
+        service.submit(document(traces=1))
+        stats = service.queue.stats_dict()
+        assert stats["queued"] == 3
+        assert stats["rejected"] == 2
+
+    def test_priority_orders_queued_work(self):
+        service = make_service(workers=0, queue_depth=16)
+        low = service.submit(document(traces=1), priority=0)
+        high = service.submit(document(traces=1), priority=9)
+        mid = service.submit(document(traces=1), priority=4)
+        order = []
+        while True:
+            entry = service.queue.get(timeout=0)
+            if entry is None:
+                break
+            order.append(entry.batch.id)
+        assert order == [high.id, mid.id, low.id]
+
+
+class TestWarmPool:
+    def test_repeat_submission_has_zero_compile_misses(self):
+        service = make_service()
+        try:
+            first = service.submit(document(traces=2))
+            assert first.wait(timeout=30)
+            space = service._space("default")
+            misses_before = space.cache.stats.misses
+            second = service.submit(document(traces=2))
+            assert second.wait(timeout=30)
+            assert space.cache.stats.misses == misses_before
+            assert [r.status for r in second.results] == ["ok", "ok"]
+        finally:
+            service.shutdown()
+
+    def test_changed_design_drops_only_its_stale_build(self):
+        service = make_service()
+        try:
+            batch = service.submit(document())
+            assert batch.wait(timeout=30)
+            state = service._space("default").state
+            assert "d" in state._builds
+            warm = state._builds["d"]
+            # same source: the warm build survives adoption
+            service.submit(document()).wait(timeout=30)
+            assert state._builds["d"] is warm
+            # different source under the same label: build dropped
+            changed = service.submit(
+                document(source=ONCE, module="once"))
+            assert changed.wait(timeout=30)
+            assert state._builds["d"] is not warm
+            # the rebuilt design really is `once` now (terminates on
+            # go; "ok" when the random trace never presents go)
+            assert all(r.status in ("ok", "terminated")
+                       for r in changed.results)
+            assert all(r.module == "once" for r in changed.results)
+        finally:
+            service.shutdown()
+
+
+class TestWorkerDeath:
+    def test_crashed_worker_retries_job_to_success(self):
+        service = make_service(workers=1, max_attempts=3)
+        crashes = {"left": 2}
+
+        def fault(entry):
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise MemoryError("injected")
+
+        service.pool.fault_hook = fault
+        try:
+            batch = service.submit(document(traces=1))
+            assert batch.wait(timeout=30)
+            assert [r.status for r in batch.results] == ["ok"]
+            assert service.pool.worker_deaths == 2
+        finally:
+            service.shutdown()
+
+    def test_exhausted_retries_become_error_result_not_hang(self):
+        service = make_service(workers=1, max_attempts=2)
+        service.pool.fault_hook = lambda entry: (_ for _ in ()).throw(
+            MemoryError("always"))
+        try:
+            batch = service.submit(document(traces=1))
+            assert batch.wait(timeout=30)
+            (row,) = batch.results
+            assert row.status == "error"
+            assert "worker died (2 attempt(s))" in row.error
+            # the synthesized row still identifies its job
+            assert row.job_id == batch.jobs[0].job_id
+        finally:
+            service.shutdown()
+
+
+class TestTenancy:
+    def test_tenants_get_isolated_ledger_shards(self, tmp_path):
+        service = make_service(data_root=str(tmp_path))
+        try:
+            alice = service.submit(document(traces=1), tenant="alice")
+            bob = service.submit(document(source=ONCE, module="once",
+                                          traces=1), tenant="bob")
+            assert alice.wait(timeout=30) and bob.wait(timeout=30)
+            alice_rows = service.ledger_entries("alice")
+            bob_rows = service.ledger_entries("bob")
+            assert len(alice_rows) == 1 and len(bob_rows) == 1
+            assert alice_rows[0]["module"] == "echo"
+            assert bob_rows[0]["module"] == "once"
+        finally:
+            service.shutdown()
+
+    def test_trace_fetch_denied_across_tenants(self, tmp_path):
+        service = make_service(data_root=str(tmp_path))
+        try:
+            batch = service.submit(document(traces=1), tenant="alice")
+            assert batch.wait(timeout=30)
+            digest = batch.results[0].trace_digest
+            header, records = service.fetch_trace("alice", digest)
+            assert header["module"] == "echo"
+            assert len(records) == header["instants"]
+            # same digest, other tenant: not servable, even though the
+            # content-addressed object exists on disk.
+            with pytest.raises(EclError, match="no trace"):
+                service.fetch_trace("bob", digest)
+        finally:
+            service.shutdown()
+
+    def test_tenant_caches_are_namespaced_on_disk(self, tmp_path):
+        service = make_service(data_root=str(tmp_path))
+        try:
+            service.submit(document(traces=1), tenant="alice") \
+                .wait(timeout=30)
+            service.submit(document(traces=1), tenant="bob") \
+                .wait(timeout=30)
+            ns = tmp_path / "artifacts" / "ns"
+            assert (ns / "alice").is_dir()
+            assert (ns / "bob").is_dir()
+        finally:
+            service.shutdown()
+
+    def test_bad_tenant_name_rejected(self):
+        service = make_service(workers=0)
+        for name in ("", "../escape", "a/b", ".hidden", "x" * 80):
+            with pytest.raises(EclError, match="tenant"):
+                service.submit(document(), tenant=name)
+
+
+class TestShutdown:
+    def test_graceful_drain_finishes_queued_work(self):
+        service = make_service(workers=1)
+        batch = service.submit(document(traces=4))
+        assert service.shutdown(drain=True, timeout=60)
+        assert batch.done
+        assert all(r.status == "ok" for r in batch.results)
+        with pytest.raises(EclError, match="shutting down"):
+            service.submit(document())
+
+    def test_non_drain_shutdown_cancels_queued_jobs(self):
+        # workers=0: every job is still queued at shutdown time.
+        service = make_service(workers=0, queue_depth=16)
+        batch = service.submit(document(traces=3))
+        service.shutdown(drain=False, timeout=5)
+        assert batch.done
+        assert all(r.status == "error" for r in batch.results)
+        assert all("cancelled" in r.error for r in batch.results)
+
+    def test_status_dict_shape(self):
+        service = make_service(workers=0)
+        status = service.status_dict()
+        assert status["accepting"] is True
+        assert status["queue"]["depth"] == service.queue.depth
+        assert status["pool"]["workers"] == service.pool.workers
+        assert status["batches"] == []
+        assert status["tenants"] == []
