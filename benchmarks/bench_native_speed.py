@@ -162,6 +162,29 @@ def measure():
     batched, matches = _best_rate(stack, "native", drive_stack_batched, STACK_PACKETS)
     assert matches == STACK_PACKETS
     data["workloads"]["stack"]["native_react_many"] = batched
+
+    # Vectorized multi-instance sweep, informational; needs numpy (the
+    # gated native-vs-vector comparison lives in bench_vector_sweep).
+    from repro.runtime.vector import NUMPY_AVAILABLE
+
+    if NUMPY_AVAILABLE:
+        from repro.engines import get_engine
+        from repro.farm.jobs import StimulusSpec
+
+        lanes, length = 256, 200
+        spec = StimulusSpec.random(length=length, salt=11)
+        vector = get_engine("vector")
+        vector.run_spec(stack, spec, n_instances=8, records=False)  # warm
+        best = 0.0
+        for _ in range(3):
+            started = perf_counter()
+            vector.run_spec(stack, spec, n_instances=lanes, records=False)
+            best = max(best, lanes * length / (perf_counter() - started))
+        data["workloads"]["stack"]["vector_sweep"] = {
+            "n_instances": lanes,
+            "length": length,
+            "rate": best,
+        }
     return data
 
 

@@ -126,6 +126,30 @@ def measure():
     message = "kernel stats diverged across task engines: %r vs %r"
     assert outcomes["native"] == outcomes["efsm"], \
         message % (outcomes["native"], outcomes["efsm"])
+    # Context row: the vector engine scales the *single-module* stack
+    # across instances (the RTOS scales tasks within one instance), so
+    # report the fused-sweep rate on ``toplevel`` when numpy is around;
+    # informational only — the gated comparison is bench_vector_sweep.
+    vector_sweep = None
+    from repro.runtime.vector import NUMPY_AVAILABLE
+
+    if NUMPY_AVAILABLE:
+        from repro.engines import get_engine
+        from repro.farm.jobs import StimulusSpec
+
+        lanes, length = 256, 200
+        spec = StimulusSpec.random(length=length, salt=11)
+        vector = get_engine("vector")
+        toplevel = build.module("toplevel")
+        vector.run_spec(toplevel, spec, n_instances=8, records=False)
+        best = 0.0
+        for _ in range(3):
+            started = perf_counter()
+            vector.run_spec(toplevel, spec, n_instances=lanes,
+                            records=False)
+            best = max(best, lanes * length / (perf_counter() - started))
+        vector_sweep = {"n_instances": lanes, "length": length,
+                        "rate": best}
     return {
         "benchmark": "rtos_native_tasks",
         "workloads": {
@@ -136,6 +160,7 @@ def measure():
                 "kernel_stats": stats,
                 "engines": rates,
                 "native_vs_efsm": rates["native"] / rates["efsm"],
+                "vector_sweep_toplevel": vector_sweep,
             }
         },
     }

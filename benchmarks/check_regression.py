@@ -25,7 +25,13 @@ and fails (exit 1) on a >2x regression:
   and cold jobs/sec must not drop below half the baseline, and a warm
   service batch must stay >= 1.5x faster than a cold farm run of the
   identical spec (the serving layer's acceptance floor, re-checked on
-  every run).
+  every run);
+* ``BENCH_vector.json`` (:mod:`benchmarks.bench_vector_sweep`): the
+  paired native/vector rates must not drop below half the baseline,
+  the vector engine must keep its >=10x margin over the scalar native
+  engine through the unified ``Engine.run_spec`` API at 1k instances,
+  and a vector verify campaign must stay >=1.3x faster than a native
+  one end-to-end (both floors re-checked on every run).
 
 The factor-2 band absorbs runner-to-runner hardware noise while still
 catching the algorithmic regressions the gate exists for.  Baselines
@@ -220,6 +226,51 @@ def check_serve(current, baseline, failures):
             "run (floor x%.1f)" % (speedup, SERVE_SPEEDUP_FLOOR))
 
 
+#: The vector engine must stay at least this much faster than the
+#: scalar native engine through the unified ``Engine.run_spec`` API,
+#: and a vector verify campaign must keep beating a native one
+#: end-to-end (mirrors bench_vector_sweep's floors).
+VECTOR_SWEEP_FLOOR = 10.0
+VECTOR_CAMPAIGN_FLOOR = 1.3
+
+
+def check_vector(current, baseline, failures):
+    floors = {"run_spec": VECTOR_SWEEP_FLOOR,
+              "campaign": VECTOR_CAMPAIGN_FLOOR}
+    for label, base_entry in sorted(baseline["workloads"].items()):
+        entry = current["workloads"].get(label)
+        if entry is None:
+            failures.append("vector: workload %r missing from current "
+                            "results" % label)
+            continue
+        for section, floor in sorted(floors.items()):
+            base_part = base_entry[section]
+            part = entry.get(section, {})
+            for side in ("native", "vector"):
+                rate = part.get(side, 0.0)
+                base_rate = base_part[side]
+                ratio = base_rate / max(1e-9, rate)
+                status = "ok" if ratio <= REGRESSION_FACTOR \
+                    else "REGRESSED"
+                print("vector    %-40s %8.0f /s vs %8.0f /s  (x%.2f)  %s"
+                      % ("%s/%s/%s" % (label, section, side), rate,
+                         base_rate, ratio, status))
+                if ratio > REGRESSION_FACTOR:
+                    failures.append(
+                        "vector: %s/%s/%s dropped to %.0f/s (baseline "
+                        "%.0f/s)" % (label, section, side, rate,
+                                     base_rate))
+            speedup = part.get("speedup", 0.0)
+            status = "ok" if speedup >= floor else "REGRESSED"
+            print("vector    %-40s x%.2f (floor x%.1f)  %s"
+                  % ("%s/%s/speedup" % (label, section), speedup, floor,
+                     status))
+            if speedup < floor:
+                failures.append(
+                    "vector: %s %s speedup is x%.2f (floor x%.1f)"
+                    % (label, section, speedup, floor))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=os.path.join(HERE, "out"))
@@ -234,6 +285,7 @@ def main(argv=None):
         ("BENCH_verify.json", check_verify),
         ("BENCH_rtos.json", check_rtos),
         ("BENCH_serve.json", check_serve),
+        ("BENCH_vector.json", check_vector),
     ]
     for filename, checker in pairs:
         current_path = os.path.join(args.out, filename)

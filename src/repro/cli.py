@@ -115,7 +115,8 @@ def _build_parser():
                           "default: every module of every design)")
     run.add_argument("--engines", default="efsm",
                      help="comma-separated engines (efsm, native, "
-                          "interp, rtos, equivalence)")
+                          "interp, rtos, vector, equivalence; vector "
+                          "jobs fuse into numpy sweeps, needs numpy)")
     run.add_argument("--task-engine", default=None,
                      choices=["efsm", "native", "interp"],
                      help="what runs inside each rtos task "
@@ -236,7 +237,7 @@ def _build_parser():
                             "below PCT")
     # The interpreter has no EFSM states, so it cannot feed the
     # state/transition bitmaps this command exists to fill.
-    _campaign_flags(cover, engines=["efsm", "native"])
+    _campaign_flags(cover, engines=["efsm", "native", "vector"])
     cover.set_defaults(handler=_cmd_cover)
 
     dot = sub.add_parser("dot", help="print the EFSM as Graphviz")
@@ -247,7 +248,8 @@ def _build_parser():
     return parser
 
 
-def _campaign_flags(parser, engines=("interp", "efsm", "native", "rtos")):
+def _campaign_flags(parser, engines=("interp", "efsm", "native", "rtos",
+                                     "vector")):
     # Defaults are None so `verify run --spec` can tell "flag given"
     # (override the spec) from "flag omitted" (keep the spec's value);
     # _flag_campaign fills the real defaults for the flags-only path.
@@ -255,7 +257,9 @@ def _campaign_flags(parser, engines=("interp", "efsm", "native", "rtos")):
                         choices=list(engines),
                         help="simulation engine (default: native; rtos "
                              "checks properties under the kernel but "
-                             "collects record-level emit coverage only)")
+                             "collects record-level emit coverage only; "
+                             "vector fuses each round into one numpy "
+                             "sweep, needs numpy)")
     parser.add_argument("--task-engine", default=None,
                         choices=["efsm", "native", "interp"],
                         help="rtos engine only: what runs inside each "

@@ -1,0 +1,274 @@
+"""repro.engines — one registry in front of every execution engine.
+
+Engines accumulated across the reproduction in three places: the
+pipeline's ``reactor(engine=...)`` factory, the farm's per-job adapter
+registry (:mod:`repro.farm.engines`) and ad-hoc name tuples in the
+verify and analysis layers.  This module is the single front door::
+
+    from repro.engines import get_engine
+
+    engine = get_engine("vector")
+    engine.capabilities()                 # frozenset({"vector_sweep", ...})
+    engine.run_trace(handle, instants)    # one instance, explicit trace
+    engine.run_spec(handle, spec, n_instances=256)   # a whole sweep
+
+``handle`` is a pipeline :class:`~repro.pipeline.pipeline.ModuleHandle`
+— the compiled-module currency every engine binds from.  ``run_spec``
+is the unified sweep surface: the vector engine executes all
+``n_instances`` in one numpy sweep, every scalar engine loops
+instance-by-instance with the *same* derived per-instance seeds
+(:func:`derive_spec_seed`), so outcomes are comparable lane for lane
+across engines.
+
+The farm resolves job adapters through :meth:`Engine.build`, the
+verify campaign validates and replays through :func:`get_engine`, and
+the serving layer inherits both through the farm worker.  The old
+package-level re-exports (``repro.farm.ENGINES`` /
+``repro.farm.build_engine``) keep working as deprecation shims.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .errors import EclError
+
+#: name -> capability tags.  "adapter" marks engines with a registered
+#: farm job adapter (what a SimJob/campaign may name); "step" marks
+#: engines with a per-instant reactor surface; "coverage" marks
+#: engines whose reactors mark state/transition bitmaps natively;
+#: "vector_sweep" marks the fused multi-instance path.
+_CAPABILITIES = {
+    "interp": ("adapter", "step", "reference"),
+    "efsm": ("adapter", "step", "coverage"),
+    "native": ("adapter", "step", "step_many", "trace_driver", "coverage",
+               "compiled"),
+    "vector": ("adapter", "step", "step_many", "trace_driver", "coverage",
+               "compiled", "vector_sweep", "requires_numpy"),
+    "rtos": ("adapter", "step", "kernel_stats", "tasks"),
+    # A farm job *mode*, not an adapter: the worker runs interp in
+    # lockstep with both compiled engines.  No single-reactor form.
+    "equivalence": ("lockstep",),
+}
+
+
+def engine_names():
+    """Every name :func:`get_engine` accepts, sorted."""
+    return tuple(sorted(_CAPABILITIES))
+
+
+def adapter_names():
+    """Engines a job or campaign may name (farm adapter exists)."""
+    return tuple(
+        name for name in engine_names()
+        if "adapter" in _CAPABILITIES[name]
+    )
+
+
+def derive_spec_seed(spec, index):
+    """Deterministic per-instance seed for a standalone spec sweep —
+    the recipe :meth:`Engine.run_spec` (every engine) and
+    :func:`repro.runtime.vector.derive_seed` share, so instance ``i``
+    is reproducible from the spec alone on any engine."""
+    text = "vector\x1fstimulus=%r\x1findex=%d" % (spec, index)
+    return int(hashlib.sha256(text.encode("utf-8")).hexdigest()[:16], 16)
+
+
+@dataclass
+class SpecOutcome:
+    """Per-instance results of one scalar :meth:`Engine.run_spec` loop
+    (field-compatible with the vector engine's
+    :class:`~repro.runtime.vector.SweepOutcome`, so consumers treat
+    both uniformly)."""
+
+    instants: List[int] = field(default_factory=list)
+    terminated: List[bool] = field(default_factory=list)
+    emitted_events: List[int] = field(default_factory=list)
+    errors: List[Optional[str]] = field(default_factory=list)
+    records: Optional[list] = None
+    coverage: Optional[list] = None
+    raw_coverage: Optional[tuple] = None
+
+    def __len__(self):
+        return len(self.instants)
+
+
+class Engine:
+    """One named engine's uniform surface (get via :func:`get_engine`).
+
+    Thin and stateless: binding happens per call from the module
+    handle, so one Engine object serves any design.
+    """
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return "<Engine %s>" % self.name
+
+    # -- introspection -------------------------------------------------
+
+    def capabilities(self):
+        """Frozen capability tags (see module docstring)."""
+        return frozenset(_CAPABILITIES[self.name])
+
+    def available(self):
+        """False when a missing optional dependency blocks this engine
+        in the current environment (vector without numpy)."""
+        if "requires_numpy" in _CAPABILITIES[self.name]:
+            from .runtime.vector import NUMPY_AVAILABLE
+
+            return NUMPY_AVAILABLE
+        return True
+
+    def require(self):
+        """Raise :class:`~repro.errors.EngineUnavailable` unless this
+        engine can run here; no-op otherwise."""
+        if "requires_numpy" in _CAPABILITIES[self.name]:
+            from .runtime.vector import require_numpy
+
+            require_numpy(self.name)
+
+    # -- binding -------------------------------------------------------
+
+    def build(self, handles, job):
+        """The farm job adapter (``step``/``terminated`` protocol of
+        :mod:`repro.farm.engines`) for one job."""
+        if "adapter" not in _CAPABILITIES[self.name]:
+            raise EclError(
+                "engine %r has no job adapter (it is a farm job mode)"
+                % self.name
+            )
+        from .farm.engines import build_engine
+
+        return build_engine(self.name, handles, job)
+
+    def reactor(self, handle, counter=None, builtins=None):
+        """A pipeline runnable for one compiled module — step-wise
+        reactors for the scalar engines, the sweep-oriented
+        :class:`~repro.runtime.vector.VectorReactor` for "vector"."""
+        if "step" not in _CAPABILITIES[self.name] or self.name == "rtos":
+            raise EclError(
+                "engine %r has no single-module reactor form" % self.name
+            )
+        return handle.reactor(
+            engine=self.name, counter=counter, builtins=builtins
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def _adapter(self, handle, stimulus=None, budget=0):
+        from .farm.jobs import SimJob, StimulusSpec
+
+        job = SimJob(
+            design="<local>",
+            module=handle.name,
+            engine=self.name,
+            stimulus=stimulus if stimulus is not None else StimulusSpec.random(),
+            horizon=budget,
+        )
+        return self.build(handle.design.module, job)
+
+    def run_trace(self, handle, instants):
+        """Step one fresh instance through explicit instant dicts;
+        returns the farm-format record list (stops on termination)."""
+        self.require()
+        adapter = self._adapter(handle)
+        records = []
+        for instant in instants:
+            records.append(adapter.step(instant))
+            if adapter.terminated:
+                break
+        return records
+
+    def run_spec(self, handle, spec, n_instances=1, seeds=None, budget=0,
+                 coverage=False, records=True):
+        """Sweep one stimulus spec across ``n_instances`` instances.
+
+        The vector engine runs a fused numpy sweep
+        (:meth:`~repro.runtime.vector.VectorReactor.run_specs`); every
+        other engine loops scalar instances over the identical derived
+        seeds — which is exactly the contract the cross-engine
+        equivalence suite checks.  Returns a :class:`SpecOutcome` (or
+        the field-compatible vector ``SweepOutcome``).
+        """
+        self.require()
+        if seeds is None:
+            seeds = [derive_spec_seed(spec, i) for i in range(n_instances)]
+        seeds = list(seeds)
+        if self.name == "vector":
+            reactor = handle.reactor(engine="vector")
+            return reactor.run_specs(
+                spec, seeds=seeds, budget=budget,
+                coverage=coverage, records=records,
+            )
+        outcome = SpecOutcome(
+            records=[] if records else None,
+            coverage=[] if coverage else None,
+        )
+        for seed in seeds:
+            self._run_instance(handle, spec, seed, budget, outcome)
+        return outcome
+
+    def _run_instance(self, handle, spec, seed, budget, outcome):
+        """One scalar lane of :meth:`run_spec` (errors stay per-lane,
+        mirroring the vector sweep's error semantics)."""
+        try:
+            adapter = self._adapter(handle, stimulus=spec, budget=budget)
+            cov = attached = None
+            if outcome.coverage is not None:
+                from .verify.coverage import CoverageMap
+
+                cov = CoverageMap.for_efsm(handle.efsm())
+                hook = getattr(adapter, "enable_coverage", None)
+                attached = bool(hook(cov)) if hook is not None else False
+            instants = spec.materialize(adapter.input_alphabet(), seed)
+            total = budget if budget and budget > 0 else spec.length
+            while len(instants) < total:
+                instants.append({})
+            rows = []
+            events = 0
+            for instant in instants[:total]:
+                record = adapter.step(instant)
+                rows.append(record)
+                events += len(record["emitted"])
+                if cov is not None and not attached:
+                    cov.mark_emits(record["emitted"])
+                if adapter.terminated:
+                    break
+        except EclError as error:
+            outcome.instants.append(0)
+            outcome.terminated.append(False)
+            outcome.emitted_events.append(0)
+            outcome.errors.append(str(error))
+            if outcome.records is not None:
+                outcome.records.append(None)
+            if outcome.coverage is not None:
+                outcome.coverage.append(None)
+            return
+        outcome.instants.append(len(rows))
+        outcome.terminated.append(bool(adapter.terminated))
+        outcome.emitted_events.append(events)
+        outcome.errors.append(None)
+        if outcome.records is not None:
+            outcome.records.append(rows)
+        if outcome.coverage is not None:
+            outcome.coverage.append(cov)
+
+
+_ENGINES = {}
+
+
+def get_engine(name) -> Engine:
+    """The :class:`Engine` registered under ``name`` (cached)."""
+    engine = _ENGINES.get(name)
+    if engine is None:
+        if name not in _CAPABILITIES:
+            raise EclError(
+                "unknown engine %r (available: %s)"
+                % (name, ", ".join(engine_names()))
+            )
+        engine = _ENGINES[name] = Engine(name)
+    return engine

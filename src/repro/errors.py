@@ -78,3 +78,16 @@ class CodegenError(EclError):
 
 class CompileError(EclError):
     """Driver-level failure wrapping one of the phase errors."""
+
+
+class EngineUnavailable(EclError):
+    """A requested execution engine cannot run in this environment
+    (e.g. the ``vector`` engine without numpy installed).  ``engine``
+    names the engine and ``reason`` carries the missing prerequisite so
+    callers can report capabilities without string-parsing."""
+
+    def __init__(self, engine, reason, span=None):
+        self.engine = engine
+        self.reason = reason
+        message = "engine %r unavailable: %s" % (engine, reason)
+        super().__init__(message, span=span)

@@ -28,15 +28,38 @@ The model, in three nouns:
 Entry points: :class:`SimulationFarm` in-process, ``eclc farm run``
 on the command line (flags or a JSON batch spec,
 :mod:`repro.farm.spec`).
+
+Engine resolution moved to the unified registry :mod:`repro.engines`
+(``get_engine(name)``); the package-level ``ENGINES`` /
+``build_engine`` re-exports remain as deprecated shims.
 """
 
-from .engines import ENGINES, build_engine
 from .farm import FarmReport, SimulationFarm
 from .jobs import (ENGINE_NAMES, TASK_ENGINE_NAMES, SimJob, SimResult,
                    StimulusSpec, expand_jobs)
 from .ledger import TraceLedger, check_tenant, default_ledger_root
 from .spec import expand_document, inline_spec, load_designs, load_spec
 from .worker import WorkerState
+
+#: Legacy engine entry points, kept importable for old call sites.
+#: Access warns: resolve engines via ``repro.engines.get_engine``.
+_DEPRECATED_ENGINE_EXPORTS = ("ENGINES", "build_engine")
+
+
+def __getattr__(name):
+    if name in _DEPRECATED_ENGINE_EXPORTS:
+        import warnings
+
+        warnings.warn(
+            "repro.farm.%s is deprecated; use repro.engines.get_engine() "
+            "(adapters stay in repro.farm.engines)" % name,
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import engines
+
+        return getattr(engines, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
 
 __all__ = [
     "ENGINES",

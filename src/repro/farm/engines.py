@@ -24,6 +24,12 @@ Engines:
   engine; it additionally offers ``step_many`` (batched instants) and
   ``run_spec`` (a compiled whole-trace driver loop per (design,
   stimulus-spec) pair — zero per-instant dict handling);
+* ``vector`` — the numpy multi-instance engine
+  (:class:`~repro.runtime.vector.VectorReactor`): per job it behaves
+  exactly like ``native``, but workers fuse same-sweep vector jobs
+  into one matrix sweep (see :meth:`repro.farm.worker.WorkerState
+  .run_sweep`); requires numpy (:class:`~repro.errors
+  .EngineUnavailable` otherwise);
 * ``rtos``   — the module (or a multi-task partition of the design)
   under the simulated priority kernel
   (:class:`repro.rtos.kernel.RtosKernel`): each instant posts the
@@ -224,6 +230,34 @@ class NativeEngine(ReactorEngine):
             budget=job.instant_budget,
         )
         return self.reactor.run_trace(driver, job.seed)
+
+
+@register_engine("vector")
+class VectorEngine(NativeEngine):
+    """Many-instance numpy execution (requires numpy).
+
+    Per-job semantics are scalar-exact — one vector job replayed alone
+    produces the native engine's records, coverage and status for the
+    same seed — but the farm worker fuses jobs that share a sweep key
+    (design, module, stimulus, horizon, properties, coverage) into one
+    :meth:`~repro.runtime.vector.VectorReactor.run_specs` call, so a
+    1000-job campaign round costs one vectorized sweep instead of 1000
+    driver loops.  As a per-job adapter this class *is* the native
+    engine (step/step_many replay explicit traces identically); it
+    exists so single-job paths — serving-layer entries, local campaign
+    replays, minimization — run vector jobs without special cases.
+    ``run_spec`` is inherited: a lone random-stimulus vector job runs
+    the compiled scalar driver, which the sweep is bit-compatible with.
+    """
+
+    def __init__(self, handles, job):
+        from ..runtime.vector import require_numpy
+
+        require_numpy("vector")
+        super().__init__(handles, job)
+        # Warm the content-addressed bundle so pooled workers compile
+        # the vector twin once per design, not once per sweep.
+        self._handle.vector_code()
 
 
 @register_engine("rtos")

@@ -186,6 +186,11 @@ class SimulationFarm:
         self.workers = workers
         self.chunk_size = chunk_size
         self.cache_dir = cache_dir
+        #: Inline-mode worker state, kept across run() calls so callers
+        #: that drive many batches through one farm (verify campaigns
+        #: run one per round) reuse compiled builds and resident vector
+        #: sweep templates instead of recompiling every batch.
+        self._inline_state = None
 
     def run(self, jobs, on_result=None) -> FarmReport:
         """Execute every job; failures become per-job statuses, the
@@ -207,18 +212,16 @@ class SimulationFarm:
         chunks = self._chunk(jobs, workers)
         started = perf_counter()
         if workers <= 1 or len(chunks) <= 1:
-            state = WorkerState(
-                self.designs,
-                options=self.options,
-                ledger_root=self.ledger_root,
-                cache_dir=self.cache_dir,
-            )
-            results = []
-            for job in jobs:
-                result = state.run_job(job)
-                results.append(result)
-                if on_result is not None:
-                    on_result(result)
+            if self._inline_state is None:
+                self._inline_state = WorkerState(
+                    self.designs,
+                    options=self.options,
+                    ledger_root=self.ledger_root,
+                    cache_dir=self.cache_dir,
+                )
+            # run_jobs (not a per-job loop) so the inline path fuses
+            # vector jobs into sweeps exactly like a pooled chunk does.
+            results = self._inline_state.run_jobs(jobs, on_result=on_result)
             workers = 1
         else:
             results = self._run_pool(jobs, chunks, workers, on_result)
@@ -280,16 +283,26 @@ class SimulationFarm:
         # bundles), deduped per distinct target; forked workers inherit
         # them all copy-on-write.
         native_targets = set()
+        vector_targets = set()
         bundle_targets = set()
         for job in jobs:
             if job.engine in ("native", "equivalence"):
                 native_targets.add((job.design, job.module))
+            if job.engine == "vector":
+                native_targets.add((job.design, job.module))
+                vector_targets.add((job.design, job.module))
             if job.engine == "rtos" and job.task_engine == "native":
                 specs = job.tasks or ((job.module, job.module, 1),)
                 bundle_targets.add((job.design, specs))
         for design, module in sorted(native_targets):
             try:
                 state.build(design).module(module).native_code()
+            except EclError:
+                pass  # surfaces per job as a status="error" result
+        for design, module in sorted(vector_targets):
+            try:
+                # Codegen only (numpy-free): workers bind the bundle.
+                state.build(design).module(module).vector_code()
             except EclError:
                 pass  # surfaces per job as a status="error" result
         for design, specs in sorted(bundle_targets):

@@ -27,8 +27,11 @@ from ..errors import EclError
 #: Engine names a job may ask for.  "equivalence" is the opt-in
 #: cross-engine mode: the interpreter runs in lockstep with both
 #: compiled engines (efsm and native) and the job fails with status
-#: "diverged" on the first observable mismatch.
-ENGINE_NAMES = ("efsm", "native", "interp", "rtos", "equivalence")
+#: "diverged" on the first observable mismatch.  "vector" jobs carry
+#: ordinary per-job identities/seeds but execute fused: workers group
+#: same-sweep jobs and advance them together through one numpy
+#: :class:`~repro.runtime.vector.VectorReactor` sweep.
+ENGINE_NAMES = ("efsm", "native", "interp", "rtos", "vector", "equivalence")
 
 #: Task engines the rtos farm engine accepts ("" = default efsm).
 TASK_ENGINE_NAMES = ("", "efsm", "native", "interp")

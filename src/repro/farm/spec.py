@@ -1,19 +1,32 @@
-"""Batch spec files for ``eclc farm run``.
+"""Batch spec files for ``eclc farm run`` (and everything else).
 
 A spec is a JSON document declaring the designs and the job matrix in
 one place, so a CI job or a verification flow can version-control its
 whole simulation campaign::
 
     {
+      "spec_version": 2,
       "workers": 8,
       "ledger": "traces",
       "designs": {"stack": "protocol_stack.ecl"},
       "jobs": [
         {"design": "stack", "modules": ["toplevel"],
-         "engines": ["native", "efsm", "interp", "equivalence"],
-         "traces": 50, "length": 64, "horizon": 96}
+         "engine": "vector", "n_instances": 1000,
+         "length": 64, "horizon": 96}
       ]
     }
+
+Documents carry a ``spec_version`` envelope.  Version 1 (or an absent
+field) is the original schema and is accepted unchanged — version 2 is
+a backward-compatible superset, so v1 documents upconvert for free.
+Version 2 adds two per-entry spellings: ``engine`` (one engine as a
+string, exclusive with the ``engines`` list) and ``n_instances`` (how
+many stimulus instances to sweep — an alias of ``traces`` named for
+the vector engine, where the worker fuses all instances into one numpy
+sweep).  Anything newer than :data:`SPEC_VERSION` is rejected, with
+identical validation wherever a spec document enters the system:
+``eclc farm run --spec``, ``eclc verify run --spec``, ``eclc submit``
+and the serving layer all parse through this module.
 
 ``designs`` maps batch labels to ECL file paths (relative to the spec
 file) or to inline source objects ``{"text": "module ..."}`` — the
@@ -41,6 +54,30 @@ from typing import Dict, List, Tuple
 
 from ..errors import EclError
 from .jobs import SimJob, StimulusSpec
+
+#: Newest spec schema this build understands.  Older documents are
+#: upconverted on read; newer ones are rejected up front.
+SPEC_VERSION = 2
+
+
+def check_version(document, origin="<request>"):
+    """Validate a document's ``spec_version`` envelope and return the
+    declared version (1 when the field is absent).  One gate for every
+    entry point, so a spec rejected by ``eclc farm run`` is rejected
+    identically by ``eclc verify run``, ``eclc submit`` and the
+    service."""
+    version = document.get("spec_version", 1)
+    if isinstance(version, bool) or not isinstance(version, int) or version < 1:
+        raise EclError(
+            'farm spec %s: "spec_version" must be a positive integer, '
+            "got %r" % (origin, version)
+        )
+    if version > SPEC_VERSION:
+        raise EclError(
+            "farm spec %s: spec_version %d is newer than this build "
+            "supports (%d)" % (origin, version, SPEC_VERSION)
+        )
+    return version
 
 
 def load_spec(path):
@@ -79,6 +116,7 @@ def expand_document(document, designs, origin="<request>"):
     path shared by ``eclc farm run --spec``, the serving layer and
     ``eclc submit`` — which is what makes a service batch reproduce a
     local farm run job-for-job (same indices, same derived seeds)."""
+    check_version(document, origin)
     return _expand_entries(document.get("jobs"), designs, origin)
 
 
@@ -87,6 +125,7 @@ def inline_spec(path):
     by its inline ``{"text": ...}`` form — the submission payload for
     a (possibly remote) simulation service."""
     document = read_document(path)
+    check_version(document, path)
     base = os.path.dirname(os.path.abspath(path))
     designs = load_designs(document.get("designs"), base, path)
     document = dict(document)
@@ -168,7 +207,24 @@ def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
                 % (spec_path, position, label)
             )
         modules = entry.get("modules") or _module_names(designs[label], label)
-        engines = entry.get("engines") or ["efsm"]
+        engines = entry.get("engines")
+        if "engine" in entry:  # v2 singular spelling
+            if engines:
+                raise EclError(
+                    'farm spec %s: jobs[%d] gives both "engine" and '
+                    '"engines" — pick one' % (spec_path, position)
+                )
+            engines = [str(entry["engine"])]
+        engines = engines or ["efsm"]
+        traces = entry.get("traces")
+        if "n_instances" in entry:  # v2 sweep-oriented spelling
+            if traces is not None:
+                raise EclError(
+                    'farm spec %s: jobs[%d] gives both "traces" and '
+                    '"n_instances" — they are the same knob' % (spec_path, position)
+                )
+            traces = entry["n_instances"]
+        traces = int(1 if traces is None else traces)
         stimulus = StimulusSpec.random(
             length=int(entry.get("length", 32)),
             present_prob=float(entry.get("present_prob", 0.5)),
@@ -179,7 +235,7 @@ def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
         task_engine = str(entry.get("task_engine", "") or "")
         for module in modules:
             for engine in engines:
-                for _ in range(int(entry.get("traces", 1))):
+                for _ in range(traces):
                     jobs.append(
                         SimJob(
                             design=label,

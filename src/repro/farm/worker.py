@@ -13,6 +13,13 @@ per task so per-dispatch pickling overhead amortizes across the chunk.
 The same :class:`WorkerState` also runs inline (``workers<=1``), which
 is both the serial baseline the throughput benchmark compares against
 and the low-latency path for small batches.
+
+Vector jobs fuse: :meth:`WorkerState.run_jobs` partitions a chunk into
+sweep groups — vector-engine jobs sharing one
+:meth:`~WorkerState.sweep_key` — and advances each group through a
+single :meth:`~repro.runtime.vector.VectorReactor.run_specs` call
+(:meth:`~WorkerState.run_sweep`), emitting one scalar-identical
+:class:`SimResult` per job.  Everything else runs per job as before.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from typing import Dict, Optional
 from ..errors import EclError
 from ..pipeline import ArtifactCache, Pipeline
 from ..pipeline.stages import CompileOptions
-from .engines import build_engine, compare_records
+from ..engines import get_engine
+from .engines import compare_records
 from .jobs import (
     STATUS_DIVERGED,
     STATUS_ERROR,
@@ -81,6 +89,8 @@ class WorkerState:
         else:
             self.ledger = None
         self._builds: Dict[str, object] = {}
+        #: (design, module) -> resident VectorReactor (sweep template).
+        self._vectors: Dict[tuple, object] = {}
 
     # -- serving-layer surface -----------------------------------------
 
@@ -93,6 +103,8 @@ class WorkerState:
             old = self.designs.get(label)
             if old is not None and old != source:
                 self._builds.pop(label, None)
+                for key in [k for k in self._vectors if k[0] == label]:
+                    del self._vectors[key]
             self.designs[label] = source
 
     # -- compiled-design cache -----------------------------------------
@@ -117,11 +129,75 @@ class WorkerState:
         build = self.build(design_label)
         return lambda module_name: build.module(module_name)
 
+    def vector_reactor(self, design_label, module_name):
+        """The (cached) resident sweep template for one (design,
+        module) — raises :class:`~repro.errors.EngineUnavailable`
+        without numpy, which the job driver turns into per-job error
+        results."""
+        key = (design_label, module_name)
+        reactor = self._vectors.get(key)
+        if reactor is None:
+            from ..runtime.vector import VectorReactor, require_numpy
+
+            require_numpy("vector")
+            handle = self.build(design_label).module(module_name)
+            reactor = VectorReactor(
+                handle.efsm(),
+                code=handle.native_code(),
+                vcode=handle.vector_code(),
+            )
+            self._vectors[key] = reactor
+        return reactor
+
     # -- job execution -------------------------------------------------
+
+    @staticmethod
+    def sweep_key(job):
+        """The fusion key of a vector job (None = not sweepable).
+
+        Jobs sharing a key differ only in index/seed (and possibly
+        ``record_vcd``), so one :meth:`run_sweep` drives them all; a
+        vector job with an explicit stimulus or task list falls back to
+        the per-job scalar path, which is observably identical."""
+        if job.engine != "vector" or job.tasks:
+            return None
+        if job.stimulus.kind != "random":
+            return None
+        return (job.design, job.module, job.stimulus, job.horizon,
+                job.properties, job.collect_coverage)
+
+    def run_jobs(self, jobs, on_result=None):
+        """Execute a list of jobs, fusing sweepable vector jobs that
+        share a :meth:`sweep_key` into single vectorized sweeps.
+        Results come back (and stream through ``on_result``) in job
+        order; per-job failures become ``status="error"`` rows exactly
+        as :meth:`run_job` reports them."""
+        jobs = list(jobs)
+        groups: Dict[object, List[int]] = {}
+        for position, job in enumerate(jobs):
+            key = self.sweep_key(job)
+            if key is not None:
+                groups.setdefault(key, []).append(position)
+        results: List[Optional[SimResult]] = [None] * len(jobs)
+        for positions in groups.values():
+            swept = self.run_sweep([jobs[p] for p in positions])
+            for position, result in zip(positions, swept):
+                results[position] = result
+        for position, job in enumerate(jobs):
+            if results[position] is None:
+                results[position] = self.run_job(job)
+        if on_result is not None:
+            for result in results:
+                on_result(result)
+        return results
 
     def run_job(self, job) -> SimResult:
         """Execute one job to completion; never raises on job failure —
         errors become ``status="error"`` results."""
+        if self.sweep_key(job) is not None:
+            # A lone vector job is a one-lane sweep: same code path as
+            # fused execution, so results match the batch bit for bit.
+            return self.run_sweep([job])[0]
         result = SimResult(
             job_id=job.job_id,
             design=job.design,
@@ -182,6 +258,128 @@ class WorkerState:
         result.elapsed = perf_counter() - started
         return result
 
+    def run_sweep(self, jobs) -> List[SimResult]:
+        """One vectorized sweep for vector jobs sharing a
+        :meth:`sweep_key`; returns one :class:`SimResult` per job, in
+        job order, mirroring what :meth:`run_job` reports for the
+        native engine on the same seed.  Never raises on job failure:
+        a sweep-wide problem (no numpy, compile error) becomes a
+        ``status="error"`` row per job, a per-lane runtime fault errors
+        only its own row."""
+        jobs = list(jobs)
+        results = [
+            SimResult(
+                job_id=job.job_id,
+                design=job.design,
+                module=job.module,
+                engine=job.engine,
+                index=job.index,
+                worker_pid=os.getpid(),
+            )
+            for job in jobs
+        ]
+        lead = jobs[0]
+        started = perf_counter()
+        try:
+            reactor = self.vector_reactor(lead.design, lead.module)
+            # Records cost decode time per lane; only pay for them when
+            # something consumes them (monitors, trace persistence).
+            need_records = bool(lead.properties) or self.ledger is not None
+            outcome = reactor.run_specs(
+                lead.stimulus,
+                seeds=[job.seed for job in jobs],
+                budget=lead.instant_budget,
+                coverage="raw" if lead.collect_coverage else False,
+                records=need_records,
+            )
+            program = None
+            if lead.properties:
+                handle = self.build(lead.design).module(lead.module)
+                program = handle.monitor_bundle(lead.properties)
+        except EclError as error:
+            return self._sweep_failed(results, str(error), started)
+        except Exception:
+            return self._sweep_failed(
+                results, traceback.format_exc(limit=4), started
+            )
+        module_name = reactor.efsm.name
+        share = (perf_counter() - started) / len(jobs)
+        for lane, (job, result) in enumerate(zip(jobs, results)):
+            result.elapsed = share
+            if outcome.errors[lane] is not None:
+                result.status = STATUS_ERROR
+                result.error = outcome.errors[lane]
+                continue
+            try:
+                self._sweep_result(
+                    job, result, outcome, lane, module_name, program
+                )
+            except EclError as error:
+                result.status = STATUS_ERROR
+                result.error = str(error)
+            except Exception:
+                result.status = STATUS_ERROR
+                result.error = traceback.format_exc(limit=4)
+        return results
+
+    def _sweep_result(self, job, result, outcome, lane, module_name,
+                      program):
+        """Fill one job's result row from its sweep lane (the vector
+        counterpart of :meth:`run_job`'s success path)."""
+        records = None
+        if outcome.records is not None:
+            records = outcome.records[lane]
+        status = STATUS_TERMINATED if outcome.terminated[lane] else STATUS_OK
+        if outcome.raw_coverage is not None:
+            result.coverage = self._raw_payload(
+                module_name, outcome.raw_coverage, lane
+            )
+        if job.properties and records is not None:
+            from ..verify.monitor import Monitor
+
+            monitor = Monitor(program)
+            for record in records:
+                monitor.step_record(record)
+            violation = monitor.first_violation
+            if violation is not None:
+                status = STATUS_VIOLATED
+                result.violation = violation.property_text
+                result.violation_instant = violation.instant
+        result.status = status
+        result.instants = outcome.instants[lane]
+        result.emitted_events = outcome.emitted_events[lane]
+        if self.ledger is not None and records is not None:
+            vcd_text = self._render_vcd(job, records)
+            result.trace_digest, result.trace_path = self.ledger.put(
+                job, records, vcd_text=vcd_text
+            )
+
+    @staticmethod
+    def _sweep_failed(results, error_text, started):
+        share = (perf_counter() - started) / max(1, len(results))
+        for result in results:
+            result.status = STATUS_ERROR
+            result.error = error_text
+            result.elapsed = share
+        return results
+
+    @staticmethod
+    def _raw_payload(module_name, raw, lane):
+        """One lane's coverage payload straight off the sweep's bitmap
+        matrices — byte-identical to ``CoverageMap.as_payload()`` for
+        the same marks, without building the map."""
+        states, transitions, emits = raw
+        s, t, e = states[lane], transitions[lane], emits[lane]
+        return {
+            "module": module_name,
+            "states": s.tobytes().hex(),
+            "transitions": t.tobytes().hex(),
+            "emits": e.tobytes().hex(),
+            "covered_states": int(s.sum()),
+            "covered_transitions": int(t.sum()),
+            "covered_emits": int(e.sum()),
+        }
+
     def _stimulus(self, job, engine):
         instants = job.stimulus.materialize(engine.input_alphabet(), job.seed)
         budget = job.instant_budget
@@ -241,7 +439,7 @@ class WorkerState:
     def _run_single(self, job, coverage=None):
         """``(records, status, coverage_attached, kernel_stats)`` for
         one plain job."""
-        engine = build_engine(job.engine, self.handles(job.design), job)
+        engine = get_engine(job.engine).build(self.handles(job.design), job)
         attached = False
         if coverage is not None:
             attach = getattr(engine, "enable_coverage", None)
@@ -280,10 +478,10 @@ class WorkerState:
         cross-engine verification jobs merge full state/transition
         bitmaps instead of record-level emit coverage only."""
         handles = self.handles(job.design)
-        reference = build_engine("interp", handles, job)
+        reference = get_engine("interp").build(handles, job)
         candidates = [
-            build_engine("efsm", handles, job),
-            build_engine("native", handles, job),
+            get_engine("efsm").build(handles, job),
+            get_engine("native").build(handles, job),
         ]
         attached = False
         if coverage is not None:
@@ -374,7 +572,9 @@ def initialize(designs, options, ledger_root, cache_dir=None):
 
 
 def run_chunk(jobs):
-    """Execute one chunk of jobs in this worker; returns SimResults."""
+    """Execute one chunk of jobs in this worker; returns SimResults.
+    Vector jobs sharing a sweep key fuse into one vectorized sweep per
+    chunk (:meth:`WorkerState.run_jobs`)."""
     if _STATE is None:
         raise RuntimeError("farm worker used before initialize()")
-    return [_STATE.run_job(job) for job in jobs]
+    return _STATE.run_jobs(jobs)

@@ -413,6 +413,20 @@ class ModuleHandle:
         return self._stage("native", compute, kind="native-code",
                            key_stage=NATIVE_STAGE_TAG)
 
+    def vector_code(self):
+        """Stage ``vector``: the numpy-lowered
+        :class:`~repro.runtime.vector.lower.VectorCode` bundle — one
+        masked step function per vector-lowerable state, validated
+        against the scalar bundle's slot layout.  Keyed off the native
+        stage tag: a native format bump invalidates the vector twin
+        too.  The bundle is numpy-free until bound, so it caches and
+        pickles even where the vector *engine* is unavailable."""
+        def compute():
+            from ..runtime.vector.lower import compile_vector
+            return compile_vector(self.efsm(), self.native_code())
+        return self._stage("vector", compute, kind="vector-code",
+                           key_stage="vector@v1+%s" % NATIVE_STAGE_TAG)
+
     def trace_driver(self, length, present_prob, value_range, budget=0):
         """Stage ``trace-driver``: the compiled whole-trace driver loop
         for one (design, stimulus-spec) pair
@@ -448,8 +462,10 @@ class ModuleHandle:
     def reactor(self, engine="efsm", counter=None, builtins=None):
         """A runnable instance: ``engine`` is "native" (closure-compiled
         reaction functions, fastest), "efsm" (compiled automaton,
-        interpreted decision tree) or "interp" (reference kernel
-        interpreter)."""
+        interpreted decision tree), "interp" (reference kernel
+        interpreter) or "vector" (many-instance numpy sweeps — a
+        :class:`~repro.runtime.vector.VectorReactor`, which runs whole
+        stimulus specs via ``run_specs`` rather than stepping)."""
         if engine == "native":
             from ..runtime.native import NativeReactor
             return NativeReactor(self.efsm(), code=self.native_code(),
@@ -461,6 +477,16 @@ class ModuleHandle:
         if engine == "interp":
             return Reactor(self.kernel(), counter=counter,
                            builtins=builtins)
+        if engine == "vector":
+            if counter is not None or builtins is not None:
+                raise CompileError(
+                    "the vector engine drives whole stimulus sweeps; "
+                    "counters and builtin overrides are per-instance "
+                    "reactor features")
+            from ..runtime.vector import VectorReactor, require_numpy
+            require_numpy("vector")
+            return VectorReactor(self.efsm(), code=self.native_code(),
+                                 vcode=self.vector_code())
         raise CompileError(
-            "unknown engine %r (use 'native', 'efsm' or 'interp')"
-            % engine)
+            "unknown engine %r (use 'native', 'efsm', 'interp' or "
+            "'vector')" % engine)

@@ -1,0 +1,58 @@
+"""Vectorized multi-instance execution (the ``vector`` engine).
+
+The lowerer (:mod:`repro.runtime.vector.lower`) is pure code
+generation and needs no numpy; the reactor needs numpy at runtime.
+numpy is an *optional* dependency: importing this package always
+succeeds, :data:`NUMPY_AVAILABLE` reports the situation, and touching
+:class:`VectorReactor` (or calling :func:`require_numpy`) without
+numpy raises the structured :class:`~repro.errors.EngineUnavailable`.
+"""
+
+from __future__ import annotations
+
+from .lower import VectorCode, VectorFault, compile_vector
+
+try:
+    import numpy as _numpy  # noqa: F401
+
+    _NUMPY_ERROR = None
+except ImportError as exc:  # pragma: no cover - exercised via mocks in CI
+    _NUMPY_ERROR = str(exc)
+
+#: True when the numpy-backed reactor can run in this environment.
+NUMPY_AVAILABLE = _NUMPY_ERROR is None
+
+
+def require_numpy(engine="vector"):
+    """Raise :class:`~repro.errors.EngineUnavailable` unless numpy is
+    importable; no-op otherwise."""
+    if not NUMPY_AVAILABLE:
+        from ...errors import EngineUnavailable
+
+        raise EngineUnavailable(
+            engine, "numpy is not installed (%s)" % _NUMPY_ERROR
+        )
+
+
+_REACTOR_NAMES = ("VectorReactor", "SweepOutcome", "derive_seed")
+
+
+def __getattr__(name):
+    if name in _REACTOR_NAMES:
+        require_numpy()
+        from . import reactor
+
+        return getattr(reactor, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
+__all__ = [
+    "NUMPY_AVAILABLE",
+    "SweepOutcome",
+    "VectorCode",
+    "VectorFault",
+    "VectorReactor",
+    "compile_vector",
+    "derive_seed",
+    "require_numpy",
+]

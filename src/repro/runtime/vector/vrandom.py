@@ -1,0 +1,324 @@
+"""Vectorized MT19937, bit-exact with :class:`random.Random`.
+
+The equivalence contract of the vector engine requires every lane's
+stimulus to be drawn with the exact rng consumption of
+``random.Random(seed)`` — same Mersenne-Twister words, same rejection
+loops — because scalar trace drivers and ``StimulusSpec.materialize``
+both consume that stream.  Drawing 1k lanes x hundreds of instants
+through per-lane ``random.Random`` objects costs more than the whole
+vectorized sweep, so this module re-implements the generator across
+lanes (numpy's own MT19937 is no help: its legacy seeding collapses
+one-limb keys onto ``init_genrand``, diverging from CPython for every
+seed below 2**32).
+
+State is one uint32 column per lane: ``mt`` is ``(624, n)`` so the
+sequential twist recurrence walks contiguous rows, and tempered words
+accumulate in a word-major ``(words, n)`` stream that grows by whole
+twisted blocks written in place.  Each lane owns an absolute cursor
+into the stream; draws for arbitrary row subsets (a lane whose
+presence coin came up tails must not consume value words) are plain
+fancy gathers ``stream[pos, rows]``.
+
+Replicated surface (all that the stimulus path uses):
+
+* seeding: CPython's ``init_by_array`` over the seed's little-endian
+  32-bit limbs (the ``random_seed`` recipe for int seeds);
+* ``random()``: two tempered words -> 53-bit double;
+* ``getrandbits(k)`` for ``k <= 32``: one word, top ``k`` bits;
+* ``randint(low, high)`` via ``_randbelow_with_getrandbits``:
+  per-lane rejection until ``getrandbits(width.bit_length()) <
+  width``.
+
+``test_vector_reactor.py`` locksteps this against ``random.Random``
+over mixed draw sequences; any CPython behavior change would surface
+there, not as silent trace divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_U32 = np.uint32
+_N = 624
+_M = 397
+_MATRIX_A = 0x9908B0DF
+_UPPER = 0x80000000
+_LOWER = 0x7FFFFFFF
+
+#: The twist's in-place segments: destination ``[lo, hi)`` reads
+#: ``mt[kk + M mod N]`` from ``[slo, shi)``; segment order guarantees a
+#: source range is fully rewritten before a later segment reads it,
+#: matching the reference implementation's sequential update.
+_TWIST_SEGMENTS = (
+    ((0, _N - _M), (_M, _N)),
+    ((_N - _M, 2 * (_N - _M)), (0, _N - _M)),
+    ((2 * (_N - _M), _N - 1), (_N - _M, _M - 1)),
+)
+
+
+def _twist(mt):
+    """Advance every lane of ``mt`` (shape ``(624, n)``) one period."""
+    for (lo, hi), (slo, shi) in _TWIST_SEGMENTS:
+        y = (mt[lo:hi] & _UPPER) | (mt[lo + 1 : hi + 1] & _LOWER)
+        mt[lo:hi] = mt[slo:shi] ^ (y >> 1) ^ ((y & 1) * _MATRIX_A)
+    y = (mt[_N - 1] & _UPPER) | (mt[0] & _LOWER)
+    mt[_N - 1] = mt[_M - 1] ^ (y >> 1) ^ ((y & 1) * _MATRIX_A)
+
+
+def _temper_into(y, out, scratch):
+    """Tempered copy of ``y`` written into ``out`` (same shape),
+    using ``scratch`` to avoid temporaries."""
+    np.right_shift(y, 11, out=scratch)
+    np.bitwise_xor(y, scratch, out=out)
+    np.left_shift(out, 7, out=scratch)
+    scratch &= _U32(0x9D2C5680)
+    out ^= scratch
+    np.left_shift(out, 15, out=scratch)
+    scratch &= _U32(0xEFC60000)
+    out ^= scratch
+    np.right_shift(out, 18, out=scratch)
+    out ^= scratch
+
+
+def _seed_key(seed):
+    """The seed's little-endian 32-bit limbs (CPython ``random_seed``)."""
+    n = abs(int(seed))
+    key = []
+    while n:
+        key.append(n & 0xFFFFFFFF)
+        n >>= 32
+    return tuple(key) if key else (0,)
+
+
+def _init_genrand_row():
+    """``init_genrand(19650218)`` — seed-independent, computed once."""
+    mt = np.empty(_N, _U32)
+    mt[0] = 19650218
+    value = 19650218
+    for i in range(1, _N):
+        value = (1812433253 * (value ^ (value >> 30)) + i) & 0xFFFFFFFF
+        mt[i] = value
+    return mt
+
+
+_GENRAND_ROW = None
+
+
+def _init_by_array(keys):
+    """Vectorized ``init_by_array`` for a group of equal-length keys:
+    ``keys`` is ``(g, keylen)`` uint32, returns ``(624, g)`` state
+    (lane-per-column).  The sequential recurrence walks contiguous
+    rows, with the previous element riding along in a local."""
+    global _GENRAND_ROW
+    if _GENRAND_ROW is None:
+        _GENRAND_ROW = _init_genrand_row()
+    g, keylen = keys.shape
+    mt = np.empty((_N, g), _U32)
+    mt[:] = _GENRAND_ROW[:, None]
+    key_cols = [keys[:, j] + _U32(j) for j in range(keylen)]
+    prev = mt[0].copy()
+    i = 1
+    j = 0
+    for _ in range(max(_N, keylen)):
+        prev = (mt[i] ^ ((prev ^ (prev >> 30)) * _U32(1664525))) + key_cols[j]
+        mt[i] = prev
+        i += 1
+        j += 1
+        if i >= _N:
+            mt[0] = prev
+            i = 1
+        if j >= keylen:
+            j = 0
+    for _ in range(_N - 1):
+        prev = (mt[i] ^ ((prev ^ (prev >> 30)) * _U32(1566083941))) - _U32(i)
+        mt[i] = prev
+        i += 1
+        if i >= _N:
+            mt[0] = prev
+            i = 1
+    mt[0] = 0x80000000
+    return mt
+
+
+class VecRandom:
+    """``n`` independent ``random.Random(seed)`` streams advanced with
+    array ops.  Every draw method takes a ``rows`` index array and
+    consumes words only in those lanes."""
+
+    def __init__(self, seeds):
+        seeds = [int(seed) for seed in seeds]
+        n = len(seeds)
+        self.n = n
+        by_len = {}
+        for lane, seed in enumerate(seeds):
+            key = _seed_key(seed)
+            by_len.setdefault(len(key), []).append((lane, key))
+        if len(by_len) == 1:
+            ((_keylen, group),) = by_len.items()
+            self.mt = _init_by_array(np.array([k for _l, k in group], _U32))
+        else:
+            self.mt = np.empty((_N, n), _U32)
+            for keylen, group in by_len.items():
+                lanes = np.array([lane for lane, _key in group], np.int64)
+                keys = np.array([key for _lane, key in group], _U32)
+                self.mt[:, lanes] = _init_by_array(keys)
+        #: word-major tempered lookahead; one absolute cursor per lane.
+        self.stream = np.empty((2 * _N, n), _U32)
+        self._scratch = np.empty((_N, n), _U32)
+        self.filled = 0
+        self.pos = np.zeros(n, np.int64)
+
+    def _refill(self):
+        """Append one twisted-and-tempered block for every lane."""
+        if self.filled + _N > self.stream.shape[0]:
+            grown = np.empty((2 * self.stream.shape[0], self.n), _U32)
+            grown[: self.filled] = self.stream[: self.filled]
+            self.stream = grown
+        _twist(self.mt)
+        _temper_into(
+            self.mt, self.stream[self.filled : self.filled + _N], self._scratch
+        )
+        self.filled += _N
+
+    def _ensure(self, hi):
+        while self.filled < hi:
+            self._refill()
+
+    def random(self, rows):
+        """53-bit doubles in [0, 1) — ``genrand_res53``."""
+        pos = self.pos[rows]
+        self._ensure(int(pos.max(initial=0)) + 2)
+        a = self.stream[pos, rows] >> 5
+        b = self.stream[pos + 1, rows] >> 6
+        self.pos[rows] = pos + 2
+        return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0)
+
+    def getrandbits(self, rows, k):
+        if not 0 < k <= 32:
+            raise ValueError("vectorized getrandbits supports 1..32 bits")
+        pos = self.pos[rows]
+        self._ensure(int(pos.max(initial=0)) + 1)
+        words = self.stream[pos, rows]
+        self.pos[rows] = pos + 1
+        return words >> _U32(32 - k)
+
+    def randint(self, rows, low, high):
+        """``randint(low, high)`` per lane in ``rows`` (int64 result).
+        Callers must pre-check :func:`supports_range`.  Lane ``i``
+        consumes exactly the words its own rejection loop rejects, in
+        stream order — each round gathers one word for the still-
+        rejected lanes only."""
+        width = high - low + 1
+        shift = _U32(32 - width.bit_length())
+        out = np.empty(len(rows), np.int64)
+        pending = np.arange(len(rows))
+        sub = rows
+        while len(pending):
+            pos = self.pos[sub]
+            self._ensure(int(pos.max(initial=0)) + 1)
+            drawn = self.stream[pos, sub] >> shift
+            self.pos[sub] = pos + 1
+            ok = drawn < width
+            out[pending[ok]] = drawn[ok]
+            keep = ~ok
+            pending = pending[keep]
+            sub = sub[keep]
+        return low + out
+
+    def draw_alphabet(self, pure_flags, prob, drawn, low, high):
+        """The whole random-stimulus block in one pass: for every
+        instant ``t < drawn`` and signal ``j`` (in declaration order),
+        flip one presence coin per lane and draw a value for the hot
+        lanes of valued signals — the exact draw sequence of the scalar
+        trace drivers, fused so the per-lane cursor advances with plain
+        whole-array adds instead of per-call gather/scatter.
+
+        Returns ``(pres, vals)`` shaped ``(n_signals, drawn, n)``;
+        ``vals`` rows are the raw ``randint(low, high)`` results for
+        lanes whose coin was hot (zero elsewhere).  Callers must
+        pre-check :func:`supports_range`."""
+        n = self.n
+        nsig = len(pure_flags)
+        pres = np.zeros((nsig, max(drawn, 1), n), np.uint8)
+        vals = np.zeros((nsig, max(drawn, 1), n), np.int64)
+        if not drawn:
+            return pres, vals
+        width = int(high) - int(low) + 1
+        shift = _U32(32 - width.bit_length())
+        rows = np.arange(n)
+        rows2 = rows[None, :]
+        pos = self.pos
+        # ``hi`` tracks max(pos) as a plain int (max over lanes is
+        # monotone; coins advance every lane, rejection rounds bound it
+        # by the round's own max) so the hot loop never reduces pos.
+        hi = int(pos.max(initial=0))
+        # Coins for a run of pure signals plus the next valued signal
+        # sit at fixed per-lane offsets (only a *value* draw consumes a
+        # variable word count), so each such segment's coin words come
+        # from one fused 2-D gather and one batch of float ops.
+        segments = []
+        j = 0
+        while j < nsig:
+            k = j
+            while k < nsig and pure_flags[k]:
+                k += 1
+            cnt = (k - j + 1) if k < nsig else (k - j)
+            if cnt:
+                segments.append(
+                    (j, cnt, k < nsig, np.arange(2 * cnt)[:, None])
+                )
+            j = k + 1
+        # One rejection round gathers K candidate words per pending
+        # lane and accepts the first in-range one; each lane consumes
+        # exactly the words its scalar rejection loop would (unused
+        # candidates stay in the stream).  K is sized so one round
+        # resolves ~99% of hot lanes (worst case: power-of-two widths
+        # reject half the draws) and follow-up rounds shrink
+        # geometrically — a fixed worst-case K pays for a 16-wide
+        # gather even when nearly every first draw is accepted.
+        reject = 1.0 - width / float(1 << width.bit_length())
+        K, miss = 1, reject
+        while miss > 0.01 and K < 12:
+            K += 1
+            miss *= reject
+        koff = np.arange(K)[:, None]
+        scale = 1.0 / 9007199254740992.0
+        for t in range(drawn):
+            for j0, cnt, valued, off in segments:
+                nc = 2 * cnt
+                self._ensure(hi + nc)
+                w = self.stream[pos[None, :] + off, rows2]
+                pos += nc
+                hi += nc
+                hotb = (
+                    (w[0::2] >> 5) * 67108864.0 + (w[1::2] >> 6)
+                ) * scale < prob
+                pres[j0 : j0 + cnt, t] = hotb
+                if not valued:
+                    continue
+                pend = rows[hotb[cnt - 1]]
+                vrow = vals[j0 + cnt - 1, t]
+                while pend.size:
+                    po = pos[pend]
+                    need = int(po.max()) + K
+                    self._ensure(need)
+                    if need > hi:
+                        hi = need
+                    ws = self.stream[po[None, :] + koff, pend[None, :]] >> shift
+                    ok = ws < width
+                    anyok = ok.any(axis=0)
+                    first = ok.argmax(axis=0)
+                    cols = np.nonzero(anyok)[0]
+                    vrow[pend[cols]] = (
+                        ws[first[cols], cols].astype(np.int64) + low
+                    )
+                    pos[pend] = po + np.where(anyok, first + 1, K)
+                    pend = pend[~anyok]
+        return pres, vals
+
+
+def supports_range(low, high):
+    """True when :meth:`VecRandom.randint` can draw this range with
+    the same consumption as ``random.Random`` (one word per attempt)."""
+    width = int(high) - int(low) + 1
+    return 0 < width and width.bit_length() <= 32

@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import List, Optional, Tuple
 
+from ..engines import adapter_names, get_engine
 from ..errors import EclError
-from ..farm.engines import ENGINES, build_engine
 from ..farm.farm import SimulationFarm
 from ..farm.jobs import SimJob, StimulusSpec, random_instant
 from ..farm.ledger import TraceLedger
@@ -171,12 +171,12 @@ class VerifyCampaign:
                 "campaign design %r not in designs (%s)"
                 % (design, ", ".join(sorted(self.designs)) or "none")
             )
-        if engine not in ENGINES:
+        if engine not in adapter_names():
             # Fail fast: "equivalence" is a farm job mode, not an
             # engine the campaign can replay locally for minimization.
             raise EclError(
                 "unknown campaign engine %r (one of: %s)"
-                % (engine, ", ".join(sorted(ENGINES)))
+                % (engine, ", ".join(adapter_names()))
             )
         self.design = design
         self.module = module
@@ -216,7 +216,9 @@ class VerifyCampaign:
     def _engine(self):
         probe = SimJob(design=self.design, module=self.module,
                        engine=self.engine, task_engine=self._task_engine())
-        return build_engine(self.engine, lambda name: self._build.module(name), probe)
+        return get_engine(self.engine).build(
+            lambda name: self._build.module(name), probe
+        )
 
     def alphabet(self):
         """The drivable input alphabet ``(name, is_pure)`` pairs."""
@@ -373,18 +375,24 @@ class VerifyCampaign:
         by_index = {job.index: job for job in jobs}
         seen = {dedupe_key(violation) for violation in result.violations}
         violated = False
-        for row in report.results:
+        admitted = self._admit_coverage(report.results, merged)
+        for position, row in enumerate(report.results):
             if row.error:
                 result.errors.append("%s: %s" % (row.job_id[:12], row.error))
                 continue
             job = by_index[row.index]
             if row.coverage is not None:
-                job_map = CoverageMap.for_efsm(self._handle.efsm())
-                job_map.merge_payload(row.coverage)
-                if job_map.adds_to(merged):
-                    merged.merge(job_map)
-                    corpus.append(self._materialize(job))
-                    del corpus[:-CORPUS_LIMIT]
+                if admitted is not None:
+                    if admitted[position]:
+                        corpus.append(self._materialize(job))
+                        del corpus[:-CORPUS_LIMIT]
+                else:
+                    job_map = CoverageMap.for_efsm(self._handle.efsm())
+                    job_map.merge_payload(row.coverage)
+                    if job_map.adds_to(merged):
+                        merged.merge(job_map)
+                        corpus.append(self._materialize(job))
+                        del corpus[:-CORPUS_LIMIT]
             if row.violation is not None:
                 violated = True
                 violation = self._investigate(job, row)
@@ -393,6 +401,60 @@ class VerifyCampaign:
                     seen.add(key)
                     result.violations.append(violation)
         return violated
+
+    def _admit_coverage(self, rows, merged):
+        """Vectorized corpus admission for one round (requires numpy).
+
+        Decodes every coverage payload into one uint8 matrix per
+        dimension and computes, with a prefix-OR over the round, which
+        rows covered a bit that neither ``merged`` nor any earlier row
+        of the round had — exactly the per-row ``adds_to``/``merge``
+        loop's admission set, because a non-admitted row contributes no
+        new bit by definition.  ``merged`` is updated with the round's
+        union as a side effect.  Returns an admitted-flag list aligned
+        with ``rows``, or None to make the caller run the scalar loop
+        (numpy missing, no decodable payloads, or a shape mismatch the
+        scalar path should diagnose).
+        """
+        try:
+            import numpy as np
+        except ImportError:
+            return None
+        payloads = [
+            (position, row.coverage)
+            for position, row in enumerate(rows)
+            if not row.error
+            and isinstance(row.coverage, dict)
+            and "states" in row.coverage
+        ]
+        if not payloads:
+            return None
+        gained = np.zeros(len(payloads), dtype=bool)
+        for dim, bitmap in (
+            ("states", merged.states),
+            ("transitions", merged.transitions),
+            ("emits", merged.emits),
+        ):
+            width = len(bitmap)
+            if width == 0:
+                continue
+            try:
+                blob = bytes.fromhex("".join(p[dim] for _, p in payloads))
+            except (KeyError, ValueError):
+                return None
+            if len(blob) != width * len(payloads):
+                return None  # foreign shape: scalar path raises the error
+            matrix = np.frombuffer(blob, dtype=np.uint8)
+            matrix = matrix.reshape(len(payloads), width) != 0
+            base = np.frombuffer(bytes(bitmap), dtype=np.uint8) != 0
+            prefix = np.logical_or.accumulate(matrix & ~base, axis=0)
+            counts = prefix.sum(axis=1)
+            gained |= np.diff(counts, prepend=0) > 0
+            bitmap[:] = (base | prefix[-1]).astype(np.uint8).tobytes()
+        admitted = [False] * len(rows)
+        for flag, (position, _payload) in zip(gained, payloads):
+            admitted[position] = bool(flag)
+        return admitted
 
     def _materialize(self, job):
         """The concrete instants a job drove (for corpus admission)."""

@@ -18,33 +18,32 @@ document::
       "seeds": [[{"call_btn": null}, {"tick": null}, {"tick": null}]]
     }
 
-``designs`` maps labels to ECL file paths (relative to the spec file);
-``seeds`` is an optional corpus of explicit stimuli (instant dicts,
-``null`` = pure presence).  Property objects follow
-:func:`repro.verify.props.parse_property`.
+``designs`` follows the farm batch-spec schema
+(:mod:`repro.farm.spec`): labels map to ECL file paths (relative to
+the spec file) or inline ``{"text": ...}`` objects, and the document
+carries the same versioned ``spec_version`` envelope — one schema,
+validated identically across ``eclc farm run``, ``eclc verify run``
+and ``eclc submit``.  ``seeds`` is an optional corpus of explicit
+stimuli (instant dicts, ``null`` = pure presence).  Property objects
+follow :func:`repro.verify.props.parse_property`.
 """
 
 from __future__ import annotations
 
-import json
 import os
 
 from ..errors import EclError
+from ..farm.spec import check_version, load_designs, read_document
 from .campaign import VerifyCampaign
 from .props import parse_property
 
 
 def load_campaign_spec(path):
     """Parse a campaign spec file into a :class:`VerifyCampaign`."""
-    with open(path) as handle:
-        try:
-            document = json.load(handle)
-        except ValueError as error:
-            raise EclError("bad campaign spec %s: %s" % (path, error))
-    if not isinstance(document, dict):
-        raise EclError("bad campaign spec %s: expected a JSON object" % path)
+    document = read_document(path)
+    check_version(document, path)
     base = os.path.dirname(os.path.abspath(path))
-    designs = _load_designs(document.get("designs"), base, path)
+    designs = load_designs(document.get("designs"), base, path)
     design = document.get("design")
     if design is None and len(designs) == 1:
         design = next(iter(designs))
@@ -80,25 +79,6 @@ def load_campaign_spec(path):
         salt=int(document.get("seed", 0)),
         stop_on_violation=bool(document.get("stop_on_violation", True)),
     )
-
-
-def _load_designs(section, base, spec_path):
-    if not isinstance(section, dict) or not section:
-        raise EclError(
-            'campaign spec %s: "designs" must map labels to ECL file paths'
-            % spec_path
-        )
-    designs = {}
-    for label, file_path in section.items():
-        full = file_path if os.path.isabs(file_path) else os.path.join(base, file_path)
-        try:
-            with open(full) as handle:
-                designs[label] = handle.read()
-        except OSError as error:
-            raise EclError(
-                "campaign spec %s: design %r: %s" % (spec_path, label, error)
-            )
-    return designs
 
 
 def _parse_seeds(section, spec_path):

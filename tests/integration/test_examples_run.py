@@ -20,6 +20,7 @@ EXAMPLES = [
     "hardware_synthesis.py",
     "verification_workflow.py",
     "coverage_campaign.py",
+    "vector_campaign.py",  # prints an unavailable note without numpy
 ]
 
 

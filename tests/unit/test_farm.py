@@ -113,10 +113,20 @@ class TestJobModel:
 
 class TestEngines:
     def test_every_declared_engine_is_registered(self):
+        from repro.errors import EngineUnavailable
+        from repro.runtime.vector import NUMPY_AVAILABLE
+
         for name in ENGINE_NAMES:
-            if name != "equivalence":
-                build_engine(name, WorkerState(DESIGNS).handles("echo"),
-                             job())
+            if name == "equivalence":
+                continue
+            if name == "vector" and not NUMPY_AVAILABLE:
+                # Registered, but degrades without the optional numpy.
+                with pytest.raises(EngineUnavailable):
+                    build_engine(name, WorkerState(DESIGNS).handles("echo"),
+                                 job())
+                continue
+            build_engine(name, WorkerState(DESIGNS).handles("echo"),
+                         job())
 
     def test_unknown_engine_name(self, state):
         with pytest.raises(EclError, match="unknown engine"):
