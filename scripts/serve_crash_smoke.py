@@ -1,0 +1,162 @@
+"""CI smoke test for crash recovery: SIGKILL mid-batch, then resume.
+
+Starts ``eclc serve`` with a durable data root, submits a batch over
+HTTP, SIGKILLs the server while the batch is partially complete, and
+restarts it with ``--recover`` (the default) on the same data root.
+The revived service must re-admit the unfinished batch from its
+journal, replay the rows that were already recorded, re-execute only
+the missing jobs, and stream a stable NDJSON serialization that is
+byte-identical to ``eclc farm run`` of the same spec — as if the
+crash never happened.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_crash_smoke.py
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.cli import main as eclc  # noqa: E402
+from repro.designs import PROTOCOL_STACK_ECL  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+#: ~20 jobs at ~10 ms each: a wide-enough window to land the SIGKILL
+#: between the first recorded row and batch completion.
+SPEC_JOBS = [
+    {"design": "stack", "modules": ["toplevel"],
+     "engines": ["native", "efsm"], "traces": 10, "length": 400,
+     "seed": 7},
+]
+
+STABLE_VOLATILE = ("elapsed", "trace_path", "worker_pid")
+
+
+def stable_bytes(row):
+    payload = {key: value for key, value in row.items()
+               if key not in STABLE_VOLATILE}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def start_server(data_root):
+    """Launch ``eclc serve`` on a free port; returns (process, port,
+    banner lines printed before the listen announcement)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--data-root", data_root, "-j", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
+    )
+    banner = []
+    for _ in range(5):  # recovery summary may precede the listen line
+        line = process.stdout.readline()
+        if not line:
+            break
+        banner.append(line.rstrip("\n"))
+        match = re.search(r"listening on [^:]+:(\d+)", line)
+        if match:
+            return process, int(match.group(1)), banner
+    process.kill()
+    raise SystemExit("serve did not announce a port: %r" % banner)
+
+
+def kill_mid_batch(process, client, batch_id, total):
+    """Poll until the batch is partially complete, then SIGKILL."""
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        completed = client.batch_status(batch_id)["completed"]
+        if completed >= 2:
+            break
+        time.sleep(0.005)
+    else:
+        raise SystemExit("batch never made progress")
+    process.kill()  # SIGKILL: no atexit, no flush, no goodbye
+    process.wait(timeout=30)
+    assert completed < total, (
+        "batch finished (%d/%d) before the kill landed; widen the "
+        "spec" % (completed, total))
+    print("crash smoke: killed server at %d/%d rows"
+          % (completed, total))
+
+
+def run():
+    workdir = tempfile.mkdtemp(prefix="serve-crash-smoke-")
+    data_root = os.path.join(workdir, "serve-data")
+    document = {
+        "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
+        "jobs": [dict(entry) for entry in SPEC_JOBS],
+    }
+
+    process, port, _ = start_server(data_root)
+    killed = False
+    try:
+        client = ServeClient(port=port)
+        admitted = client.submit(document)
+        batch_id, total = admitted["batch"], admitted["jobs"]
+        kill_mid_batch(process, client, batch_id, total)
+        killed = True
+    finally:
+        if not killed and process.poll() is None:
+            process.kill()
+
+    # restart on the same data root: --recover is the default
+    process, port, banner = start_server(data_root)
+    try:
+        recovery = [line for line in banner if "recovered" in line]
+        assert recovery, "no recovery banner in %r" % banner
+        print("crash smoke: %s" % recovery[0])
+
+        client = ServeClient(port=port)
+        streamed = sorted(client.stream_results(batch_id, stable=True),
+                          key=lambda row: row["index"])
+        health = client.health()
+        assert health["ok"], "revived service is not healthy: %r" % health
+        client.shutdown()
+        process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    # fault-free ground truth: the same spec straight through the farm
+    stack_path = os.path.join(workdir, "stack.ecl")
+    with open(stack_path, "w") as handle:
+        handle.write(PROTOCOL_STACK_ECL)
+    spec_path = os.path.join(workdir, "batch.json")
+    with open(spec_path, "w") as handle:
+        json.dump({"workers": 1, "ledger": "direct-ledger",
+                   "designs": {"stack": stack_path},
+                   "jobs": SPEC_JOBS}, handle)
+    report_path = os.path.join(workdir, "report.json")
+    rc = eclc(["farm", "run", "--spec", spec_path,
+               "--report", report_path])
+    assert rc == 0, "eclc farm run exited %d" % rc
+    with open(report_path) as handle:
+        direct = sorted(json.load(handle)["results"],
+                        key=lambda row: row["index"])
+
+    assert len(streamed) == len(direct) == total, (
+        "expected %d rows, got %d streamed / %d direct"
+        % (total, len(streamed), len(direct)))
+    bad = [row["status"] for row in streamed if row["status"] != "ok"]
+    assert not bad, "non-ok rows after recovery: %r" % bad
+    for service_row, farm_row in zip(streamed, direct):
+        left = json.dumps(service_row, sort_keys=True,
+                          separators=(",", ":"))
+        right = stable_bytes(farm_row)
+        assert left == right, (
+            "row %d diverged after recovery:\n  serve: %s\n  farm:  %s"
+            % (service_row["index"], left, right))
+    print("crash smoke: %d rows byte-identical to eclc farm run "
+          "after SIGKILL + recovery" % len(streamed))
+
+
+if __name__ == "__main__":
+    run()

@@ -165,6 +165,14 @@ def _build_parser():
                        help="bounded job-queue depth; a batch that "
                             "does not fit is rejected queue_full "
                             "(default 1024)")
+    serve.add_argument("--recover", dest="recover", action="store_true",
+                       default=True,
+                       help="replay the batch journal on startup, "
+                            "resuming batches interrupted by a crash "
+                            "(default with a --data-root)")
+    serve.add_argument("--no-recover", dest="recover",
+                       action="store_false",
+                       help="skip journal replay on startup")
     serve.add_argument("--max-attempts", type=int, default=None,
                        help="total tries a job gets across "
                             "worker-death retries (default 3)")
@@ -184,6 +192,14 @@ def _build_parser():
                         help="tenant namespace (default: 'default')")
     submit.add_argument("--priority", type=int, default=0,
                         help="batch priority (higher runs earlier)")
+    submit.add_argument("--retries", type=int, default=0,
+                        help="retry a 429/503 rejection (or a connection "
+                             "failure) up to N times with exponential "
+                             "backoff (default 0: fail fast)")
+    submit.add_argument("--retry-backoff", type=float, default=None,
+                        metavar="SECONDS",
+                        help="first retry delay; doubles per attempt, "
+                             "capped at 2s (default 0.2)")
     submit.add_argument("--watch", action="store_true",
                         help="stream results until the batch completes")
     submit.add_argument("--stable", action="store_true",
@@ -491,7 +507,19 @@ def _cmd_serve(args):
         else DEFAULT_QUEUE_DEPTH,
         max_attempts=args.max_attempts if args.max_attempts is not None
         else DEFAULT_MAX_ATTEMPTS,
+        recover=args.recover,
     )
+    summary = service.recovery
+    if summary is not None and (summary["recovered_batches"]
+                                or summary["torn_lines"]
+                                or summary["failed_batches"]):
+        print("eclc serve: recovered %d batch(es) from the journal "
+              "(%d row(s) replayed, %d job(s) resumed, %d torn line(s)"
+              ", %d failed)"
+              % (summary["recovered_batches"], summary["replayed_rows"],
+                 summary["resumed_jobs"], summary["torn_lines"],
+                 summary["failed_batches"]),
+              flush=True)
     # Bind before announcing: with --port 0 the OS picks the port.
     server = make_server(service, host=host, port=port,
                          verbose=args.verbose)
@@ -515,7 +543,9 @@ def _cmd_submit(args):
                          port=args.port if args.port is not None
                          else DEFAULT_PORT)
     admitted = client.submit(document, tenant=args.tenant,
-                             priority=args.priority)
+                             priority=args.priority,
+                             retries=args.retries,
+                             retry_backoff=args.retry_backoff)
     print("batch %s: %d job(s) admitted (tenant %s, priority %d)"
           % (admitted["batch"], admitted["jobs"], admitted["tenant"],
              admitted["priority"]))

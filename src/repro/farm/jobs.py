@@ -163,6 +163,11 @@ class SimJob:
     #: bundle).  Like properties, only enters the job identity when
     #: set, so pre-existing job ids (and their traces) stay stable.
     task_engine: str = ""
+    #: serving QoS only: max seconds the job may wait in the service
+    #: queue before it is refused (0 = no deadline).  Execution policy,
+    #: not identity — deliberately excluded from ``job_id``, so the
+    #: same job with or without a deadline produces the same trace.
+    deadline_s: float = 0.0
 
     def __post_init__(self):
         if self.engine not in ENGINE_NAMES:

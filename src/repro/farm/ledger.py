@@ -37,6 +37,7 @@ import json
 import os
 import re
 import tempfile
+import warnings
 from typing import Iterator, List, Optional
 
 from ..errors import EclError
@@ -75,6 +76,10 @@ class TraceLedger:
     def __init__(self, root=None, tenant=None):
         self.root = root or default_ledger_root()
         self.tenant = check_tenant(tenant) if tenant is not None else None
+        #: test seam: ``fault_hook(op, key)`` runs before each write
+        #: and may raise OSError to simulate a failed ledger write (the
+        #: chaos harness's storage-fault injection point).
+        self.fault_hook = None
         os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
 
     def for_tenant(self, tenant):
@@ -101,6 +106,8 @@ class TraceLedger:
         produce (:func:`repro.farm.engines.make_record`).  The object
         is written atomically; the index gains one line.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("put", job.job_id)
         header = {
             "job_id": job.job_id,
             "design": job.design,
@@ -148,14 +155,27 @@ class TraceLedger:
         return list(self.iter_entries())
 
     def iter_entries(self) -> Iterator[dict]:
+        """Index records in append order.  An undecodable line — in
+        practice only a torn final line from a crash mid-append, since
+        appends are single ``O_APPEND`` writes — is skipped with a
+        warning instead of poisoning every read of the shard."""
         index = self._index_path()
         if not os.path.exists(index):
             return
         with open(index) as handle:
-            for line in handle:
+            for number, line in enumerate(handle, 1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except ValueError:
+                    warnings.warn(
+                        "ledger index %s line %d is not valid JSON "
+                        "(torn write?); skipping" % (index, number),
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
     def find(self, job_id) -> Optional[dict]:
         """Latest index record for ``job_id`` (None if never run)."""

@@ -39,11 +39,14 @@ module x engine x trace replicate becomes one
 Optional per-entry keys: ``seed``, ``horizon``, ``present_prob``,
 ``value_range``, ``vcd`` (record waveforms), ``tasks`` (rtos
 partitions, ``[[task, module, priority, {formal: network}], ...]``
-with priority and the binding map optional) and ``task_engine``
-("efsm", "native" or "interp" — what runs inside each rtos task).
-Farm-level keys: ``workers``, ``chunk_size``, ``ledger`` and
-``cache_dir`` (persistent shared code cache, resolved against the
-spec location).
+with priority and the binding map optional), ``task_engine``
+("efsm", "native" or "interp" — what runs inside each rtos task) and
+``deadline_s`` (serving QoS: max seconds a job may wait in the service
+queue before it is refused; ignored by local farm runs and excluded
+from job identity).  Farm-level keys: ``workers``, ``chunk_size``,
+``ledger`` and ``cache_dir`` (persistent shared code cache, resolved
+against the spec location); the serving layer additionally honors a
+top-level ``ttl_s`` (batch time-to-live once admitted).
 """
 
 from __future__ import annotations
@@ -233,6 +236,12 @@ def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
         )
         tasks = _task_specs(entry.get("tasks"))
         task_engine = str(entry.get("task_engine", "") or "")
+        deadline_s = float(entry.get("deadline_s", 0) or 0)
+        if deadline_s < 0:
+            raise EclError(
+                'farm spec %s: jobs[%d]: "deadline_s" must be >= 0, '
+                "got %r" % (spec_path, position, entry["deadline_s"])
+            )
         for module in modules:
             for engine in engines:
                 for _ in range(traces):
@@ -247,6 +256,7 @@ def _expand_entries(entries, designs, spec_path) -> List[SimJob]:
                             record_vcd=bool(entry.get("vcd", False)),
                             tasks=tasks,
                             task_engine=task_engine if engine == "rtos" else "",
+                            deadline_s=deadline_s,
                         )
                     )
                     index += 1

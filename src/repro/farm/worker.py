@@ -56,6 +56,7 @@ class WorkerState:
         cache_dir=None,
         cache=None,
         tenant=None,
+        raise_storage_errors=False,
     ):
         #: design label -> ECL source text
         self.designs = dict(designs)
@@ -83,6 +84,13 @@ class WorkerState:
                 enable_code_cache(None)
         self.cache_dir = cache_dir
         self.tenant = tenant
+        #: serving mode: let storage-layer OSErrors (ledger writes)
+        #: escape run_job instead of becoming error rows, so the
+        #: serving pool's bounded-backoff retry gets a shot at a
+        #: transient disk fault before any row is corrupted.  The farm
+        #: keeps the old behavior (error rows) — a batch run has no
+        #: retry layer above it.
+        self.raise_storage_errors = raise_storage_errors
         self.pipeline = Pipeline(options=self.options, cache=cache)
         if ledger_root:
             self.ledger = TraceLedger(ledger_root, tenant=tenant)
@@ -252,6 +260,11 @@ class WorkerState:
         except EclError as error:
             result.status = STATUS_ERROR
             result.error = str(error)
+        except OSError:
+            if self.raise_storage_errors:
+                raise
+            result.status = STATUS_ERROR
+            result.error = traceback.format_exc(limit=4)
         except Exception:
             result.status = STATUS_ERROR
             result.error = traceback.format_exc(limit=4)
@@ -317,6 +330,11 @@ class WorkerState:
             except EclError as error:
                 result.status = STATUS_ERROR
                 result.error = str(error)
+            except OSError:
+                if self.raise_storage_errors:
+                    raise
+                result.status = STATUS_ERROR
+                result.error = traceback.format_exc(limit=4)
             except Exception:
                 result.status = STATUS_ERROR
                 result.error = traceback.format_exc(limit=4)

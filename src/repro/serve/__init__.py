@@ -20,7 +20,16 @@ compile tax dominates.  This package keeps the farm *resident*:
   feeds, graceful draining shutdown;
 * :mod:`repro.serve.api` / :mod:`repro.serve.client` — the stdlib
   HTTP/JSON surface (submit, poll, NDJSON result streams, trace
-  fetch) and its :mod:`http.client` counterpart.
+  fetch, ``/v1/health``) and its :mod:`http.client` counterpart,
+  which retries idempotent GETs and reconnects result streams across
+  transient transport faults;
+* :mod:`repro.serve.journal` — the durability rung: a per-tenant
+  append-only WAL of batch admissions and stable result rows, replayed
+  on startup so a ``kill -9`` mid-batch recovers with zero lost and
+  zero duplicated jobs;
+* :mod:`repro.serve.chaos` — seeded deterministic fault injection
+  (worker crashes, slow jobs, journal/ledger write errors, queue
+  stalls) driving the robustness test suite.
 
 Entry points: ``eclc serve`` runs the service, ``eclc submit`` inlines
 a spec file's designs and submits it over HTTP.  Determinism carries
@@ -31,20 +40,25 @@ from job identity alone.
 """
 
 from .api import DEFAULT_HOST, DEFAULT_PORT, make_server, serve_forever
+from .chaos import FaultPlan, InjectedCrash
 from .client import ServeClient
-from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool
+from .journal import BatchJournal
+from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool, backoff_delay
 from .queue import DEFAULT_QUEUE_DEPTH, JobQueue, QueueEntry, QueueFullError
 from .service import (DEFAULT_TENANT, DEFAULT_WORKERS, Batch,
                       SimulationService, TenantSpace)
 
 __all__ = [
     "Batch",
+    "BatchJournal",
     "DEFAULT_HOST",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_PORT",
     "DEFAULT_QUEUE_DEPTH",
     "DEFAULT_TENANT",
     "DEFAULT_WORKERS",
+    "FaultPlan",
+    "InjectedCrash",
     "JobQueue",
     "QueueEntry",
     "QueueFullError",
@@ -52,6 +66,7 @@ __all__ = [
     "SimulationService",
     "TenantSpace",
     "WorkerPool",
+    "backoff_delay",
     "make_server",
     "serve_forever",
 ]

@@ -6,6 +6,10 @@ the compiler runs.  The surface, all under ``/v1``:
 
 ============================================  ==============================
 ``GET  /v1/healthz``                          liveness probe
+``GET  /v1/health``                           readiness: queue depth,
+                                              quarantine/deadline counters,
+                                              recovery summary (503 when
+                                              draining)
 ``GET  /v1/status``                           queue/pool/tenant/batch stats
 ``POST /v1/batches``                          submit one batch document
 ``GET  /v1/batches/<id>``                     poll one batch's progress
@@ -82,6 +86,12 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             if parts == ["v1", "healthz"]:
                 self._send_json(200, {"ok": True})
+            elif parts == ["v1", "health"]:
+                health = self.service.health_dict()
+                # 503 while draining: a load balancer (or a retrying
+                # client) reads readiness from the status code alone.
+                self._send_json(200 if health["accepting"] else 503,
+                                health)
             elif parts == ["v1", "status"]:
                 self._send_json(200, self.service.status_dict())
             elif len(parts) == 3 and parts[:2] == ["v1", "batches"]:

@@ -1,0 +1,221 @@
+"""Deterministic fault injection for the serving layer.
+
+The robustness claims of :mod:`repro.serve` — zero lost rows, zero
+duplicated rows, bounded retries, quarantine instead of hangs — are
+only claims until something actually fails.  This module is the
+failure generator: a :class:`FaultPlan` drives every fault seam the
+stack exposes
+
+* ``WorkerPool.fault_hook`` — worker crashes *before* a job's result
+  is recorded (and slow jobs, injected as sleeps at the same point);
+* ``WorkerPool.post_fault_hook`` — crashes *after* the result was
+  recorded and journaled: the crash-after-record window the dedup
+  machinery must absorb without duplicating a row;
+* ``JobQueue.fault_hook`` — dequeue stalls (scheduling jitter);
+* ``BatchJournal.fault_hook`` — journal append ``OSError``\\ s
+  (best-effort durability degrades, live results must not);
+* ``TraceLedger.fault_hook`` — trace-store write ``OSError``\\ s,
+  which the serving worker state escalates into worker deaths so the
+  pool's bounded backoff retries them
+
+from one integer seed.  Every decision is a pure function of
+``(seed, scope, key, occurrence)`` where ``key`` identifies the job
+(or batch) and ``occurrence`` counts that key's own visits to the
+seam — never of wall-clock time, thread identity, or global call
+order.  Two runs of the same plan over the same batch therefore
+inject the *same* faults at the *same* per-job points regardless of
+how the worker threads interleave, which is what lets the chaos suite
+assert exact outcomes instead of statistical ones.
+
+Crash decisions are bounded by ``crash_limit`` (occurrences per job),
+kept below the pool's ``max_attempts`` by default so every injected
+crash is survivable and the batch still completes with correct rows.
+A plan with ``crash_limit=None`` removes the bound — the poison-job
+mode that drives a job into quarantine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Dict, Optional
+
+#: Raised by the crash hooks: distinguishable from real bugs in the
+#: execute path when a chaos test inspects quarantine error text.
+class InjectedCrash(RuntimeError):
+    """A fault-plan-scheduled worker crash."""
+
+
+def decision_fraction(seed, scope, key, occurrence):
+    """Deterministic uniform fraction in [0, 1) for one fault decision.
+
+    Pure in ``(seed, scope, key, occurrence)`` — the whole determinism
+    contract of the harness lives in this function.
+    """
+    digest = hashlib.sha256(
+        ("%d:%s:%s:%d" % (seed, scope, key, occurrence)).encode("utf-8")
+    ).hexdigest()
+    return int(digest[:12], 16) / float(0x1000000000000)
+
+
+class FaultPlan:
+    """One seeded, reproducible schedule of injected faults.
+
+    Probabilities are per *seam visit* (per attempt, per append, per
+    dequeue), decided deterministically per job/batch key.  ``install``
+    wires the plan into a live ``SimulationService``; ``uninstall``
+    detaches it.  ``injected`` counts what actually fired, keyed by
+    scope — a chaos test asserts both the service outcome *and* that
+    the plan really exercised the seams it claims to.
+    """
+
+    SCOPES = ("crash", "post_crash", "slow", "stall", "journal", "ledger")
+
+    def __init__(self, seed, crash_prob=0.0, crash_limit=2,
+                 post_crash_prob=0.0, post_crash_limit=1,
+                 slow_prob=0.0, slow_s=0.01,
+                 stall_prob=0.0, stall_s=0.005,
+                 journal_prob=0.0, journal_limit=None,
+                 ledger_prob=0.0, ledger_limit=1):
+        self.seed = int(seed)
+        self.crash_prob = crash_prob
+        self.crash_limit = crash_limit
+        self.post_crash_prob = post_crash_prob
+        self.post_crash_limit = post_crash_limit
+        self.slow_prob = slow_prob
+        self.slow_s = slow_s
+        self.stall_prob = stall_prob
+        self.stall_s = stall_s
+        self.journal_prob = journal_prob
+        self.journal_limit = journal_limit
+        self.ledger_prob = ledger_prob
+        self.ledger_limit = ledger_limit
+        #: scope -> how many faults actually fired.
+        self.injected: Dict[str, int] = {scope: 0 for scope in self.SCOPES}
+        self._occurrences: Dict[tuple, int] = {}
+        self._lock = threading.Lock()
+        self._service = None
+        self._wrapped_space = None
+
+    # -- decisions -----------------------------------------------------
+
+    def _decide(self, scope, key, prob, limit) -> bool:
+        """One seam visit for ``(scope, key)``: bump that key's own
+        occurrence counter and decide.  The counter makes repeated
+        visits (retries of one job) see fresh — but still fully
+        deterministic — draws, and ``limit`` bounds how many times the
+        fault may fire for one key."""
+        if prob <= 0.0:
+            return False
+        with self._lock:
+            occurrence = self._occurrences.get((scope, key), 0) + 1
+            self._occurrences[(scope, key)] = occurrence
+            if limit is not None and occurrence > limit:
+                return False
+            if decision_fraction(self.seed, scope, key, occurrence) >= prob:
+                return False
+            self.injected[scope] += 1
+            return True
+
+    @staticmethod
+    def _job_key(entry):
+        return getattr(entry.job, "job_id", None) or repr(entry.job)
+
+    # -- seam hooks ----------------------------------------------------
+
+    def on_execute(self, entry):
+        """``WorkerPool.fault_hook``: slow the job, then maybe crash
+        the worker before any result is recorded."""
+        key = self._job_key(entry)
+        if self._decide("slow", key, self.slow_prob, None):
+            time.sleep(self.slow_s)
+        if self._decide("crash", key, self.crash_prob, self.crash_limit):
+            raise InjectedCrash("chaos: worker crash before result "
+                                "(job %s)" % key[:12])
+
+    def on_recorded(self, entry):
+        """``WorkerPool.post_fault_hook``: crash *after* the result was
+        recorded and journaled — the retry must dedupe, not re-run."""
+        key = self._job_key(entry)
+        if self._decide("post_crash", key, self.post_crash_prob,
+                        self.post_crash_limit):
+            raise InjectedCrash("chaos: worker crash after record "
+                                "(job %s)" % key[:12])
+
+    def on_dequeue(self, entry):
+        """``JobQueue.fault_hook``: stall a dequeue (scheduling
+        jitter)."""
+        if self._decide("stall", self._job_key(entry), self.stall_prob,
+                        None):
+            time.sleep(self.stall_s)
+
+    def on_journal(self, kind, key):
+        """``BatchJournal.fault_hook``: fail an append with OSError.
+
+        Row appends key on the (stable) job id; admit/end appends key
+        on the kind alone — their natural key, the batch id, is a
+        fresh uuid every run and would break seed reproducibility."""
+        decision_key = "%s/%s" % (kind, key) if kind == "row" else kind
+        if self._decide("journal", decision_key,
+                        self.journal_prob, self.journal_limit):
+            raise OSError("chaos: injected journal %s append failure"
+                          % kind)
+
+    def on_ledger(self, op, key):
+        """``TraceLedger.fault_hook``: fail a trace write with OSError
+        (escalates to a worker death under the serving worker state,
+        so the pool retries it)."""
+        if self._decide("ledger", "%s/%s" % (op, key), self.ledger_prob,
+                        self.ledger_limit):
+            raise OSError("chaos: injected ledger %s failure" % op)
+
+    # -- wiring --------------------------------------------------------
+
+    def install(self, service):
+        """Attach this plan to every fault seam of ``service``.
+
+        Tenant ledgers are created lazily, so the plan also shims the
+        service's tenant lookup to hook each ledger as it appears.
+        Returns ``self`` (so tests can ``plan = FaultPlan(...).
+        install(service)``)."""
+        if self._service is not None:
+            raise RuntimeError("FaultPlan is already installed")
+        self._service = service
+        service.pool.fault_hook = self.on_execute
+        service.pool.post_fault_hook = self.on_recorded
+        service.queue.fault_hook = self.on_dequeue
+        if service.journal is not None:
+            service.journal.fault_hook = self.on_journal
+        self._wrapped_space = service._space
+
+        def space_with_ledger_hook(tenant):
+            space = self._wrapped_space(tenant)
+            if space.ledger is not None:
+                space.ledger.fault_hook = self.on_ledger
+            return space
+
+        service._space = space_with_ledger_hook
+        return self
+
+    def uninstall(self):
+        """Detach from the service, restoring every seam to None."""
+        service, self._service = self._service, None
+        if service is None:
+            return
+        service.pool.fault_hook = None
+        service.pool.post_fault_hook = None
+        service.queue.fault_hook = None
+        if service.journal is not None:
+            service.journal.fault_hook = None
+        service._space = self._wrapped_space
+        self._wrapped_space = None
+        with service._lock:
+            spaces = list(service._tenants.values())
+        for space in spaces:
+            if space.ledger is not None:
+                space.ledger.fault_hook = None
+
+    def describe(self):
+        fired = {k: v for k, v in self.injected.items() if v}
+        return "FaultPlan(seed=%d, injected=%r)" % (self.seed, fired)

@@ -7,31 +7,77 @@ recorded traces.  Backpressure and shutdown surface as typed errors
 (:class:`~repro.serve.queue.QueueFullError`,
 :class:`~repro.errors.EclError`) so callers handle ``queue_full`` the
 same way whether they hit the service in-process or over the wire.
+
+Transient transport faults are the client's own fault model: the
+service restarting (crash recovery), a connection reset under load, a
+not-yet-listening socket.  Idempotent GETs retry automatically with
+capped exponential backoff instead of failing a long watch loop on
+the first ``ConnectionResetError``; the result stream reconnects and
+skips the rows it already yielded (the service replays a batch's
+results in recorded order, so a line count is a resume cursor).
+``submit`` is *not* idempotent and never retries silently — callers
+opt in via ``retries=`` (the ``eclc submit --retries`` flag), which
+retries only the responses that explicitly invite it: ``429
+queue_full`` and ``503`` draining.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Iterator
 
 from ..errors import EclError
 from .api import DEFAULT_HOST, DEFAULT_PORT
 from .queue import QueueFullError
 
+#: Transparent retry budget for idempotent GETs (total tries = 1 + N).
+DEFAULT_GET_RETRIES = 3
+
+#: First retry delay (seconds); doubles per attempt up to the cap.
+DEFAULT_RETRY_BACKOFF = 0.2
+RETRY_BACKOFF_CAP = 2.0
+
 
 class ServeClient:
     """One service endpoint; connections are per-call (HTTP/1.0)."""
 
-    def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT, timeout=60.0):
+    def __init__(self, host=DEFAULT_HOST, port=DEFAULT_PORT, timeout=60.0,
+                 get_retries=DEFAULT_GET_RETRIES,
+                 retry_backoff=DEFAULT_RETRY_BACKOFF):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.get_retries = max(0, get_retries)
+        self.retry_backoff = retry_backoff
 
     # -- core ----------------------------------------------------------
 
+    def _retry_delay(self, attempt):
+        return min(RETRY_BACKOFF_CAP,
+                   self.retry_backoff * (2 ** max(0, attempt - 1)))
+
     def _request(self, method, path, body=None):
-        """``(status, parsed-JSON)`` of one non-streaming request."""
+        """``(status, parsed-JSON)`` of one non-streaming request.
+
+        GETs are idempotent: transient transport errors (connection
+        refused/reset, timeouts) retry with capped backoff before
+        surfacing as :class:`EclError`.  Anything else gets one try.
+        """
+        tries = 1 + (self.get_retries if method == "GET" else 0)
+        for attempt in range(1, tries + 1):
+            try:
+                return self._request_once(method, path, body)
+            except (OSError, http.client.HTTPException) as error:
+                if attempt >= tries:
+                    raise EclError(
+                        "cannot reach simulation service at %s:%d: %s"
+                        % (self.host, self.port, error)
+                    )
+                time.sleep(self._retry_delay(attempt))
+
+    def _request_once(self, method, path, body=None):
         connection = self._connect()
         try:
             payload = None
@@ -53,17 +99,19 @@ class ServeClient:
         return response.status, parsed
 
     def _connect(self):
-        try:
-            connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-            connection.connect()
-            return connection
-        except OSError as error:
-            raise EclError(
-                "cannot reach simulation service at %s:%d: %s"
-                % (self.host, self.port, error)
-            )
+        """One raw connection; transport errors propagate as OSError
+        (the retrying callers decide how to surface them)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        connection.connect()
+        return connection
+
+    def _unreachable(self, error):
+        return EclError(
+            "cannot reach simulation service at %s:%d: %s"
+            % (self.host, self.port, error)
+        )
 
     @staticmethod
     def _check(status, payload):
@@ -79,19 +127,50 @@ class ServeClient:
     # -- surface -------------------------------------------------------
 
     def healthz(self) -> bool:
-        status, payload = self._request("GET", "/v1/healthz")
+        try:
+            status, payload = self._request("GET", "/v1/healthz")
+        except EclError:
+            return False
         return status == 200 and bool(payload.get("ok"))
+
+    def health(self) -> dict:
+        """The ``/v1/health`` readiness payload (returned even on the
+        503 a draining service answers with — the payload says why)."""
+        status, payload = self._request("GET", "/v1/health")
+        if status >= 400 and "accepting" not in payload:
+            self._check(status, payload)
+        return payload
 
     def status(self) -> dict:
         return self._check(*self._request("GET", "/v1/status"))
 
-    def submit(self, spec, tenant="default", priority=0) -> dict:
+    def submit(self, spec, tenant="default", priority=0, retries=0,
+               retry_backoff=None) -> dict:
         """Submit one batch document (designs inline); returns the
-        service's ``{"batch": ..., "jobs": ...}`` admission record."""
-        return self._check(*self._request(
-            "POST", "/v1/batches",
-            body={"spec": spec, "tenant": tenant, "priority": priority},
-        ))
+        service's ``{"batch": ..., "jobs": ...}`` admission record.
+
+        ``retries`` > 0 opts in to retrying the two retryable
+        rejections — ``429 queue_full`` (backpressure) and ``503``
+        (draining/restarting) — with capped exponential backoff.
+        Submission is not idempotent, so nothing retries silently."""
+        backoff = self.retry_backoff if retry_backoff is None else retry_backoff
+        body = {"spec": spec, "tenant": tenant, "priority": priority}
+        tries = 1 + max(0, retries)
+        for attempt in range(1, tries + 1):
+            try:
+                status, payload = self._request_once(
+                    "POST", "/v1/batches", body=body
+                )
+            except (OSError, http.client.HTTPException) as error:
+                # Connection-level failure before the service saw the
+                # body: nothing was admitted, safe to retry.
+                if attempt >= tries:
+                    raise self._unreachable(error)
+            else:
+                if status not in (429, 503) or attempt >= tries:
+                    return self._check(status, payload)
+            time.sleep(min(RETRY_BACKOFF_CAP,
+                           backoff * (2 ** (attempt - 1))))
 
     def batch_status(self, batch_id) -> dict:
         return self._check(*self._request(
@@ -100,11 +179,36 @@ class ServeClient:
 
     def stream_results(self, batch_id, stable=False) -> Iterator[dict]:
         """Yield one result dict per completed job, as the service
-        streams them; the generator ends when the batch is done."""
+        streams them; the generator ends when the batch is done.
+
+        A dropped connection mid-stream (service restart, reset)
+        reconnects with backoff and skips the rows already yielded:
+        the service streams a batch's results in recorded order, so
+        the yield count is an exact resume cursor and no caller ever
+        sees a duplicated or skipped row."""
         path = "/v1/batches/%s/results" % batch_id
         if stable:
             path += "?stable=1"
+        served = 0
+        for attempt in range(1, self.get_retries + 2):
+            try:
+                for row in self._stream_once(path, served):
+                    served += 1
+                    yield row
+            except (OSError, http.client.HTTPException, ValueError) as error:
+                if attempt >= self.get_retries + 1:
+                    raise self._unreachable(error)
+                time.sleep(self._retry_delay(attempt))
+                continue
+            return  # clean end of stream: the batch is drained
+
+    def _stream_once(self, path, skip):
+        """One streaming connection; yields parsed rows past ``skip``
+        (the caller's resume cursor).  Transport errors and torn
+        NDJSON tails (a line cut by the disconnect) raise for the
+        caller's reconnect loop."""
         connection = self._connect()
+        seen = 0
         try:
             connection.request("GET", path)
             response = connection.getresponse()
@@ -118,10 +222,15 @@ class ServeClient:
                 self._check(response.status, payload)
             for line in response:
                 line = line.strip()
-                if line:
-                    yield json.loads(line)
+                if not line:
+                    continue
+                row = json.loads(line)  # torn tail raises ValueError
+                seen += 1
+                if seen > skip:
+                    yield row
         finally:
             connection.close()
+        return True
 
     def fetch_trace(self, tenant, digest) -> dict:
         return self._check(*self._request(

@@ -1,0 +1,270 @@
+"""BatchJournal: the serving layer's durable write-ahead log.
+
+Everything :class:`~repro.serve.service.SimulationService` knows about
+a batch used to live in process memory — a crash (or a plain
+``kill -9``) lost every queued and in-flight job.  The journal is the
+durability rung under the service: an append-only, per-tenant JSONL
+WAL at ``<root>/<tenant>.jsonl`` recording three kinds of line:
+
+* ``admit`` — one batch was accepted: its id, priority, TTL, the full
+  spec envelope (designs inline, exactly what :func:`~repro.farm.spec.
+  expand_document` consumes) and the expanded job ids.  Written
+  *before* results can land, so a row never references an unknown
+  batch on replay;
+* ``row`` — one job completed: the batch id, the job id, and the
+  job's **stable** result serialization
+  (:meth:`~repro.farm.jobs.SimResult.to_dict` with ``volatile=False``)
+  — the byte-reproducible payload, so a replayed row is
+  indistinguishable from a re-executed one;
+* ``end`` — the batch closed (completed, cancelled, or rejected after
+  its admit line was already durable); replay skips ended batches
+  entirely.
+
+Each line is a single ``O_APPEND`` write, the same discipline as
+:class:`~repro.farm.ledger.TraceLedger` index shards: concurrent
+worker threads never interleave partial records, and the only possible
+corruption is a *torn tail* — the final line cut short by the crash
+itself.  :meth:`BatchJournal.replay` therefore tolerates undecodable
+lines (skip and warn, never raise) and dedupes repeated ``row`` lines
+for one job id, which makes replay idempotent: a crash wedged between
+"result journaled" and "result delivered" re-runs nothing and
+duplicates nothing.
+
+Fault injection: like :class:`~repro.serve.pool.WorkerPool`, the
+journal exposes a ``fault_hook`` seam (``fault_hook(kind, key)``,
+called before each append) the chaos harness uses to inject write
+``OSError``\\ s.  The service treats journal appends as best-effort
+durability — an append failure degrades crash recovery for that one
+record (the job would re-run, deterministically), never the live
+result stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from typing import Dict, List, Optional
+
+from ..farm.ledger import check_tenant
+
+#: Journal record kinds, in lifecycle order.
+KIND_ADMIT = "admit"
+KIND_ROW = "row"
+KIND_END = "end"
+
+
+class BatchRecord:
+    """One batch's replayed journal state."""
+
+    __slots__ = ("batch_id", "priority", "ttl_s", "spec", "job_ids",
+                 "rows", "ended", "end_reason")
+
+    def __init__(self, batch_id, spec, job_ids, priority=0, ttl_s=None):
+        self.batch_id = batch_id
+        self.spec = spec
+        self.job_ids = list(job_ids)
+        self.priority = priority
+        self.ttl_s = ttl_s
+        #: job_id -> stable result row (first occurrence wins).
+        self.rows: Dict[str, dict] = {}
+        self.ended = False
+        self.end_reason: Optional[str] = None
+
+    @property
+    def complete(self):
+        """Every admitted job has a journaled row."""
+        return set(self.job_ids) <= set(self.rows)
+
+    @property
+    def pending_job_ids(self) -> List[str]:
+        return [job_id for job_id in self.job_ids
+                if job_id not in self.rows]
+
+
+class JournalReplay:
+    """What :meth:`BatchJournal.replay` recovered from one shard."""
+
+    __slots__ = ("tenant", "batches", "torn_lines", "duplicate_rows",
+                 "orphan_rows")
+
+    def __init__(self, tenant):
+        self.tenant = tenant
+        #: batch_id -> BatchRecord, in admit order.
+        self.batches: Dict[str, BatchRecord] = {}
+        self.torn_lines = 0
+        self.duplicate_rows = 0
+        self.orphan_rows = 0
+
+    def open_batches(self) -> List[BatchRecord]:
+        """Admitted batches with no ``end`` record, in admit order —
+        what the service must resurrect after a crash."""
+        return [record for record in self.batches.values()
+                if not record.ended]
+
+
+class BatchJournal:
+    """Append-only per-tenant WAL of batch admissions and results."""
+
+    def __init__(self, root):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        #: test seam: ``fault_hook(kind, key)`` runs before each append
+        #: and may raise OSError to simulate a failed journal write.
+        self.fault_hook = None
+        # One cached O_APPEND descriptor per tenant shard: appends stay
+        # single atomic writes, without paying open/close per record on
+        # the warm path.
+        self._fds: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------
+
+    def admit(self, tenant, batch_id, spec, job_ids, priority=0,
+              ttl_s=None):
+        """Journal one batch admission (spec envelope + job ids)."""
+        record = {
+            "kind": KIND_ADMIT,
+            "batch": batch_id,
+            "priority": int(priority),
+            "spec": spec,
+            "job_ids": list(job_ids),
+        }
+        if ttl_s is not None:
+            record["ttl_s"] = float(ttl_s)
+        self._append(tenant, record, key=batch_id)
+
+    def row(self, tenant, batch_id, result):
+        """Journal one job's completion as its stable result row."""
+        self._append(
+            tenant,
+            {
+                "kind": KIND_ROW,
+                "batch": batch_id,
+                "job_id": result.job_id,
+                "row": result.to_dict(volatile=False),
+            },
+            key=result.job_id,
+        )
+
+    def end(self, tenant, batch_id, reason="complete"):
+        """Journal a batch's close; replay skips ended batches."""
+        self._append(
+            tenant,
+            {"kind": KIND_END, "batch": batch_id, "reason": reason},
+            key=batch_id,
+        )
+
+    def _append(self, tenant, record, key=""):
+        if self.fault_hook is not None:
+            self.fault_hook(record["kind"], key)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        os.write(self._shard_fd(tenant), line)
+
+    def _shard_fd(self, tenant):
+        with self._lock:
+            fd = self._fds.get(tenant)
+            if fd is None:
+                fd = os.open(
+                    self.shard_path(tenant),
+                    os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                    0o644,
+                )
+                self._fds[tenant] = fd
+            return fd
+
+    def close(self):
+        """Close every cached shard descriptor (service shutdown)."""
+        with self._lock:
+            fds, self._fds = list(self._fds.values()), {}
+        for fd in fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    # -- reading -------------------------------------------------------
+
+    def shard_path(self, tenant):
+        return os.path.join(self.root, check_tenant(tenant) + ".jsonl")
+
+    def tenants(self) -> List[str]:
+        """Tenant names with a journal shard at this root."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            name[: -len(".jsonl")]
+            for name in os.listdir(self.root)
+            if name.endswith(".jsonl")
+        )
+
+    def replay(self, tenant) -> JournalReplay:
+        """Reconstruct one tenant's batch state from its shard.
+
+        Tolerates a torn tail (and any other undecodable line): the
+        bad line is skipped with a warning, never raised — a crash
+        mid-append must not take recovery down with it.  Repeated
+        ``row`` lines for one job id dedupe to the first occurrence,
+        so replay stays idempotent when a crash landed between a
+        journal append and its in-memory delivery.
+        """
+        replay = JournalReplay(tenant)
+        path = self.shard_path(tenant)
+        if not os.path.exists(path):
+            return replay
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if not isinstance(record, dict):
+                        raise ValueError("journal line is not an object")
+                except ValueError:
+                    replay.torn_lines += 1
+                    warnings.warn(
+                        "journal %s line %d: skipping undecodable "
+                        "(torn?) record" % (path, line_no),
+                        stacklevel=2,
+                    )
+                    continue
+                self._apply(replay, record)
+        return replay
+
+    @staticmethod
+    def _apply(replay, record):
+        kind = record.get("kind")
+        batch_id = record.get("batch")
+        if not batch_id:
+            replay.torn_lines += 1
+            return
+        known = replay.batches.get(batch_id)
+        if kind == KIND_ADMIT:
+            if known is None:
+                replay.batches[batch_id] = BatchRecord(
+                    batch_id,
+                    record.get("spec") or {},
+                    record.get("job_ids") or (),
+                    priority=int(record.get("priority") or 0),
+                    ttl_s=record.get("ttl_s"),
+                )
+            return
+        if known is None:
+            # row/end before its admit line: the admit append failed
+            # (injected fault or torn line).  Nothing to attach to.
+            replay.orphan_rows += 1
+            return
+        if kind == KIND_ROW:
+            job_id = record.get("job_id")
+            row = record.get("row")
+            if not job_id or not isinstance(row, dict):
+                replay.torn_lines += 1
+            elif job_id in known.rows:
+                replay.duplicate_rows += 1
+            else:
+                known.rows[job_id] = row
+        elif kind == KIND_END:
+            known.ended = True
+            known.end_reason = record.get("reason")

@@ -11,16 +11,27 @@ losing any warmth.
 Worker death is the fault model the pool exists to contain.
 ``WorkerState.run_job`` already converts *job-level* failures into
 ``status="error"`` results, so anything that escapes the execute
-callback is a *worker* fault (a harness bug, a ``MemoryError``, the
+callback is a *worker* fault (a harness bug, a ``MemoryError``, a
+storage-layer ``OSError`` escalated by the serving worker state, the
 test suite's injected crashes).  The dying worker requeues its in-hand
 entry (bounded by ``max_attempts`` total tries), reports a synthesized
 error result once the bound is exhausted — so a crashed worker degrades
 the batch rather than hanging it — and replaces itself with a fresh
 thread before exiting.
+
+Retries back off: each requeue carries an exponentially growing delay
+with *deterministic* jitter (derived from the job identity and the
+attempt number, never the wall clock or a shared RNG), so a poison job
+cannot hot-loop a worker to death, retry schedules are reproducible
+run to run, and two retrying jobs do not thundering-herd the same
+instant.  A job that exhausts ``max_attempts`` is *quarantined* by the
+service layer: reported through ``on_dead_job`` exactly once, never
+requeued again.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import traceback
 from time import monotonic
@@ -28,12 +39,35 @@ from time import monotonic
 #: Total tries a job gets before a worker-death error is reported.
 DEFAULT_MAX_ATTEMPTS = 3
 
+#: First retry delay (seconds); doubles per attempt up to the cap.
+DEFAULT_BACKOFF_BASE = 0.02
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+def backoff_delay(job_key, attempts, base=DEFAULT_BACKOFF_BASE,
+                  cap=DEFAULT_BACKOFF_CAP):
+    """Retry delay before attempt ``attempts + 1`` of one job.
+
+    Exponential in the attempt count, with up to +50% jitter derived
+    from sha256(job_key, attempts) — fully deterministic for a given
+    job identity, so chaos runs replay the identical retry schedule.
+    """
+    if attempts <= 0:
+        return 0.0
+    digest = hashlib.sha256(
+        ("%s:%d" % (job_key, attempts)).encode("utf-8")
+    ).hexdigest()
+    jitter = int(digest[:8], 16) / float(0xFFFFFFFF)
+    return min(cap, base * (2 ** (attempts - 1)) * (1.0 + 0.5 * jitter))
+
 
 class WorkerPool:
     """Self-healing thread pool over a :class:`~repro.serve.queue.JobQueue`."""
 
     def __init__(self, queue, execute, on_dead_job=None,
-                 workers=2, max_attempts=DEFAULT_MAX_ATTEMPTS):
+                 workers=2, max_attempts=DEFAULT_MAX_ATTEMPTS,
+                 backoff_base=DEFAULT_BACKOFF_BASE,
+                 backoff_cap=DEFAULT_BACKOFF_CAP):
         """``execute(entry)`` runs one queue entry to completion
         (recording its result); ``on_dead_job(entry, error)`` reports
         an entry whose retry budget is exhausted."""
@@ -44,9 +78,15 @@ class WorkerPool:
         # them (the deterministic mode the backpressure tests use).
         self.workers = max(0, workers)
         self.max_attempts = max(1, max_attempts)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         #: test seam: ``fault_hook(entry)`` runs before execute and may
         #: raise to simulate a worker crash mid-job.
         self.fault_hook = None
+        #: test seam: ``post_fault_hook(entry)`` runs *after* execute
+        #: recorded the entry's result and may raise — the
+        #: crash-after-record window the dedup machinery must absorb.
+        self.post_fault_hook = None
         self._threads = []
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -90,7 +130,7 @@ class WorkerPool:
         bounded wait re-checks both sides of the idle predicate."""
         deadline = None if timeout is None else monotonic() + timeout
         with self._idle:
-            while self._active > 0 or len(self.queue) > 0:
+            while self._active > 0 or not self.queue.is_idle():
                 wait = 0.05
                 if deadline is not None:
                     remaining = deadline - monotonic()
@@ -116,21 +156,31 @@ class WorkerPool:
                     self.fault_hook(entry)
                 self.execute(entry)
                 self.jobs_executed += 1
+                if self.post_fault_hook is not None:
+                    self.post_fault_hook(entry)
             except BaseException:
                 self._handle_death(entry, traceback.format_exc(limit=4))
                 return  # the replacement thread takes over
             finally:
+                # Balance the pop *after* any death-path requeue, so
+                # the entry is never invisible to is_idle().
+                self.queue.task_done()
                 with self._idle:
                     self._active -= 1
                     self._idle.notify_all()
 
     def _handle_death(self, entry, error_text):
-        """Requeue (bounded) or report the dying worker's entry, then
-        spawn a replacement thread."""
+        """Requeue (bounded, backing off) or report the dying worker's
+        entry, then spawn a replacement thread."""
         self.worker_deaths += 1
         entry.attempts += 1
         requeued = False
         if entry.attempts < self.max_attempts:
+            job_key = getattr(entry.job, "job_id", None) or repr(entry.job)
+            entry.not_before = monotonic() + backoff_delay(
+                job_key, entry.attempts,
+                base=self.backoff_base, cap=self.backoff_cap,
+            )
             requeued = self.queue.requeue(entry)
         if not requeued and self.on_dead_job is not None:
             self.on_dead_job(

@@ -16,6 +16,15 @@ sequence number and therefore its place in line — retries of old work
 are not penalized by later arrivals — and requeues bypass the depth
 bound: a retry must never be dropped by backpressure that admitted the
 job in the first place.
+
+Retries may carry a *backoff*: an entry whose ``not_before`` lies in
+the future is held back without blocking the entries behind it —
+:meth:`JobQueue.get` skips over backing-off entries to the first
+eligible one, and a getter with nothing eligible sleeps only until the
+earliest ``not_before`` expires.  Recovery re-admission
+(``put_batch(..., force=True)``) bypasses the depth bound the same way
+requeues do: a batch journaled as admitted before a crash already paid
+the backpressure toll.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ import heapq
 import itertools
 import threading
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import List, Optional
 
 from ..errors import EclError
@@ -52,6 +62,12 @@ class QueueEntry:
     priority: int = field(compare=False, default=0)
     seq: int = field(compare=False, default=0)
     attempts: int = field(compare=False, default=0)
+    #: monotonic() instant the entry was (first) admitted — what job
+    #: deadlines measure queue wait against.
+    admitted_at: float = field(compare=False, default=0.0)
+    #: earliest monotonic() instant the entry may dequeue (retry
+    #: backoff); 0.0 = immediately eligible.
+    not_before: float = field(compare=False, default=0.0)
 
     @classmethod
     def make(cls, job, batch=None, tenant="default", priority=0, seq=0):
@@ -62,6 +78,7 @@ class QueueEntry:
             tenant=tenant,
             priority=priority,
             seq=seq,
+            admitted_at=monotonic(),
         )
 
 
@@ -81,22 +98,34 @@ class JobQueue:
         self.admitted = 0
         self.rejected = 0
         self.requeued = 0
+        #: entries popped but not yet :meth:`task_done`'d.  Updated
+        #: under the queue lock at the pop itself, so "queued or in
+        #: flight" is one atomic predicate (:meth:`is_idle`) — there is
+        #: no instant where a live entry is counted by neither side.
+        self.in_flight = 0
+        #: test seam: ``fault_hook(entry)`` runs (outside the queue
+        #: lock) on every successful dequeue and may sleep to simulate
+        #: a queue stall.
+        self.fault_hook = None
 
     # -- intake --------------------------------------------------------
 
-    def put_batch(self, jobs, batch=None, tenant="default", priority=0):
+    def put_batch(self, jobs, batch=None, tenant="default", priority=0,
+                  force=False):
         """Admit every job of a batch, or none.
 
         Returns the admitted entries.  Raises :class:`QueueFullError`
         when the batch does not fit in the remaining depth — partially
         admitted batches would stream partial results forever, so
-        admission is all-or-nothing.
+        admission is all-or-nothing.  ``force=True`` (journal recovery
+        re-admission) bypasses the depth bound: the batch's original
+        admission already paid the backpressure toll.
         """
         jobs = list(jobs)
         with self._lock:
             if self._closed:
                 raise EclError("job queue is closed (service shutting down)")
-            if len(self._heap) + len(jobs) > self.depth:
+            if not force and len(self._heap) + len(jobs) > self.depth:
                 self.rejected += len(jobs)
                 raise QueueFullError(
                     "queue_full: %d queued + %d submitted exceeds depth %d"
@@ -133,16 +162,70 @@ class JobQueue:
     # -- draining ------------------------------------------------------
 
     def get(self, timeout=None) -> Optional[QueueEntry]:
-        """Block for the next entry.  Returns None when the queue is
-        closed and drained (the worker's signal to exit), or on
-        timeout."""
+        """Block for the next *eligible* entry.  Returns None when the
+        queue is closed and drained (the worker's signal to exit), or
+        on timeout.
+
+        An entry whose ``not_before`` lies in the future (retry
+        backoff) is skipped over, not waited on: eligible entries
+        behind it dequeue first, and a getter facing only backing-off
+        entries sleeps just until the earliest one matures.
+        """
+        deadline = None if timeout is None else monotonic() + timeout
+        entry = None
         with self._not_empty:
-            while not self._heap:
-                if self._closed:
+            while True:
+                now = monotonic()
+                entry = self._pop_eligible_locked(now)
+                if entry is not None:
+                    break
+                if self._closed and not self._heap:
                     return None
-                if not self._not_empty.wait(timeout=timeout):
-                    return None
-            return heapq.heappop(self._heap)
+                waits = []
+                if deadline is not None:
+                    remaining = deadline - now
+                    if remaining <= 0:
+                        return None
+                    waits.append(remaining)
+                if self._heap:
+                    # everything queued is backing off: sleep until
+                    # the earliest not_before matures (or a notify).
+                    earliest = min(e.not_before for e in self._heap)
+                    waits.append(max(1e-4, earliest - now))
+                self._not_empty.wait(timeout=min(waits) if waits else None)
+        if self.fault_hook is not None:
+            self.fault_hook(entry)
+        return entry
+
+    def _pop_eligible_locked(self, now):
+        """Pop the best entry whose backoff has matured; entries still
+        backing off are pushed straight back (keeping their order)."""
+        held = []
+        found = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.not_before <= now:
+                found = entry
+                break
+            held.append(entry)
+        for entry in held:
+            heapq.heappush(self._heap, entry)
+        if found is not None:
+            self.in_flight += 1
+        return found
+
+    def task_done(self):
+        """The getter finished (or requeued) its popped entry —
+        balances every successful :meth:`get`."""
+        with self._lock:
+            self.in_flight = max(0, self.in_flight - 1)
+
+    def is_idle(self):
+        """True when nothing is queued *and* nothing popped is still
+        in a worker's hands — one atomic snapshot, so an idle-waiter
+        cannot slip through the pop-to-execute window."""
+        with self._lock:
+            return not self._heap and self.in_flight == 0
 
     def drain(self) -> List[QueueEntry]:
         """Remove and return every queued entry (non-graceful
@@ -172,6 +255,7 @@ class JobQueue:
             return {
                 "depth": self.depth,
                 "queued": len(self._heap),
+                "in_flight": self.in_flight,
                 "admitted": self.admitted,
                 "rejected": self.rejected,
                 "requeued": self.requeued,

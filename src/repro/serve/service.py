@@ -23,17 +23,34 @@ they complete.  The pieces:
   isolate tenants; trace *objects* stay content-addressed and shared,
   but a digest is only servable to a tenant whose shard records it;
 * **fault containment** — the pool requeues a dying worker's job
-  (bounded attempts) and synthesizes an error result when the budget
-  is exhausted, so a crashed worker degrades a batch, never hangs it;
+  (bounded attempts with deterministic backoff) and the service
+  quarantines it with a structured ``quarantined`` error row when the
+  budget is exhausted, so a poison job degrades a batch, never hangs
+  it or hot-loops the pool;
+* **durability** — with a ``data_root`` (or explicit
+  ``journal_root``), every admission and every completed job is
+  journaled to a per-tenant append-only WAL
+  (:class:`~repro.serve.journal.BatchJournal`); on startup the service
+  *recovers*: incomplete batches are resurrected, already-journaled
+  rows replay without re-execution, and only unfinished jobs are
+  re-admitted — a ``kill -9`` mid-batch followed by a restart yields
+  the same stable result rows as an uninterrupted run, with zero lost
+  and zero duplicated jobs;
+* **deadlines** — a job's ``deadline_s`` (spec v2) bounds its queue
+  wait and a batch's ``ttl_s`` bounds the whole submission; breaching
+  either yields a structured ``deadline_exceeded`` / ``expired`` error
+  row instead of silently running stale work;
 * **graceful shutdown** — intake closes first, in-flight and queued
-  jobs drain (or are cancelled with explicit results on a non-drain
-  stop), then workers exit; no stream is ever left waiting on a job
-  that will not run.
+  jobs drain (or are cancelled with explicit, journaled results on a
+  non-drain stop), then workers exit; no stream is ever left waiting
+  on a job that will not run.
 
 Determinism contract: a batch submitted to the service produces the
 same jobs, the same derived seeds, and therefore (volatile fields
 aside) byte-identically serialized results as ``eclc farm run`` of the
-same spec.
+same spec — including across a crash and recovery, because replayed
+journal rows carry the stable serialization and re-executed jobs
+regenerate it.
 """
 
 from __future__ import annotations
@@ -41,6 +58,7 @@ from __future__ import annotations
 import os
 import threading
 import uuid
+import warnings
 from time import monotonic
 from typing import Dict, Iterator, List, Optional
 
@@ -50,6 +68,7 @@ from ..farm.ledger import TraceLedger, check_tenant
 from ..farm.spec import expand_document, load_designs
 from ..farm.worker import WorkerState
 from ..pipeline import ArtifactCache
+from .journal import BatchJournal
 from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool
 from .queue import DEFAULT_QUEUE_DEPTH, JobQueue
 
@@ -63,21 +82,45 @@ DEFAULT_TENANT = "default"
 class Batch:
     """One admitted submission: its jobs, and results as they land."""
 
-    def __init__(self, batch_id, tenant, jobs, priority=0):
+    def __init__(self, batch_id, tenant, jobs, priority=0, ttl_s=None,
+                 recovered=False):
         self.id = batch_id
         self.tenant = tenant
         self.jobs = list(jobs)
         self.priority = priority
         self.created = monotonic()
+        self.ttl_s = ttl_s
+        #: monotonic() instant past which unexecuted jobs expire
+        #: (None = no TTL).  A recovered batch's TTL clock restarts at
+        #: recovery time — monotonic time does not survive a reboot.
+        self.expires_at = None if ttl_s is None else self.created + ttl_s
+        self.recovered = recovered
         self.results: List[SimResult] = []
+        self._recorded = set()
         self._cond = threading.Condition()
 
     # -- recording -----------------------------------------------------
 
     def add_result(self, result):
+        """Record one job's result; returns False (and records
+        nothing) when a result for that job id already landed — the
+        dedup that makes crash-after-record retries and journal
+        replays idempotent."""
         with self._cond:
+            if result.job_id in self._recorded:
+                return False
+            self._recorded.add(result.job_id)
             self.results.append(result)
             self._cond.notify_all()
+            return True
+
+    def has_result(self, job_id):
+        with self._cond:
+            return job_id in self._recorded
+
+    @property
+    def expired(self):
+        return self.expires_at is not None and monotonic() > self.expires_at
 
     # -- observation ---------------------------------------------------
 
@@ -132,6 +175,7 @@ class Batch:
                 "total": self.total,
                 "completed": len(self.results),
                 "done": len(self.results) >= self.total,
+                "recovered": self.recovered,
                 "status_counts": dict(sorted(statuses.items())),
             }
 
@@ -151,9 +195,13 @@ class TenantSpace:
             ledger_root = None
         self.cache = cache
         #: the warm core: designs/builds stay resident across batches.
+        #: Storage faults (ledger OSErrors) escalate to worker deaths
+        #: here instead of becoming error rows, so the pool's bounded
+        #: backoff retries them — a transient disk hiccup must not
+        #: corrupt a deterministic result row.
         self.state = WorkerState(
             {}, options=options, ledger_root=ledger_root,
-            cache=cache, tenant=name,
+            cache=cache, tenant=name, raise_storage_errors=True,
         )
         self.jobs_run = 0
 
@@ -181,13 +229,20 @@ class SimulationService:
         max_attempts=DEFAULT_MAX_ATTEMPTS,
         options=None,
         start=True,
+        journal_root=None,
+        recover=True,
     ):
         """``data_root=None`` keeps everything in memory (no trace
         persistence, no artifact disk layer) — the unit-test mode.
         With a directory, artifacts live under ``<data_root>/artifacts``
         (per-tenant namespaces), traces under ``<data_root>/traces``
-        (per-tenant index shards) and native bytecode under
-        ``<data_root>/native-pyc``."""
+        (per-tenant index shards), the batch journal under
+        ``<data_root>/journal`` (per-tenant WAL shards) and native
+        bytecode under ``<data_root>/native-pyc``.  ``journal_root``
+        overrides (or, without a data_root, solely enables) the
+        journal location.  ``recover=True`` replays the journal on
+        startup: incomplete batches are resurrected and their
+        unfinished jobs re-admitted before the worker pool starts."""
         self.data_root = data_root
         self.options = options
         if data_root:
@@ -195,6 +250,9 @@ class SimulationService:
             from ..runtime.native import enable_code_cache
 
             enable_code_cache(os.path.join(data_root, "native-pyc"))
+        if journal_root is None and data_root:
+            journal_root = os.path.join(data_root, "journal")
+        self.journal = BatchJournal(journal_root) if journal_root else None
         self.queue = JobQueue(depth=queue_depth)
         self.pool = WorkerPool(
             self.queue,
@@ -207,7 +265,15 @@ class SimulationService:
         self._batches: Dict[str, Batch] = {}
         self._lock = threading.Lock()
         self._accepting = True
+        #: robustness counters, surfaced by ``GET /v1/health``.
+        self.quarantined = 0
+        self.deadline_misses = 0
+        self.expired_jobs = 0
+        self.journal_errors = 0
+        self.recovery: Optional[dict] = None
         self.started = monotonic()
+        if recover and self.journal is not None:
+            self._recover()
         if start:
             self.pool.start()
 
@@ -230,17 +296,44 @@ class SimulationService:
             allow_paths=False,
         )
         jobs = expand_document(document, designs, origin)
+        ttl_s = self._check_ttl(document, origin)
         space = self._space(tenant)
         # Adopt by source equality: an identical design keeps its warm
         # build, a changed one drops only its own stale entry.
         space.state.adopt_designs(designs)
-        batch = Batch(batch_id, tenant, jobs, priority=int(priority))
-        self.queue.put_batch(
-            jobs, batch=batch, tenant=tenant, priority=int(priority)
+        batch = Batch(batch_id, tenant, jobs, priority=int(priority),
+                      ttl_s=ttl_s)
+        # WAL discipline: the admit record lands *before* the jobs can
+        # run (a result row must never reference an unjournaled
+        # batch); a failed enqueue closes the batch right back out.
+        self._journal(
+            "admit", tenant, batch_id, document,
+            [job.job_id for job in jobs],
+            priority=int(priority), ttl_s=ttl_s,
         )
+        try:
+            self.queue.put_batch(
+                jobs, batch=batch, tenant=tenant, priority=int(priority)
+            )
+        except EclError:
+            self._journal("end", tenant, batch_id, reason="rejected")
+            raise
         with self._lock:
             self._batches[batch_id] = batch
         return batch
+
+    @staticmethod
+    def _check_ttl(document, origin):
+        ttl_s = document.get("ttl_s")
+        if ttl_s is None:
+            return None
+        if isinstance(ttl_s, bool) or not isinstance(ttl_s, (int, float)) \
+                or ttl_s <= 0:
+            raise EclError(
+                '%s: "ttl_s" must be a positive number of seconds, '
+                "got %r" % (origin, ttl_s)
+            )
+        return float(ttl_s)
 
     def _space(self, tenant) -> TenantSpace:
         with self._lock:
@@ -254,13 +347,79 @@ class SimulationService:
     # -- execution (pool callbacks) ------------------------------------
 
     def _execute(self, entry):
+        if entry.batch is not None and entry.batch.has_result(
+                entry.job.job_id):
+            # A crash-after-record retry: the result already landed
+            # (and was journaled); re-running would duplicate it.
+            return
+        refusal = self._refusal(entry)
+        if refusal is not None:
+            self._record_result(entry.batch,
+                                self._synthetic_result(entry, refusal))
+            return
         space = self._space(entry.tenant)
         result = space.state.run_job(entry.job)
         space.jobs_run += 1
-        entry.batch.add_result(result)
+        self._record_result(entry.batch, result)
+
+    def _refusal(self, entry):
+        """Why this entry must not execute (None = run it): its batch
+        outlived its TTL, or the job waited past its deadline."""
+        now = monotonic()
+        batch = entry.batch
+        if batch is not None and batch.expired:
+            self.expired_jobs += 1
+            return (
+                "expired: batch ttl_s=%.3f elapsed before the job ran"
+                % batch.ttl_s
+            )
+        deadline_s = getattr(entry.job, "deadline_s", 0.0) or 0.0
+        if deadline_s > 0 and entry.admitted_at:
+            waited = now - entry.admitted_at
+            if waited > deadline_s:
+                self.deadline_misses += 1
+                return (
+                    "deadline_exceeded: job waited %.3fs in queue, "
+                    "deadline_s=%.3f" % (waited, deadline_s)
+                )
+        return None
 
     def _report_dead_job(self, entry, error_text):
-        entry.batch.add_result(self._synthetic_result(entry, error_text))
+        """Quarantine a poison job: its retry budget is exhausted, it
+        will never requeue again, and its batch gets a structured
+        ``quarantined`` error row instead of a hang."""
+        self.quarantined += 1
+        self._record_result(
+            entry.batch,
+            self._synthetic_result(entry, "quarantined: " + error_text),
+        )
+
+    def _record_result(self, batch, result):
+        """The single recording path: journal first (durability), then
+        deliver to the batch (dedup by job id), then close the journal
+        entry when the batch is complete."""
+        if batch is None:
+            return
+        if not batch.has_result(result.job_id):
+            self._journal("row", batch.tenant, batch.id, result)
+        if batch.add_result(result) and batch.done:
+            self._journal("end", batch.tenant, batch.id)
+
+    def _journal(self, kind, tenant, batch_id, *args, **kwargs):
+        """Best-effort journal append: an OSError degrades durability
+        (the record would replay as unfinished work), never the live
+        result path."""
+        if self.journal is None:
+            return
+        try:
+            getattr(self.journal, kind)(tenant, batch_id, *args, **kwargs)
+        except OSError as error:
+            self.journal_errors += 1
+            warnings.warn(
+                "journal %s append failed for batch %s: %s"
+                % (kind, batch_id, error),
+                stacklevel=2,
+            )
 
     @staticmethod
     def _synthetic_result(entry, error_text):
@@ -274,6 +433,68 @@ class SimulationService:
             status=STATUS_ERROR,
             error=error_text,
         )
+
+    # -- recovery ------------------------------------------------------
+
+    def _recover(self):
+        """Resurrect journaled state: replay completed rows, re-admit
+        only unfinished jobs, and close out batches that finished just
+        before the crash.  Runs before the pool starts, so recovered
+        work queues ahead of anything newly submitted."""
+        summary = {
+            "recovered_batches": 0,
+            "resumed_jobs": 0,
+            "replayed_rows": 0,
+            "torn_lines": 0,
+            "failed_batches": 0,
+        }
+        for tenant in self.journal.tenants():
+            replay = self.journal.replay(tenant)
+            summary["torn_lines"] += replay.torn_lines
+            for record in replay.open_batches():
+                try:
+                    self._recover_batch(tenant, record, summary)
+                except EclError as error:
+                    summary["failed_batches"] += 1
+                    warnings.warn(
+                        "journal recovery skipped batch %s: %s"
+                        % (record.batch_id, error),
+                        stacklevel=2,
+                    )
+        self.recovery = summary
+
+    def _recover_batch(self, tenant, record, summary):
+        origin = "<journal %s>" % record.batch_id
+        designs = load_designs(
+            record.spec.get("designs"), base=None, spec_path=origin,
+            allow_paths=False,
+        )
+        jobs = expand_document(record.spec, designs, origin)
+        space = self._space(tenant)
+        space.state.adopt_designs(designs)
+        batch = Batch(record.batch_id, tenant, jobs,
+                      priority=record.priority, ttl_s=record.ttl_s,
+                      recovered=True)
+        pending = []
+        for job in jobs:
+            row = record.rows.get(job.job_id)
+            if row is None:
+                pending.append(job)
+            else:
+                batch.add_result(SimResult.from_dict(row))
+                summary["replayed_rows"] += 1
+        with self._lock:
+            self._batches[batch.id] = batch
+        if pending:
+            # force=True: the original admission already paid the
+            # backpressure toll; recovery must never drop its jobs.
+            self.queue.put_batch(pending, batch=batch, tenant=tenant,
+                                 priority=record.priority, force=True)
+            summary["resumed_jobs"] += len(pending)
+        else:
+            # complete before the crash, just never marked: close it.
+            self._journal("end", tenant, batch.id)
+        summary["recovered_batches"] += 1
 
     # -- observation ---------------------------------------------------
 
@@ -313,8 +534,29 @@ class SimulationService:
             "uptime": monotonic() - self.started,
             "queue": self.queue.stats_dict(),
             "pool": self.pool.stats_dict(),
+            "health": self.health_dict(),
             "batches": sorted(batches, key=lambda b: b["id"]),
             "tenants": sorted(tenants, key=lambda t: t["tenant"]),
+        }
+
+    def health_dict(self):
+        """The ``GET /v1/health`` payload: queue depth, quarantine and
+        deadline counters, journal/recovery state — what an operator
+        (or a backing-off client) needs to decide whether to retry."""
+        return {
+            "ok": bool(self._accepting),
+            "accepting": self._accepting,
+            "queued": len(self.queue),
+            "queue_depth": self.queue.depth,
+            "active": self.pool.stats_dict()["active"],
+            "quarantined": self.quarantined,
+            "deadline_misses": self.deadline_misses,
+            "expired_jobs": self.expired_jobs,
+            "worker_deaths": self.pool.worker_deaths,
+            "journal": self.journal is not None,
+            "journal_errors": self.journal_errors,
+            "recovery": self.recovery,
+            "uptime": monotonic() - self.started,
         }
 
     # -- shutdown ------------------------------------------------------
@@ -324,20 +566,24 @@ class SimulationService:
 
         ``drain=True`` (graceful): close intake, let queued and
         in-flight jobs finish, then stop the workers.  ``drain=False``:
-        cancel queued jobs — each gets an explicit ``status="error"``
-        cancellation result, so no stream hangs — and stop as soon as
-        in-flight jobs return.  Returns True when fully stopped within
-        ``timeout``."""
+        cancel queued jobs — each gets an explicit (and journaled)
+        ``status="error"`` cancellation result, so no stream hangs and
+        no restart resurrects deliberately cancelled work — and stop
+        as soon as in-flight jobs return.  Returns True when fully
+        stopped within ``timeout``."""
         self._accepting = False
         if drain:
             idle = self.pool.wait_idle(timeout=timeout)
         else:
             for entry in self.queue.drain():
-                entry.batch.add_result(
+                self._record_result(
+                    entry.batch,
                     self._synthetic_result(entry, "cancelled: service "
-                                           "shutdown without drain")
+                                           "shutdown without drain"),
                 )
             idle = self.pool.wait_idle(timeout=timeout)
         self.queue.close()
         self.pool.join(timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()
         return idle

@@ -92,6 +92,32 @@ class TestHttpSurface:
         with pytest.raises(EclError, match="tenant"):
             client.submit(batch_document(), tenant="../escape")
 
+    def test_health_endpoint_reports_readiness(self, served):
+        service, client = served
+        health = client.health()
+        assert health["ok"] is True
+        assert health["queue_depth"] == service.queue.depth
+        assert health["journal"] is True
+        assert health["quarantined"] == 0
+        assert "recovery" in health
+
+    def test_health_is_503_when_draining(self, tmp_path):
+        service = SimulationService(workers=0)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        client = ServeClient(port=server.server_address[1])
+        try:
+            service._accepting = False  # draining
+            health = client.health()
+            assert health["ok"] is False
+            assert health["accepting"] is False
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain=False, timeout=5)
+
     def test_queue_full_maps_to_429(self, tmp_path):
         from repro.serve import QueueFullError
 

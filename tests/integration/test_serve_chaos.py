@@ -1,0 +1,160 @@
+"""Chaos suite: the serving layer under deterministic fault injection.
+
+Every test drives a :class:`~repro.serve.chaos.FaultPlan` — seeded
+worker crashes, crash-after-record deaths, journal/ledger write
+OSErrors, queue stalls, slow jobs — through a live SimulationService
+and asserts the robustness invariants hold *exactly*:
+
+* zero lost rows: every admitted job reports exactly one result;
+* zero duplicated rows: no job id appears twice, even when a worker
+  dies between recording a result and acknowledging it;
+* byte-identical stable rows: surviving faults never perturbs the
+  reproducible payload a fault-free farm run of the same spec yields;
+* determinism: the same seed replays the same faults and the same
+  outcome, so a chaos failure is a normal, debuggable test failure.
+"""
+
+import json
+
+import pytest
+
+from repro.farm import WorkerState
+from repro.farm.spec import expand_document, load_designs
+from repro.serve import FaultPlan, SimulationService
+
+ECHO = """
+module echo (input pure ping, output pure pong)
+{
+    while (1) { await (ping); emit (pong); }
+}
+"""
+
+JOBS = 8
+
+DOCUMENT = {
+    "spec_version": 2,
+    "designs": {"d": {"text": ECHO}},
+    "jobs": [{"design": "d", "modules": ["echo"], "engine": "efsm",
+              "n_instances": JOBS, "length": 8}],
+}
+
+#: The seed matrix: one plan per fault family, fixed seeds so CI runs
+#: replay the identical schedules.  Crash limits stay below the pool's
+#: max_attempts, so every injected fault is survivable.
+PLANS = [
+    pytest.param(
+        dict(seed=11, crash_prob=0.6, crash_limit=2),
+        id="worker-crashes"),
+    pytest.param(
+        dict(seed=23, post_crash_prob=0.5, stall_prob=0.5,
+             stall_s=0.002),
+        id="crash-after-record-plus-stalls"),
+    pytest.param(
+        dict(seed=37, journal_prob=0.5, journal_limit=None),
+        id="journal-write-errors"),
+    pytest.param(
+        dict(seed=53, ledger_prob=1.0, ledger_limit=1, slow_prob=0.4,
+             slow_s=0.002),
+        id="ledger-write-errors-plus-slow-jobs"),
+]
+
+
+def stable_rows(results):
+    return sorted(json.dumps(r.to_dict(volatile=False), sort_keys=True)
+                  for r in results)
+
+
+def expected_rows(tmp_path):
+    """Fault-free ground truth: a direct worker run of the same spec
+    (own ledger root; trace digests are content-addressed, so they
+    match the service's)."""
+    designs = load_designs(DOCUMENT["designs"], None, "<chaos>")
+    jobs = expand_document(DOCUMENT, designs)
+    state = WorkerState(designs, ledger_root=str(tmp_path / "truth"))
+    return stable_rows([state.run_job(job) for job in jobs])
+
+
+def run_under_plan(root, plan_kwargs, max_attempts=3):
+    service = SimulationService(data_root=str(root), workers=3,
+                                max_attempts=max_attempts, start=False)
+    plan = FaultPlan(**plan_kwargs).install(service)
+    service.pool.start()
+    try:
+        batch = service.submit(DOCUMENT)
+        assert batch.wait(timeout=120), "chaos batch hung"
+        results = list(batch.results)
+    finally:
+        plan.uninstall()
+        service.shutdown(drain=True, timeout=30)
+    return plan, service, results
+
+
+class TestChaosInvariants:
+    @pytest.mark.parametrize("plan_kwargs", PLANS)
+    def test_zero_lost_zero_duplicated_byte_identical(self, tmp_path,
+                                                      plan_kwargs):
+        plan, service, results = run_under_plan(tmp_path / "svc",
+                                                plan_kwargs)
+        # the plan actually exercised its seams
+        assert any(plan.injected.values()), plan.describe()
+        # zero lost, zero duplicated
+        assert len(results) == JOBS
+        assert len({r.job_id for r in results}) == JOBS
+        # every fault was survivable: no error rows, and the stable
+        # payload equals the fault-free farm run byte for byte.
+        assert all(r.ok for r in results), \
+            [r.error for r in results if not r.ok]
+        assert stable_rows(results) == expected_rows(tmp_path)
+
+    @pytest.mark.parametrize("plan_kwargs", PLANS)
+    def test_same_seed_replays_identical_faults(self, tmp_path,
+                                                plan_kwargs):
+        first_plan, _, first = run_under_plan(tmp_path / "a",
+                                              plan_kwargs)
+        second_plan, _, second = run_under_plan(tmp_path / "b",
+                                                plan_kwargs)
+        assert first_plan.injected == second_plan.injected
+        assert stable_rows(first) == stable_rows(second)
+
+    def test_unsurvivable_poison_quarantines_not_hangs(self, tmp_path):
+        """crash_limit=None removes the survivability bound: every
+        attempt of every job crashes, so every job must quarantine —
+        and the batch still completes with one row per job."""
+        plan, service, results = run_under_plan(
+            tmp_path, dict(seed=71, crash_prob=1.0, crash_limit=None),
+            max_attempts=2)
+        assert len(results) == JOBS
+        assert len({r.job_id for r in results}) == JOBS
+        assert all(r.status == "error" for r in results)
+        assert all(r.error.startswith("quarantined: ")
+                   for r in results)
+        assert service.quarantined == JOBS
+        assert plan.injected["crash"] == JOBS * 2  # every attempt
+
+    def test_chaos_survives_crash_recovery(self, tmp_path):
+        """Faults before the crash, recovery after: replayed rows plus
+        re-executed ones still reconstruct the fault-free batch."""
+        root = tmp_path / "svc"
+        service = SimulationService(data_root=str(root), workers=2,
+                                    start=False)
+        plan = FaultPlan(97, crash_prob=0.5, crash_limit=2,
+                         post_crash_prob=0.4).install(service)
+        service.pool.start()
+        batch = service.submit(DOCUMENT)
+        assert batch.wait(timeout=120)
+        plan.uninstall()
+        service.shutdown(drain=True, timeout=30)
+        # amputate the WAL mid-batch: keep admit + the first 3 rows
+        shard = root / "journal" / "default.jsonl"
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[:4]) + "\n")
+        revived = SimulationService(data_root=str(root), workers=2)
+        try:
+            assert revived.recovery["recovered_batches"] == 1
+            assert revived.recovery["replayed_rows"] == 3
+            recovered = revived.batch(json.loads(lines[0])["batch"])
+            assert recovered.wait(timeout=120)
+            assert stable_rows(recovered.results) == \
+                expected_rows(tmp_path)
+        finally:
+            revived.shutdown(drain=True, timeout=30)

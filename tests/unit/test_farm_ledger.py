@@ -73,6 +73,65 @@ class TestTraceLedger:
         digest, path = ledger.put(sample_job(), sample_records())
         assert os.path.basename(os.path.dirname(path)) == digest[:2]
 
+    def test_torn_index_tail_is_skipped_with_warning(self, ledger):
+        ledger.put(sample_job(), sample_records())
+        ledger.put(sample_job(index=1), sample_records())
+        index_path = os.path.join(ledger.root, "ledger.jsonl")
+        with open(index_path, "a") as handle:
+            handle.write('{"job_id": "cut-by-a-cra')
+        # a crash mid-append must not poison every later read
+        with pytest.warns(RuntimeWarning, match="torn"):
+            entries = ledger.entries()
+            assert len(ledger) == 2
+            assert ledger.find(sample_job().job_id) is not None
+        assert len(entries) == 2
+
+    def test_fault_hook_failure_writes_nothing(self, ledger):
+        calls = []
+
+        def hook(op, key):
+            calls.append((op, key))
+            raise OSError("injected ledger fault")
+
+        ledger.fault_hook = hook
+        with pytest.raises(OSError):
+            ledger.put(sample_job(), sample_records())
+        assert calls == [("put", sample_job().job_id)]
+        assert len(ledger) == 0  # the failed put left no index entry
+        ledger.fault_hook = None
+        ledger.put(sample_job(), sample_records())
+        assert len(ledger) == 1
+
+    def test_storage_fault_escalates_only_when_asked(self, tmp_path):
+        """Farm mode keeps the error-row contract; serving mode
+        (raise_storage_errors) re-raises so the pool can retry."""
+        from repro.farm import WorkerState
+        source = """
+module echo (input pure ping, output pure pong)
+{
+    while (1) { await (ping); emit (pong); }
+}
+"""
+        job = SimJob(design="echo", module="echo",
+                     stimulus=StimulusSpec.explicit([{"ping": None}]))
+
+        def hook(op, key):
+            raise OSError("disk detached")
+
+        farm_state = WorkerState({"echo": source},
+                                 ledger_root=str(tmp_path / "a"))
+        farm_state.ledger.fault_hook = hook
+        result = farm_state.run_job(job)
+        assert result.status == "error"
+        assert "disk detached" in result.error
+
+        serve_state = WorkerState({"echo": source},
+                                  ledger_root=str(tmp_path / "b"),
+                                  raise_storage_errors=True)
+        serve_state.ledger.fault_hook = hook
+        with pytest.raises(OSError, match="disk detached"):
+            serve_state.run_job(job)
+
     def test_record_vcd_flows_through_worker(self, tmp_path):
         from repro.farm import WorkerState
         source = """

@@ -1,0 +1,130 @@
+"""Unit tests for the BatchJournal write-ahead log and its replay."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import EclError
+from repro.farm.jobs import SimResult
+from repro.serve import BatchJournal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return BatchJournal(str(tmp_path / "journal"))
+
+
+def result(job_id="j1", index=0, status="ok"):
+    return SimResult(job_id=job_id, design="d", module="m",
+                     engine="efsm", index=index, status=status,
+                     instants=4, elapsed=1.23, worker_pid=4321)
+
+
+class TestWriting:
+    def test_admit_row_end_lifecycle(self, journal):
+        journal.admit("t", "b1", {"jobs": []}, ["j1", "j2"],
+                      priority=3, ttl_s=9.5)
+        journal.row("t", "b1", result("j1"))
+        journal.row("t", "b1", result("j2", index=1))
+        journal.end("t", "b1")
+        lines = [json.loads(line)
+                 for line in open(journal.shard_path("t")) if line.strip()]
+        assert [line["kind"] for line in lines] == \
+            ["admit", "row", "row", "end"]
+        assert lines[0]["priority"] == 3
+        assert lines[0]["ttl_s"] == 9.5
+        assert lines[0]["job_ids"] == ["j1", "j2"]
+        assert lines[-1]["reason"] == "complete"
+
+    def test_rows_use_stable_serialization(self, journal):
+        journal.admit("t", "b1", {}, ["j1"])
+        journal.row("t", "b1", result("j1"))
+        (_, row_line) = [json.loads(line)
+                         for line in open(journal.shard_path("t"))]
+        # volatile fields (elapsed, worker_pid, trace_path) never land
+        # in the WAL: a replayed row must equal a re-executed one.
+        assert "elapsed" not in row_line["row"]
+        assert "worker_pid" not in row_line["row"]
+        assert row_line["row"]["job_id"] == "j1"
+        assert row_line["row"]["instants"] == 4
+
+    def test_shards_are_per_tenant(self, journal):
+        journal.admit("alice", "a", {}, [])
+        journal.admit("bob", "b", {}, [])
+        assert journal.tenants() == ["alice", "bob"]
+        assert os.path.exists(journal.shard_path("alice"))
+        assert journal.replay("alice").batches.keys() == {"a"}
+        assert journal.replay("bob").batches.keys() == {"b"}
+
+    def test_bad_tenant_name_rejected(self, journal):
+        with pytest.raises(EclError, match="tenant"):
+            journal.admit("../escape", "b", {}, [])
+
+    def test_fault_hook_failure_leaves_no_partial_line(self, journal):
+        journal.admit("t", "b1", {}, ["j1"])
+
+        def hook(kind, key):
+            raise OSError("injected")
+
+        journal.fault_hook = hook
+        with pytest.raises(OSError):
+            journal.row("t", "b1", result("j1"))
+        journal.fault_hook = None
+        replay = journal.replay("t")
+        assert replay.batches["b1"].rows == {}
+        assert replay.torn_lines == 0
+
+
+class TestReplay:
+    def test_open_batches_excludes_ended(self, journal):
+        journal.admit("t", "done", {}, ["j1"])
+        journal.row("t", "done", result("j1"))
+        journal.end("t", "done")
+        journal.admit("t", "open", {}, ["j2"])
+        replay = journal.replay("t")
+        assert [r.batch_id for r in replay.open_batches()] == ["open"]
+        assert replay.batches["done"].ended
+        assert replay.batches["done"].end_reason == "complete"
+
+    def test_pending_job_ids_are_the_unjournaled_ones(self, journal):
+        journal.admit("t", "b", {}, ["j1", "j2", "j3"])
+        journal.row("t", "b", result("j2"))
+        record = journal.replay("t").batches["b"]
+        assert not record.complete
+        assert record.pending_job_ids == ["j1", "j3"]
+        journal.row("t", "b", result("j1"))
+        journal.row("t", "b", result("j3"))
+        assert journal.replay("t").batches["b"].complete
+
+    def test_torn_tail_is_skipped_with_warning(self, journal):
+        journal.admit("t", "b", {}, ["j1"])
+        journal.row("t", "b", result("j1"))
+        with open(journal.shard_path("t"), "a") as handle:
+            handle.write('{"kind": "row", "batch": "b", "job_')
+        with pytest.warns(UserWarning, match="torn"):
+            replay = journal.replay("t")
+        assert replay.torn_lines == 1
+        # everything before the torn tail survived
+        assert replay.batches["b"].rows.keys() == {"j1"}
+
+    def test_duplicate_rows_dedupe_to_first(self, journal):
+        journal.admit("t", "b", {}, ["j1"])
+        journal.row("t", "b", result("j1", status="ok"))
+        journal.row("t", "b", result("j1", status="error"))
+        replay = journal.replay("t")
+        assert replay.duplicate_rows == 1
+        assert replay.batches["b"].rows["j1"]["status"] == "ok"
+
+    def test_orphan_row_counted_not_fatal(self, journal):
+        # a row whose admit append failed: nothing to attach it to
+        journal.row("t", "ghost", result("j1"))
+        journal.admit("t", "real", {}, ["j2"])
+        replay = journal.replay("t")
+        assert replay.orphan_rows == 1
+        assert replay.batches.keys() == {"real"}
+
+    def test_missing_shard_replays_empty(self, journal):
+        replay = journal.replay("never-seen")
+        assert replay.batches == {}
+        assert replay.torn_lines == 0

@@ -1,11 +1,13 @@
 """Unit tests for the serving layer's intake: JobQueue + WorkerPool."""
 
 import threading
+from time import monotonic
 
 import pytest
 
 from repro.errors import EclError
-from repro.serve import JobQueue, QueueEntry, QueueFullError, WorkerPool
+from repro.serve import (JobQueue, QueueEntry, QueueFullError, WorkerPool,
+                         backoff_delay)
 
 
 def entries_of(queue):
@@ -98,6 +100,103 @@ class TestJobQueue:
         with pytest.raises(EclError, match="depth"):
             JobQueue(depth=0)
 
+    def test_force_put_bypasses_depth_bound(self):
+        queue = JobQueue(depth=2)
+        queue.put_batch(["a", "b"])
+        with pytest.raises(QueueFullError):
+            queue.put_batch(["c"])
+        # recovery re-admission: the original admission already paid
+        # the backpressure toll, so force never rejects.
+        queue.put_batch(["c", "d"], force=True)
+        assert len(queue) == 4
+
+    def test_backing_off_entry_does_not_block_ready_ones(self):
+        queue = JobQueue(depth=8)
+        (retry,) = queue.put_batch(["retry"], priority=9)
+        queue.put_batch(["ready"], priority=0)
+        queue.get(timeout=0)  # pop the high-priority entry...
+        retry.not_before = monotonic() + 30.0
+        assert queue.requeue(retry)
+        # ...requeued with a far-future backoff: despite its better
+        # priority it must not starve the eligible entry behind it.
+        got = queue.get(timeout=0.2)
+        assert got is not None and got.job == "ready"
+        assert queue.get(timeout=0) is None  # retry still backing off
+        assert len(queue) == 1  # and still queued, not lost
+
+    def test_getter_sleeps_until_backoff_matures(self):
+        queue = JobQueue(depth=8)
+        (entry,) = queue.put_batch(["x"])
+        entry.not_before = monotonic() + 0.1
+        assert queue.requeue(entry)
+        started = monotonic()
+        got = queue.get(timeout=5)
+        assert got is entry
+        assert monotonic() - started >= 0.08
+
+    def test_requeue_dequeues_ahead_of_many_later_arrivals(self):
+        """The retried entry's original sequence number beats every
+        arrival that was admitted after it — retries of old work are
+        never penalized, however deep the queue has grown since."""
+        queue = JobQueue(depth=256)
+        (victim,) = queue.put_batch(["victim"])
+        assert queue.get(timeout=0) is victim
+        queue.put_batch(["later-%d" % i for i in range(16)])
+        assert queue.requeue(victim)
+        assert queue.get(timeout=0) is victim
+
+    def test_concurrent_drain_with_requeue_loses_nothing(self):
+        """Four workers drain while the retry lands mid-flight: the
+        retried entry is neither lost nor duplicated, and every other
+        entry still drains exactly once."""
+        queue = JobQueue(depth=256)
+        (victim,) = queue.put_batch(["victim"])
+        queue.put_batch(["later-%d" % i for i in range(32)])
+        assert queue.get(timeout=0) is victim
+        barrier = threading.Barrier(5)
+        drained = []
+        lock = threading.Lock()
+
+        def drain():
+            barrier.wait()
+            while True:
+                entry = queue.get(timeout=0.5)
+                if entry is None:
+                    return
+                with lock:
+                    drained.append(entry)
+
+        def put_back():
+            barrier.wait()
+            queue.requeue(victim)
+
+        threads = [threading.Thread(target=drain) for _ in range(4)]
+        threads.append(threading.Thread(target=put_back))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(drained) == 33
+        assert len(set(id(e) for e in drained)) == 33  # no duplicates
+        assert victim in drained  # the retry was not lost
+        assert len(queue) == 0
+
+
+class TestBackoffDelay:
+    def test_deterministic_and_exponential(self):
+        first = backoff_delay("job-a", 1)
+        assert first == backoff_delay("job-a", 1)  # pure function
+        assert backoff_delay("job-a", 1) != backoff_delay("job-b", 1)
+        assert backoff_delay("job-a", 0) == 0.0
+        # base growth dominates the +-50% jitter band
+        assert backoff_delay("job-a", 4) > backoff_delay("job-a", 1)
+
+    def test_jitter_stays_in_band_and_cap_holds(self):
+        for attempt in range(1, 12):
+            delay = backoff_delay("k", attempt, base=0.02, cap=2.0)
+            assert delay <= 2.0
+            assert delay >= min(2.0, 0.02 * (2 ** (attempt - 1)))
+
 
 class TestWorkerPool:
     def make_pool(self, workers=2, max_attempts=3, depth=64):
@@ -175,3 +274,50 @@ class TestWorkerPool:
         queue.put_batch(["never-run"])
         # pool not started: the queue stays non-empty
         assert pool.wait_idle(timeout=0.2) is False
+
+    def test_exhaustion_under_concurrent_workers_reports_once(self):
+        """A poison job crashing four concurrent workers is reported
+        dead exactly once after max_attempts, and every healthy job
+        around it still executes exactly once."""
+        queue, pool, done, dead = self.make_pool(workers=4,
+                                                 max_attempts=3)
+
+        def fault(entry):
+            if entry.job == "poison":
+                raise RuntimeError("always crashes")
+
+        pool.fault_hook = fault
+        queue.put_batch(["poison"] + ["ok-%d" % i for i in range(20)])
+        pool.start()
+        assert pool.wait_idle(timeout=20)
+        self.stop(queue, pool)
+        assert sorted(done) == sorted("ok-%d" % i for i in range(20))
+        assert len(dead) == 1
+        assert dead[0][0] == "poison"
+        assert "worker died (3 attempt(s))" in dead[0][1]
+        assert pool.stats_dict()["worker_deaths"] == 3
+
+    def test_retry_carries_backoff_not_before(self):
+        """The second attempt arrives with a future not_before set by
+        the deterministic backoff — the retry waited, the first
+        attempt did not."""
+        queue, pool, _done, _dead = self.make_pool(workers=1)
+        seen = []
+        crashes = {"left": 1}
+
+        def fault(entry):
+            seen.append((entry.attempts, entry.not_before, monotonic()))
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise RuntimeError("injected")
+
+        pool.fault_hook = fault
+        queue.put_batch(["x"])
+        pool.start()
+        assert pool.wait_idle(timeout=10)
+        self.stop(queue, pool)
+        assert [attempts for attempts, _, _ in seen] == [0, 1]
+        first, retry = seen
+        assert first[1] == 0.0
+        assert retry[1] > 0.0  # backoff scheduled...
+        assert retry[2] >= retry[1]  # ...and honored by the queue

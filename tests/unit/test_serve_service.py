@@ -1,5 +1,8 @@
 """Unit tests for SimulationService: warmth, tenancy, faults, drain."""
 
+import json
+import time
+
 import pytest
 
 from repro.errors import EclError
@@ -188,6 +191,248 @@ class TestWorkerDeath:
             assert row.job_id == batch.jobs[0].job_id
         finally:
             service.shutdown()
+
+    def test_quarantine_is_structured_and_counted(self):
+        service = make_service(workers=1, max_attempts=2)
+        service.pool.fault_hook = lambda entry: (_ for _ in ()).throw(
+            MemoryError("poison"))
+        try:
+            batch = service.submit(document(traces=1))
+            assert batch.wait(timeout=30)
+            (row,) = batch.results
+            assert row.error.startswith("quarantined: ")
+            assert service.quarantined == 1
+            assert service.health_dict()["quarantined"] == 1
+        finally:
+            service.shutdown()
+
+    def test_crash_after_record_does_not_duplicate_result(self):
+        """The post-execute crash window: the result landed (and was
+        journaled), then the worker died.  The retry must dedupe, not
+        re-run — one row per job, always."""
+        service = make_service(workers=1)
+        crashes = {"left": 1}
+
+        def post_fault(entry):
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise MemoryError("crash after record")
+
+        service.pool.post_fault_hook = post_fault
+        try:
+            batch = service.submit(document(traces=2))
+            assert batch.wait(timeout=30)
+            assert service.pool.worker_deaths == 1
+            assert len(batch.results) == 2
+            assert len({r.job_id for r in batch.results}) == 2
+            assert all(r.status == "ok" for r in batch.results)
+        finally:
+            service.shutdown()
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_in_queue_refuses_execution(self):
+        # start=False: jobs age in the queue past their deadline, then
+        # the late-started pool refuses instead of running stale work.
+        service = make_service(workers=1, start=False)
+        doc = document(traces=2)
+        doc["jobs"][0]["deadline_s"] = 0.05
+        batch = service.submit(doc)
+        time.sleep(0.15)
+        service.pool.start()
+        try:
+            assert batch.wait(timeout=30)
+            assert all(r.status == "error" for r in batch.results)
+            assert all(r.error.startswith("deadline_exceeded")
+                       for r in batch.results)
+            assert service.deadline_misses == 2
+        finally:
+            service.shutdown()
+
+    def test_batch_ttl_expires_unexecuted_jobs(self):
+        service = make_service(workers=1, start=False)
+        doc = document(traces=2)
+        doc["ttl_s"] = 0.05
+        batch = service.submit(doc)
+        time.sleep(0.15)
+        service.pool.start()
+        try:
+            assert batch.wait(timeout=30)
+            assert all(r.error.startswith("expired")
+                       for r in batch.results)
+            assert service.expired_jobs == 2
+        finally:
+            service.shutdown()
+
+    def test_deadline_does_not_change_job_identity(self):
+        from repro.farm.spec import expand_document, load_designs
+        doc = document(traces=1)
+        designs = load_designs(doc["designs"], None, "<test>")
+        (plain,) = expand_document(doc, designs)
+        doc["jobs"][0]["deadline_s"] = 5.0
+        (bounded,) = expand_document(doc, designs)
+        assert bounded.deadline_s == 5.0
+        # policy, not identity: same trace either way
+        assert bounded.job_id == plain.job_id
+
+    def test_bad_ttl_rejected(self):
+        service = make_service(workers=0)
+        for ttl in (0, -1, "soon", True):
+            doc = document()
+            doc["ttl_s"] = ttl
+            with pytest.raises(EclError, match="ttl_s"):
+                service.submit(doc)
+
+    def test_fast_jobs_beat_generous_deadlines(self):
+        service = make_service()
+        doc = document(traces=2)
+        doc["jobs"][0]["deadline_s"] = 60.0
+        try:
+            batch = service.submit(doc)
+            assert batch.wait(timeout=30)
+            assert all(r.status == "ok" for r in batch.results)
+            assert service.deadline_misses == 0
+        finally:
+            service.shutdown()
+
+
+class TestJournalRecovery:
+    def test_clean_run_journals_admit_rows_end(self, tmp_path):
+        service = make_service(data_root=str(tmp_path))
+        try:
+            batch = service.submit(document(traces=2))
+            assert batch.wait(timeout=30)
+        finally:
+            service.shutdown()
+        shard = tmp_path / "journal" / "default.jsonl"
+        kinds = [json.loads(line)["kind"]
+                 for line in shard.read_text().splitlines() if line]
+        assert kinds == ["admit", "row", "row", "end"]
+
+    def test_crash_recovery_resumes_only_unfinished_jobs(self, tmp_path):
+        doc = document(traces=4)
+        service = make_service(data_root=str(tmp_path))
+        try:
+            batch = service.submit(doc)
+            assert batch.wait(timeout=30)
+            stable = sorted(
+                json.dumps(r.to_dict(volatile=False), sort_keys=True)
+                for r in batch.results)
+        finally:
+            service.shutdown()
+        # simulate a kill -9 after two rows: truncate the WAL to
+        # admit + 2 rows and add a torn tail.
+        shard = tmp_path / "journal" / "default.jsonl"
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[:3]) + '\n{"kind": "row", "ba')
+        with pytest.warns(UserWarning, match="torn"):
+            revived = make_service(data_root=str(tmp_path))
+        try:
+            assert revived.recovery["recovered_batches"] == 1
+            assert revived.recovery["replayed_rows"] == 2
+            assert revived.recovery["resumed_jobs"] == 2
+            assert revived.recovery["torn_lines"] == 1
+            batch_id = json.loads(lines[0])["batch"]
+            recovered = revived.batch(batch_id)
+            assert recovered.recovered
+            assert recovered.wait(timeout=30)
+            # zero lost, zero duplicated, byte-identical stable rows
+            assert sorted(
+                json.dumps(r.to_dict(volatile=False), sort_keys=True)
+                for r in recovered.results) == stable
+        finally:
+            revived.shutdown()
+
+    def test_recovered_complete_batch_is_closed_not_rerun(self, tmp_path):
+        service = make_service(data_root=str(tmp_path))
+        try:
+            batch = service.submit(document(traces=2))
+            assert batch.wait(timeout=30)
+        finally:
+            service.shutdown()
+        # drop only the end line: the batch finished, the close was
+        # lost to the crash.
+        shard = tmp_path / "journal" / "default.jsonl"
+        lines = shard.read_text().splitlines()
+        assert json.loads(lines[-1])["kind"] == "end"
+        shard.write_text("\n".join(lines[:-1]) + "\n")
+        revived = make_service(data_root=str(tmp_path), workers=0)
+        try:
+            assert revived.recovery["recovered_batches"] == 1
+            assert revived.recovery["resumed_jobs"] == 0
+            recovered = revived.batch(json.loads(lines[0])["batch"])
+            assert recovered.done  # complete purely from replay
+        finally:
+            revived.shutdown(drain=False, timeout=5)
+        # the close was re-journaled: a third start recovers nothing
+        third = make_service(data_root=str(tmp_path), workers=0)
+        assert third.recovery["recovered_batches"] == 0
+        third.shutdown(drain=False, timeout=5)
+
+    def test_no_recover_flag_skips_replay(self, tmp_path):
+        service = make_service(data_root=str(tmp_path))
+        try:
+            service.submit(document(traces=1)).wait(timeout=30)
+        finally:
+            service.shutdown()
+        shard = tmp_path / "journal" / "default.jsonl"
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[:1]) + "\n")  # admit only
+        cold = make_service(data_root=str(tmp_path), workers=0,
+                            recover=False)
+        assert cold.recovery is None
+        assert len(cold.queue) == 0
+        cold.shutdown(drain=False, timeout=5)
+
+    def test_journal_failure_degrades_durability_not_results(self,
+                                                             tmp_path):
+        service = make_service(data_root=str(tmp_path))
+
+        def fail(kind, key):
+            raise OSError("disk full")
+
+        service.journal.fault_hook = fail
+        try:
+            with pytest.warns(UserWarning, match="journal"):
+                batch = service.submit(document(traces=2))
+                assert batch.wait(timeout=30)
+            assert all(r.status == "ok" for r in batch.results)
+            assert service.journal_errors >= 1
+        finally:
+            service.journal.fault_hook = None
+            service.shutdown()
+
+    def test_rejected_batch_is_closed_in_journal(self, tmp_path):
+        service = make_service(data_root=str(tmp_path), workers=0,
+                               queue_depth=1)
+        with pytest.raises(QueueFullError):
+            service.submit(document(traces=3))
+        shard = tmp_path / "journal" / "default.jsonl"
+        kinds = [(json.loads(line)["kind"],
+                  json.loads(line).get("reason"))
+                 for line in shard.read_text().splitlines() if line]
+        assert kinds == [("admit", None), ("end", "rejected")]
+        # nothing to resurrect on restart
+        revived = make_service(data_root=str(tmp_path), workers=0)
+        assert revived.recovery["recovered_batches"] == 0
+        revived.shutdown(drain=False, timeout=5)
+
+
+class TestHealth:
+    def test_health_dict_shape_and_counters(self):
+        service = make_service(workers=0)
+        health = service.health_dict()
+        assert health["ok"] is True
+        assert health["accepting"] is True
+        assert health["queued"] == 0
+        assert health["queue_depth"] == service.queue.depth
+        assert health["quarantined"] == 0
+        assert health["journal"] is False
+        assert health["recovery"] is None
+        service.submit(document(traces=2))
+        assert service.health_dict()["queued"] == 2
+        service.shutdown(drain=False, timeout=5)
+        assert service.health_dict()["ok"] is False
 
 
 class TestTenancy:
