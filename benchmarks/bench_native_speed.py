@@ -42,6 +42,12 @@ BUFFER_FRAMES = int(os.environ.get("NATIVE_BENCH_FRAMES", "1000"))
 #: factor on both workloads.
 SPEEDUP_FLOOR = 3.0
 
+#: Telemetry gate: the native inner loop carries no telemetry calls
+#: (instrumentation sits at job granularity), so enabling the registry
+#: must not change the reaction rate — this floor only absorbs
+#: measurement noise, not real overhead.
+TELEMETRY_RATE_FLOOR = 0.90
+
 ENGINES = ("interp", "efsm", "native")
 
 
@@ -163,6 +169,27 @@ def measure():
     assert matches == STACK_PACKETS
     data["workloads"]["stack"]["native_react_many"] = batched
 
+    # Telemetry-on row: the same native stack workload with the metrics
+    # registry live.  The inner reaction loop is not instrumented, so
+    # the rate must hold within measurement noise (~0% overhead).
+    from repro import telemetry
+
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        rate_on, matches_on = _best_rate(stack, "native", drive_stack, STACK_PACKETS)
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert matches_on == STACK_PACKETS
+    rate_off = data["workloads"]["stack"]["engines"]["native"]
+    data["telemetry"] = {
+        "native_rate_on": rate_on,
+        "native_rate_off": rate_off,
+        "ratio": rate_on / rate_off,
+        "floor": TELEMETRY_RATE_FLOOR,
+    }
+
     # Vectorized multi-instance sweep, informational; needs numpy (the
     # gated native-vs-vector comparison lives in bench_vector_sweep).
     from repro.runtime.vector import NUMPY_AVAILABLE
@@ -216,6 +243,18 @@ def test_native_speedup_floor():
         message = "native is only x%.2f over efsm on %s (floor x%.1f)"
         speedup = entry["native_vs_efsm"]
         assert speedup >= SPEEDUP_FLOOR, message % (speedup, label, SPEEDUP_FLOOR)
+    ratio = data["telemetry"]["ratio"]
+    print(
+        "telemetry on: %.0f r/s vs %.0f r/s off (x%.3f, floor x%.2f)"
+        % (
+            data["telemetry"]["native_rate_on"],
+            data["telemetry"]["native_rate_off"],
+            ratio,
+            TELEMETRY_RATE_FLOOR,
+        )
+    )
+    message = "telemetry slowed the native inner loop to x%.3f (floor x%.2f)"
+    assert ratio >= TELEMETRY_RATE_FLOOR, message % (ratio, TELEMETRY_RATE_FLOOR)
 
 
 if __name__ == "__main__":

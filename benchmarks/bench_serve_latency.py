@@ -55,6 +55,12 @@ COLD_BATCHES = 2
 #: much — the compile tax the service exists to amortize.
 SPEEDUP_FLOOR = 1.5
 
+#: Telemetry gate: enabling the metrics registry may cost at most 5%
+#: of the warm-path latency (plus a small absolute slack so a few ms
+#: of CI scheduling noise on a fast batch can't fail the build).
+TELEMETRY_OVERHEAD_FRACTION = 0.05
+TELEMETRY_OVERHEAD_SLACK_S = 0.015
+
 DOCUMENT = {
     "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
     "jobs": [
@@ -90,14 +96,11 @@ def warm_batches(service):
     return latencies, jobs
 
 
-def measure():
-    cold_runs = [cold_batch() for _ in range(COLD_BATCHES)]
-    cold_elapsed = sum(run[0] for run in cold_runs) / len(cold_runs)
-    jobs_per_batch = cold_runs[0][1]
-
-    # Journaling on (a tempdir WAL, the crash-safety configuration the
-    # service ships with) so the measured latency includes the
-    # admit/row/end appends — durability must stay within the band.
+def warm_service_run():
+    """Mean warm-batch latency of one resident service (journaling on:
+    a tempdir WAL, the crash-safety configuration the service ships
+    with, so the measured latency includes the admit/row/end
+    appends)."""
     with tempfile.TemporaryDirectory(prefix="bench-serve-wal-") as wal:
         service = SimulationService(workers=1, journal_root=wal)
         try:
@@ -108,9 +111,35 @@ def measure():
             latencies, warm_jobs = warm_batches(service)
         finally:
             service.shutdown(drain=True, timeout=60)
+    misses = service._space("default").cache.stats.misses
+    return latencies, warm_jobs, misses
+
+
+def measure():
+    from repro import telemetry
+
+    cold_runs = [cold_batch() for _ in range(COLD_BATCHES)]
+    cold_elapsed = sum(run[0] for run in cold_runs) / len(cold_runs)
+    jobs_per_batch = cold_runs[0][1]
+
+    telemetry.disable()
+    telemetry.reset()
+    latencies, warm_jobs, misses = warm_service_run()
     assert warm_jobs == jobs_per_batch
     warm_elapsed = sum(latencies) / len(latencies)
-    misses = service._space("default").cache.stats.misses
+
+    # The same warm path with the metrics registry live: every serve
+    # counter/histogram fires, and the latency must stay within the
+    # committed overhead gate.
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        on_latencies, on_jobs, _ = warm_service_run()
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+    assert on_jobs == jobs_per_batch
+    telemetry_elapsed = sum(on_latencies) / len(on_latencies)
 
     return {
         "benchmark": "serve_latency",
@@ -129,6 +158,15 @@ def measure():
             "compile_misses_after_warmup": misses,
         },
         "warm_speedup": cold_elapsed / max(1e-9, warm_elapsed),
+        "telemetry": {
+            "batches": WARM_BATCHES,
+            "mean_elapsed": telemetry_elapsed,
+            "best_elapsed": min(on_latencies),
+            "overhead": telemetry_elapsed - warm_elapsed,
+            "overhead_fraction": (telemetry_elapsed - warm_elapsed)
+            / max(1e-9, warm_elapsed),
+            "gate_fraction": TELEMETRY_OVERHEAD_FRACTION,
+        },
     }
 
 
@@ -150,6 +188,21 @@ def test_serve_latency_and_floor():
     assert data["warm_speedup"] >= SPEEDUP_FLOOR, (
         "warm service batch is only x%.2f faster than a cold farm run "
         "(floor x%.1f)" % (data["warm_speedup"], SPEEDUP_FLOOR))
+    overhead = data["telemetry"]["overhead"]
+    budget = max(
+        TELEMETRY_OVERHEAD_FRACTION * data["warm"]["mean_elapsed"],
+        TELEMETRY_OVERHEAD_SLACK_S,
+    )
+    print("telemetry overhead: %.1f ms/batch (%.1f%%, budget %.1f ms)"
+          % (overhead * 1e3,
+             100.0 * data["telemetry"]["overhead_fraction"],
+             budget * 1e3))
+    assert overhead <= budget, (
+        "telemetry costs %.1f ms on the warm serve path "
+        "(budget %.1f ms = max(%.0f%%, %.0f ms))"
+        % (overhead * 1e3, budget * 1e3,
+           100 * TELEMETRY_OVERHEAD_FRACTION,
+           TELEMETRY_OVERHEAD_SLACK_S * 1e3))
 
 
 if __name__ == "__main__":

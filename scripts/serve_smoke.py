@@ -6,6 +6,11 @@ streams the stable result rows, runs the identical spec through
 byte-identical row for row — the serving layer's core determinism
 contract, exercised exactly the way a user would.
 
+Also scrapes ``GET /v1/metrics`` while a batch is in flight, asserts
+the key telemetry series exist and parse as Prometheus text, and
+writes the final exposition + JSON snapshot to ``benchmarks/out/``
+for CI to upload next to the BENCH artifacts.
+
 Usage::
 
     PYTHONPATH=src python scripts/serve_smoke.py
@@ -24,6 +29,19 @@ sys.path.insert(0, os.path.join(REPO, "src"))
 from repro.cli import main as eclc  # noqa: E402
 from repro.designs import PROTOCOL_STACK_ECL  # noqa: E402
 from repro.serve import ServeClient  # noqa: E402
+from repro.telemetry import parse_prometheus  # noqa: E402
+
+#: Series every instrumented service run must expose (the stable
+#: metric-name contract; see the README catalog).
+REQUIRED_SERIES = (
+    "ecl_serve_queue_depth",
+    "ecl_serve_admitted_total",
+    "ecl_serve_jobs_executed_total",
+    "ecl_serve_batch_seconds_count",
+    "ecl_serve_journal_appends_total",
+    "ecl_pipeline_cache_requests_total",
+    "ecl_farm_jobs_total",
+)
 
 SPEC_JOBS = [
     {"design": "stack", "modules": ["toplevel"],
@@ -75,6 +93,28 @@ def run():
         client = ServeClient(port=port)
         assert client.healthz(), "healthz failed"
 
+        # scrape /v1/metrics while a batch is in flight: admission is
+        # synchronous, so right after submit() returns the batch is
+        # live and the exposition must already carry its series
+        document = {
+            "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
+            "jobs": SPEC_JOBS,
+        }
+        inflight = client.submit(document)
+        midflight = parse_prometheus(client.metrics_text())
+        assert "ecl_serve_admitted_total" in midflight, (
+            "mid-batch scrape missing admission counter: %r"
+            % sorted(midflight))
+        assert "ecl_serve_queue_depth" in midflight, (
+            "mid-batch scrape missing queue depth gauge")
+        appends = {labels.get("kind"): value for labels, value
+                   in midflight.get("ecl_serve_journal_appends_total",
+                                    [])}
+        assert appends.get("admit", 0) >= 1, (
+            "admission not journaled before the scrape: %r" % appends)
+        drained = list(client.stream_results(inflight["batch"]))
+        assert len(drained) == 8, "in-flight batch lost rows"
+
         # submit via the CLI (inlines the design), stream via HTTP
         rows_path = os.path.join(workdir, "rows.json")
         rc = eclc(["submit", spec_path, "--port", str(port), "--watch",
@@ -96,6 +136,24 @@ def run():
         assert misses == misses_before, (
             "repeat submission compiled: %r -> %r"
             % (misses_before, misses))
+
+        # final scrape: every series in the contract exists and the
+        # whole exposition round-trips through the stdlib parser;
+        # the snapshot lands next to the BENCH JSONs for upload
+        text = client.metrics_text()
+        series = parse_prometheus(text)
+        missing = [name for name in REQUIRED_SERIES
+                   if name not in series]
+        assert not missing, "metrics contract broken: %s" % missing
+        out_dir = os.path.join(REPO, "benchmarks", "out")
+        os.makedirs(out_dir, exist_ok=True)
+        with open(os.path.join(out_dir, "metrics_snapshot.txt"),
+                  "w") as handle:
+            handle.write(text)
+        with open(os.path.join(out_dir, "metrics_snapshot.json"),
+                  "w") as handle:
+            json.dump(client.metrics_json(), handle, indent=2,
+                      sort_keys=True)
 
         client.shutdown()
         process.wait(timeout=60)
@@ -123,7 +181,8 @@ def run():
             "row %d diverged:\n  serve: %s\n  farm:  %s"
             % (service_row["index"], left, right))
     print("serve smoke: %d rows byte-identical to eclc farm run, "
-          "zero compile misses on repeat submission" % len(streamed))
+          "zero compile misses on repeat submission, %d metric "
+          "series scraped" % (len(streamed), len(series)))
 
 
 if __name__ == "__main__":

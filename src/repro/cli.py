@@ -147,6 +147,10 @@ def _build_parser():
                      help="write the FarmReport as JSON")
     run.add_argument("-v", "--verbose", action="store_true",
                      help="print every job row, not only failures")
+    run.add_argument("--profile", action="store_true",
+                     help="enable telemetry spans and print a per-phase "
+                          "time breakdown after the batch (forces "
+                          "workers=1: spans do not cross processes)")
     run.set_defaults(handler=_cmd_farm_run)
 
     serve = sub.add_parser(
@@ -178,7 +182,38 @@ def _build_parser():
                             "worker-death retries (default 3)")
     serve.add_argument("-v", "--verbose", action="store_true",
                        help="log every HTTP request")
+    serve.add_argument("--no-telemetry", dest="telemetry",
+                       action="store_false", default=True,
+                       help="disable the metrics registry (GET "
+                            "/v1/metrics then serves an empty page)")
     serve.set_defaults(handler=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="metrics of a running service (or offline "
+                      "reports/ledgers)")
+    stats.add_argument("--host", default=None,
+                       help="service address (default 127.0.0.1)")
+    stats.add_argument("--port", type=int, default=None,
+                       help="service port (default 8732)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw metrics snapshot as JSON")
+    stats.add_argument("--watch", action="store_true",
+                       help="refresh until interrupted")
+    stats.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh period with --watch (default 2)")
+    stats.add_argument("--count", type=int, default=0,
+                       help="with --watch: stop after N refreshes "
+                            "(0 = until interrupted)")
+    stats.add_argument("--report", default=None, metavar="PATH",
+                       help="offline: summarize a FarmReport JSON "
+                            "instead of scraping a service")
+    stats.add_argument("--ledger", default=None, metavar="DIR",
+                       help="offline: summarize a trace-ledger root "
+                            "('auto' = next to the artifact cache)")
+    stats.add_argument("--tenant", default=None,
+                       help="with --ledger: one tenant's index shard")
+    stats.set_defaults(handler=_cmd_stats)
 
     submit = sub.add_parser(
         "submit", help="submit a farm spec to a running service")
@@ -299,6 +334,31 @@ def _campaign_flags(parser, engines=("interp", "efsm", "native", "rtos",
                              "artifact cache)")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the campaign report as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable telemetry spans and print a "
+                             "per-phase time breakdown (forces "
+                             "workers=1: spans do not cross processes)")
+
+
+def _profile_enable():
+    """Arm telemetry for a ``--profile`` run: fresh registry, span
+    trace installed."""
+    from . import telemetry
+
+    telemetry.reset()
+    telemetry.enable(trace=True)
+
+
+def _profile_print(wall):
+    """Print the per-phase breakdown, then put telemetry back to its
+    default (off) state — ``--profile`` is a one-shot measurement, not
+    a mode switch."""
+    from . import telemetry
+
+    trace = telemetry.trace_log()
+    print(telemetry.format_profile(
+        trace.entries() if trace is not None else [], wall))
+    telemetry.disable()
 
 
 def _load(args):
@@ -476,12 +536,23 @@ def _cmd_farm_run(args):
         ledger_root = default_ledger_root()
     elif args.ledger:
         ledger_root = args.ledger
+    if args.profile:
+        _profile_enable()
+        if settings["workers"] is None or settings["workers"] > 1:
+            print("eclc: --profile runs inline (workers=1): spans do "
+                  "not cross process boundaries", file=sys.stderr)
+        settings["workers"] = 1
     farm = SimulationFarm(designs, ledger_root=ledger_root,
                           workers=settings["workers"],
                           chunk_size=settings["chunk_size"],
                           cache_dir=settings["cache_dir"])
+    from time import perf_counter
+    started = perf_counter()
     report = farm.run(jobs)
+    wall = perf_counter() - started
     print(report.summary(verbose=args.verbose))
+    if args.profile:
+        _profile_print(wall)
     if args.report:
         import json
         with open(args.report, "w") as handle:
@@ -497,6 +568,9 @@ def _cmd_serve(args):
                         serve_forever)
     from .serve.pool import DEFAULT_MAX_ATTEMPTS
 
+    if args.telemetry:
+        from . import telemetry
+        telemetry.enable()
     host = args.host or DEFAULT_HOST
     port = args.port if args.port is not None else DEFAULT_PORT
     service = SimulationService(
@@ -532,6 +606,45 @@ def _cmd_serve(args):
     serve_forever(service, server=server)
     print("eclc serve: stopped")
     return 0
+
+
+def _cmd_stats(args):
+    from . import telemetry
+
+    if args.report:
+        import json
+        with open(args.report) as handle:
+            print(telemetry.summarize_report(json.load(handle)))
+        return 0
+    if args.ledger:
+        from .farm.ledger import TraceLedger
+        ledger = TraceLedger(_resolve_ledger(args.ledger),
+                             tenant=args.tenant)
+        print(telemetry.summarize_ledger(ledger.entries()))
+        return 0
+
+    import json
+    import time as time_mod
+    from .serve import DEFAULT_HOST, DEFAULT_PORT, ServeClient
+
+    client = ServeClient(host=args.host or DEFAULT_HOST,
+                         port=args.port if args.port is not None
+                         else DEFAULT_PORT)
+    refreshes = 0
+    while True:
+        snapshot = client.metrics_json()
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(telemetry.format_snapshot(snapshot))
+        refreshes += 1
+        if not args.watch or (args.count and refreshes >= args.count):
+            return 0
+        try:
+            time_mod.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        print("-- refresh %d --" % (refreshes + 1))
 
 
 def _cmd_submit(args):
@@ -698,6 +811,23 @@ def _apply_spec_overrides(args, campaign):
         campaign.ledger_root = _resolve_ledger(args.ledger)
 
 
+def _run_campaign(args, campaign):
+    """Run one campaign, honoring ``--profile`` (inline workers, span
+    trace, per-phase breakdown after the summary)."""
+    from time import perf_counter
+
+    if args.profile:
+        _profile_enable()
+        campaign.workers = 1
+    started = perf_counter()
+    result = campaign.run()
+    wall = perf_counter() - started
+    print(result.summary())
+    if args.profile:
+        _profile_print(wall)
+    return result
+
+
 def _write_campaign_report(args, result):
     if args.report:
         import json
@@ -734,16 +864,14 @@ def _cmd_verify_run(args):
                   file=sys.stderr)
             return 2
         campaign = _flag_campaign(args, properties)
-    result = campaign.run()
-    print(result.summary())
+    result = _run_campaign(args, campaign)
     _write_campaign_report(args, result)
     return 0 if result.ok else 1
 
 
 def _cmd_cover(args):
     campaign = _flag_campaign(args, ())
-    result = campaign.run()
-    print(result.summary())
+    result = _run_campaign(args, campaign)
     _write_campaign_report(args, result)
     if result.errors:
         return 1

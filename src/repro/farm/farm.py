@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..errors import EclError
 from . import worker as worker_mod
 from .jobs import SimResult
@@ -221,10 +222,12 @@ class SimulationFarm:
                 )
             # run_jobs (not a per-job loop) so the inline path fuses
             # vector jobs into sweeps exactly like a pooled chunk does.
-            results = self._inline_state.run_jobs(jobs, on_result=on_result)
+            with telemetry.span("farm.run", mode="inline"):
+                results = self._inline_state.run_jobs(jobs, on_result=on_result)
             workers = 1
         else:
-            results = self._run_pool(jobs, chunks, workers, on_result)
+            with telemetry.span("farm.run", mode="pool"):
+                results = self._run_pool(jobs, chunks, workers, on_result)
         results.sort(key=lambda result: result.index)
         return FarmReport(
             results=results,
@@ -272,6 +275,63 @@ class SimulationFarm:
             ledger_root=self.ledger_root,
             cache_dir=self.cache_dir,
         )
+        with telemetry.span("farm.precompile"):
+            self._precompile(state, jobs)
+        worker_mod.adopt(state)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=worker_mod.initialize,
+                initargs=(
+                    self.designs,
+                    self.options,
+                    self.ledger_root,
+                    self.cache_dir,
+                ),
+            ) as pool:
+                chunk_counter = telemetry.counter(
+                    "ecl_farm_chunks_total",
+                    help="Chunks dispatched to pooled workers.",
+                )
+                chunk_jobs = telemetry.histogram(
+                    "ecl_farm_chunk_jobs",
+                    help="Jobs per dispatched chunk.",
+                    buckets=telemetry.SIZE_BUCKETS,
+                )
+                chunk_seconds = telemetry.histogram(
+                    "ecl_farm_chunk_seconds",
+                    help="Chunk round-trip: submit to completed result.",
+                )
+                collect_seconds = telemetry.histogram(
+                    "ecl_farm_collect_seconds",
+                    help="Parent-side unmarshal/merge time per chunk.",
+                )
+                submitted = {}
+                futures = []
+                for chunk in chunks:
+                    future = pool.submit(worker_mod.run_chunk, chunk)
+                    submitted[future] = perf_counter()
+                    futures.append(future)
+                    chunk_counter.inc()
+                    chunk_jobs.observe(len(chunk))
+                results = []
+                for future in as_completed(futures):
+                    landed = perf_counter()
+                    chunk_seconds.observe(landed - submitted[future])
+                    chunk_results = future.result()
+                    results.extend(chunk_results)
+                    if on_result is not None:
+                        for result in chunk_results:
+                            on_result(result)
+                    collect_seconds.observe(perf_counter() - landed)
+        finally:
+            worker_mod.adopt(None)
+        return results
+
+    @staticmethod
+    def _precompile(state, jobs):
+        """Compile every artifact the batch needs into ``state`` (the
+        copy-on-write image forked workers inherit)."""
         for design, module in sorted({(job.design, job.module) for job in jobs}):
             try:
                 handle = state.build(design).module(module)
@@ -310,26 +370,3 @@ class SimulationFarm:
                 state.build(design).partition_bundle(specs)
             except EclError:
                 pass  # surfaces per job as a status="error" result
-        worker_mod.adopt(state)
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=worker_mod.initialize,
-                initargs=(
-                    self.designs,
-                    self.options,
-                    self.ledger_root,
-                    self.cache_dir,
-                ),
-            ) as pool:
-                futures = [pool.submit(worker_mod.run_chunk, chunk) for chunk in chunks]
-                results = []
-                for future in as_completed(futures):
-                    chunk_results = future.result()
-                    results.extend(chunk_results)
-                    if on_result is not None:
-                        for result in chunk_results:
-                            on_result(result)
-        finally:
-            worker_mod.adopt(None)
-        return results

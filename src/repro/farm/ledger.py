@@ -38,8 +38,10 @@ import os
 import re
 import tempfile
 import warnings
+from time import perf_counter
 from typing import Iterator, List, Optional
 
+from .. import telemetry
 from ..errors import EclError
 from ..pipeline.cache import default_cache_root
 
@@ -108,6 +110,7 @@ class TraceLedger:
         """
         if self.fault_hook is not None:
             self.fault_hook("put", job.job_id)
+        started = perf_counter()
         header = {
             "job_id": job.job_id,
             "design": job.design,
@@ -140,6 +143,14 @@ class TraceLedger:
                 "trace": digest,
             }
         )
+        telemetry.counter(
+            "ecl_ledger_appends_total",
+            help="Trace objects persisted to the ledger.",
+        ).inc()
+        telemetry.histogram(
+            "ecl_ledger_put_seconds",
+            help="Full trace persistence time (object + index).",
+        ).observe(perf_counter() - started)
         return digest, path
 
     # -- reading -------------------------------------------------------

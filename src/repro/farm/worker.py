@@ -29,6 +29,7 @@ import traceback
 from time import perf_counter
 from typing import Dict, Optional
 
+from .. import telemetry
 from ..errors import EclError
 from ..pipeline import ArtifactCache, Pipeline
 from ..pipeline.stages import CompileOptions
@@ -199,6 +200,20 @@ class WorkerState:
                 on_result(result)
         return results
 
+    @staticmethod
+    def _observe_result(result):
+        """Feed one finished result row into the farm job metrics."""
+        telemetry.counter(
+            "ecl_farm_jobs_total",
+            help="Simulation jobs executed, by engine and status.",
+            engine=result.engine, status=result.status,
+        ).inc()
+        telemetry.histogram(
+            "ecl_farm_job_seconds",
+            help="Per-job execution wall time by engine.",
+            engine=result.engine,
+        ).observe(result.elapsed or 0.0)
+
     def run_job(self, job) -> SimResult:
         """Execute one job to completion; never raises on job failure —
         errors become ``status="error"`` results."""
@@ -206,6 +221,12 @@ class WorkerState:
             # A lone vector job is a one-lane sweep: same code path as
             # fused execution, so results match the batch bit for bit.
             return self.run_sweep([job])[0]
+        with telemetry.span("farm.job", engine=job.engine):
+            result = self._run_job_scalar(job)
+        self._observe_result(result)
+        return result
+
+    def _run_job_scalar(self, job) -> SimResult:
         result = SimResult(
             job_id=job.job_id,
             design=job.design,
@@ -280,6 +301,18 @@ class WorkerState:
         ``status="error"`` row per job, a per-lane runtime fault errors
         only its own row."""
         jobs = list(jobs)
+        telemetry.histogram(
+            "ecl_farm_sweep_lanes",
+            help="Lanes fused per vectorized sweep.",
+            buckets=telemetry.SIZE_BUCKETS,
+        ).observe(len(jobs))
+        with telemetry.span("farm.sweep", engine="vector"):
+            results = self._run_sweep_fused(jobs)
+        for result in results:
+            self._observe_result(result)
+        return results
+
+    def _run_sweep_fused(self, jobs) -> List[SimResult]:
         results = [
             SimResult(
                 job_id=job.job_id,
@@ -355,9 +388,14 @@ class WorkerState:
         if job.properties and records is not None:
             from ..verify.monitor import Monitor
 
+            started = perf_counter()
             monitor = Monitor(program)
             for record in records:
                 monitor.step_record(record)
+            telemetry.histogram(
+                "ecl_verify_monitor_seconds",
+                help="Monitor stepping overhead per property-checked job.",
+            ).observe(perf_counter() - started)
             violation = monitor.first_violation
             if violation is not None:
                 status = STATUS_VIOLATED
@@ -449,9 +487,14 @@ class WorkerState:
         from ..verify.monitor import Monitor
 
         handle = self.build(job.design).module(job.module)
+        started = perf_counter()
         monitor = Monitor(handle.monitor_bundle(job.properties))
         for record in records:
             monitor.step_record(record)
+        telemetry.histogram(
+            "ecl_verify_monitor_seconds",
+            help="Monitor stepping overhead per property-checked job.",
+        ).observe(perf_counter() - started)
         return monitor.first_violation
 
     def _run_single(self, job, coverage=None):

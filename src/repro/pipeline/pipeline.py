@@ -33,6 +33,7 @@ from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter
 from typing import Dict, List
 
+from .. import telemetry
 from ..errors import CodegenError, CompileError, EclError
 from ..runtime.reactor import Reactor
 from .artifacts import ArtifactKey, digest_design_inputs, digest_options
@@ -308,15 +309,27 @@ class ModuleHandle:
         started = perf_counter()
         artifact = pipeline.cache.get(key)
         if artifact is None:
-            payload = compute()
+            with telemetry.span("pipeline.%s" % stage):
+                payload = compute()
             artifact = pipeline.cache.put(key, payload, kind=kind)
             hit = False
         else:
             hit = True
+        elapsed = perf_counter() - started
+        outcome = "hit" if hit else "miss"
+        telemetry.counter(
+            "ecl_pipeline_cache_requests_total",
+            help="ArtifactCache lookups per stage and outcome.",
+            stage=stage, outcome=outcome,
+        ).inc()
+        telemetry.histogram(
+            "ecl_pipeline_stage_seconds",
+            help="Inclusive stage time per cache outcome.",
+            stage=stage, outcome=outcome,
+        ).observe(elapsed)
         if stage not in self._timed:
             self._timed.add(stage)
-            self.timings.append(
-                StageTiming(stage, perf_counter() - started, hit))
+            self.timings.append(StageTiming(stage, elapsed, hit))
         return artifact.payload
 
     # -- core stages ---------------------------------------------------

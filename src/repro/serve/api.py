@@ -11,6 +11,8 @@ the compiler runs.  The surface, all under ``/v1``:
                                               recovery summary (503 when
                                               draining)
 ``GET  /v1/status``                           queue/pool/tenant/batch stats
+``GET  /v1/metrics``                          Prometheus text exposition
+``GET  /v1/metrics.json``                     metrics snapshot as JSON
 ``POST /v1/batches``                          submit one batch document
 ``GET  /v1/batches/<id>``                     poll one batch's progress
 ``GET  /v1/batches/<id>/results``             stream results as NDJSON
@@ -42,6 +44,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from .. import telemetry
 from ..errors import EclError
 from .queue import QueueFullError
 from .service import SimulationService
@@ -94,6 +97,19 @@ class ServeHandler(BaseHTTPRequestHandler):
                                 health)
             elif parts == ["v1", "status"]:
                 self._send_json(200, self.service.status_dict())
+            elif parts == ["v1", "metrics"]:
+                self.service.record_gauges()
+                text = telemetry.render_prometheus(telemetry.get_registry())
+                blob = text.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(blob)))
+                self.end_headers()
+                self.wfile.write(blob)
+            elif parts == ["v1", "metrics.json"]:
+                self.service.record_gauges()
+                self._send_json(200, telemetry.snapshot())
             elif len(parts) == 3 and parts[:2] == ["v1", "batches"]:
                 self._send_json(200,
                                 self.service.batch(parts[2]).status_dict())

@@ -41,6 +41,8 @@ import threading
 import time
 from typing import Dict, Optional
 
+from .. import telemetry
+
 #: Raised by the crash hooks: distinguishable from real bugs in the
 #: execute path when a chaos test inspects quarantine error text.
 class InjectedCrash(RuntimeError):
@@ -116,7 +118,14 @@ class FaultPlan:
             if decision_fraction(self.seed, scope, key, occurrence) >= prob:
                 return False
             self.injected[scope] += 1
-            return True
+        # Counted, never printed: fault occurrences surface through the
+        # metrics endpoint (and plan.injected), outside the plan lock.
+        telemetry.counter(
+            "ecl_chaos_injected_total",
+            help="Faults the chaos plan actually fired, by scope.",
+            scope=scope,
+        ).inc()
+        return True
 
     @staticmethod
     def _job_key(entry):

@@ -232,6 +232,34 @@ class ServeClient:
             connection.close()
         return True
 
+    def metrics_json(self) -> dict:
+        """The ``/v1/metrics.json`` registry snapshot."""
+        return self._check(*self._request("GET", "/v1/metrics.json"))
+
+    def metrics_text(self) -> str:
+        """The raw ``/v1/metrics`` Prometheus exposition text.
+
+        Bypasses the JSON plumbing (the body is text), but keeps the
+        same idempotent-GET retry discipline."""
+        tries = 1 + self.get_retries
+        for attempt in range(1, tries + 1):
+            try:
+                connection = self._connect()
+                try:
+                    connection.request("GET", "/v1/metrics")
+                    response = connection.getresponse()
+                    blob = response.read()
+                finally:
+                    connection.close()
+            except (OSError, http.client.HTTPException) as error:
+                if attempt >= tries:
+                    raise self._unreachable(error)
+                time.sleep(self._retry_delay(attempt))
+                continue
+            if response.status >= 400:
+                raise EclError("service error (HTTP %d)" % response.status)
+            return blob.decode("utf-8")
+
     def fetch_trace(self, tenant, digest) -> dict:
         return self._check(*self._request(
             "GET", "/v1/tenants/%s/traces/%s" % (tenant, digest)

@@ -45,8 +45,10 @@ import json
 import os
 import threading
 import warnings
+from time import perf_counter
 from typing import Dict, List, Optional
 
+from .. import telemetry
 from ..farm.ledger import check_tenant
 
 #: Journal record kinds, in lifecycle order.
@@ -159,8 +161,18 @@ class BatchJournal:
     def _append(self, tenant, record, key=""):
         if self.fault_hook is not None:
             self.fault_hook(record["kind"], key)
+        started = perf_counter()
         line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
         os.write(self._shard_fd(tenant), line)
+        telemetry.counter(
+            "ecl_serve_journal_appends_total",
+            help="Durable journal lines appended, by record kind.",
+            kind=record["kind"],
+        ).inc()
+        telemetry.histogram(
+            "ecl_serve_journal_append_seconds",
+            help="Journal append latency (serialize + O_APPEND write).",
+        ).observe(perf_counter() - started)
 
     def _shard_fd(self, tenant):
         with self._lock:

@@ -36,6 +36,8 @@ import threading
 import traceback
 from time import monotonic
 
+from .. import telemetry
+
 #: Total tries a job gets before a worker-death error is reported.
 DEFAULT_MAX_ATTEMPTS = 3
 
@@ -156,6 +158,10 @@ class WorkerPool:
                     self.fault_hook(entry)
                 self.execute(entry)
                 self.jobs_executed += 1
+                telemetry.counter(
+                    "ecl_serve_jobs_executed_total",
+                    help="Jobs the serve worker pool ran to completion.",
+                ).inc()
                 if self.post_fault_hook is not None:
                     self.post_fault_hook(entry)
             except BaseException:
@@ -173,6 +179,10 @@ class WorkerPool:
         """Requeue (bounded, backing off) or report the dying worker's
         entry, then spawn a replacement thread."""
         self.worker_deaths += 1
+        telemetry.counter(
+            "ecl_serve_worker_deaths_total",
+            help="Worker threads lost to faults escaping job execution.",
+        ).inc()
         entry.attempts += 1
         requeued = False
         if entry.attempts < self.max_attempts:

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from time import monotonic
 from typing import List, Optional
 
+from .. import telemetry
 from ..errors import EclError
 
 #: Default bound on queued (not yet executing) jobs.
@@ -127,6 +128,10 @@ class JobQueue:
                 raise EclError("job queue is closed (service shutting down)")
             if not force and len(self._heap) + len(jobs) > self.depth:
                 self.rejected += len(jobs)
+                telemetry.counter(
+                    "ecl_serve_rejected_total",
+                    help="Jobs rejected by queue backpressure.",
+                ).inc(len(jobs))
                 raise QueueFullError(
                     "queue_full: %d queued + %d submitted exceeds depth %d"
                     % (len(self._heap), len(jobs), self.depth)
@@ -144,6 +149,10 @@ class JobQueue:
             for entry in entries:
                 heapq.heappush(self._heap, entry)
             self.admitted += len(entries)
+            telemetry.counter(
+                "ecl_serve_admitted_total",
+                help="Jobs admitted past queue backpressure.",
+            ).inc(len(entries))
             self._not_empty.notify(len(entries))
             return entries
 
@@ -156,6 +165,10 @@ class JobQueue:
                 return False
             heapq.heappush(self._heap, entry)
             self.requeued += 1
+            telemetry.counter(
+                "ecl_serve_requeued_total",
+                help="Retried jobs re-admitted after a worker death.",
+            ).inc()
             self._not_empty.notify()
             return True
 

@@ -59,9 +59,10 @@ import os
 import threading
 import uuid
 import warnings
-from time import monotonic
+from time import monotonic, perf_counter
 from typing import Dict, Iterator, List, Optional
 
+from .. import telemetry
 from ..errors import EclError
 from ..farm.jobs import STATUS_ERROR, SimResult
 from ..farm.ledger import TraceLedger, check_tenant
@@ -320,6 +321,11 @@ class SimulationService:
             raise
         with self._lock:
             self._batches[batch_id] = batch
+        telemetry.counter(
+            "ecl_serve_batches_submitted_total",
+            help="Batches admitted past intake, by tenant.",
+            tenant=tenant,
+        ).inc()
         return batch
 
     @staticmethod
@@ -352,13 +358,27 @@ class SimulationService:
             # A crash-after-record retry: the result already landed
             # (and was journaled); re-running would duplicate it.
             return
+        if entry.admitted_at:
+            telemetry.histogram(
+                "ecl_serve_queue_wait_seconds",
+                help="Admission-to-execution queue wait, by tenant.",
+                tenant=entry.tenant,
+            ).observe(monotonic() - entry.admitted_at)
         refusal = self._refusal(entry)
         if refusal is not None:
             self._record_result(entry.batch,
                                 self._synthetic_result(entry, refusal))
             return
         space = self._space(entry.tenant)
-        result = space.state.run_job(entry.job)
+        started = perf_counter()
+        with telemetry.span("serve.job", tenant=entry.tenant,
+                            engine=entry.job.engine):
+            result = space.state.run_job(entry.job)
+        telemetry.histogram(
+            "ecl_serve_execute_seconds",
+            help="Job execution time on the warm pool, by tenant.",
+            tenant=entry.tenant,
+        ).observe(perf_counter() - started)
         space.jobs_run += 1
         self._record_result(entry.batch, result)
 
@@ -369,6 +389,10 @@ class SimulationService:
         batch = entry.batch
         if batch is not None and batch.expired:
             self.expired_jobs += 1
+            telemetry.counter(
+                "ecl_serve_expired_total",
+                help="Jobs refused because their batch TTL elapsed.",
+            ).inc()
             return (
                 "expired: batch ttl_s=%.3f elapsed before the job ran"
                 % batch.ttl_s
@@ -378,6 +402,10 @@ class SimulationService:
             waited = now - entry.admitted_at
             if waited > deadline_s:
                 self.deadline_misses += 1
+                telemetry.counter(
+                    "ecl_serve_deadline_misses_total",
+                    help="Jobs refused after waiting past their deadline.",
+                ).inc()
                 return (
                     "deadline_exceeded: job waited %.3fs in queue, "
                     "deadline_s=%.3f" % (waited, deadline_s)
@@ -389,6 +417,10 @@ class SimulationService:
         will never requeue again, and its batch gets a structured
         ``quarantined`` error row instead of a hang."""
         self.quarantined += 1
+        telemetry.counter(
+            "ecl_serve_quarantined_total",
+            help="Poison jobs quarantined after exhausting retries.",
+        ).inc()
         self._record_result(
             entry.batch,
             self._synthetic_result(entry, "quarantined: " + error_text),
@@ -404,6 +436,16 @@ class SimulationService:
             self._journal("row", batch.tenant, batch.id, result)
         if batch.add_result(result) and batch.done:
             self._journal("end", batch.tenant, batch.id)
+            telemetry.counter(
+                "ecl_serve_batches_completed_total",
+                help="Batches run to completion, by tenant.",
+                tenant=batch.tenant,
+            ).inc()
+            telemetry.histogram(
+                "ecl_serve_batch_seconds",
+                help="Batch latency, admission to last result, by tenant.",
+                tenant=batch.tenant,
+            ).observe(monotonic() - batch.created)
 
     def _journal(self, kind, tenant, batch_id, *args, **kwargs):
         """Best-effort journal append: an OSError degrades durability
@@ -413,13 +455,16 @@ class SimulationService:
             return
         try:
             getattr(self.journal, kind)(tenant, batch_id, *args, **kwargs)
-        except OSError as error:
+        except OSError:
+            # Counted, not printed: a journal fault under load would
+            # otherwise spam one warning per record.  The counter (and
+            # the health payload's journal_errors) carries the signal.
             self.journal_errors += 1
-            warnings.warn(
-                "journal %s append failed for batch %s: %s"
-                % (kind, batch_id, error),
-                stacklevel=2,
-            )
+            telemetry.counter(
+                "ecl_serve_journal_errors_total",
+                help="Journal appends that failed (durability degraded).",
+                kind=kind,
+            ).inc()
 
     @staticmethod
     def _synthetic_result(entry, error_text):
@@ -462,6 +507,16 @@ class SimulationService:
                         stacklevel=2,
                     )
         self.recovery = summary
+        for key, metric in (
+            ("replayed_rows", "ecl_serve_recovery_replayed_rows_total"),
+            ("resumed_jobs", "ecl_serve_recovery_resumed_jobs_total"),
+            ("recovered_batches", "ecl_serve_recovery_batches_total"),
+            ("torn_lines", "ecl_serve_recovery_torn_lines_total"),
+        ):
+            if summary[key]:
+                telemetry.counter(
+                    metric, help="Journal recovery: %s." % key.replace("_", " "),
+                ).inc(summary[key])
 
     def _recover_batch(self, tenant, record, summary):
         origin = "<journal %s>" % record.batch_id
@@ -543,12 +598,18 @@ class SimulationService:
         """The ``GET /v1/health`` payload: queue depth, quarantine and
         deadline counters, journal/recovery state — what an operator
         (or a backing-off client) needs to decide whether to retry."""
+        with self._lock:
+            batches_open = sum(
+                1 for batch in self._batches.values() if not batch.done
+            )
         return {
             "ok": bool(self._accepting),
             "accepting": self._accepting,
             "queued": len(self.queue),
             "queue_depth": self.queue.depth,
             "active": self.pool.stats_dict()["active"],
+            "batches_open": batches_open,
+            "jobs_executed": self.pool.jobs_executed,
             "quarantined": self.quarantined,
             "deadline_misses": self.deadline_misses,
             "expired_jobs": self.expired_jobs,
@@ -556,8 +617,43 @@ class SimulationService:
             "journal": self.journal is not None,
             "journal_errors": self.journal_errors,
             "recovery": self.recovery,
+            "telemetry": telemetry.is_enabled(),
             "uptime": monotonic() - self.started,
         }
+
+    def record_gauges(self):
+        """Refresh the live-state gauges from the queue, pool and batch
+        map — called by the metrics endpoints right before rendering,
+        so a scrape always sees current depth without the staleness
+        hazards of per-service callbacks on the global registry."""
+        queue_stats = self.queue.stats_dict()
+        pool_stats = self.pool.stats_dict()
+        with self._lock:
+            batches_open = sum(
+                1 for batch in self._batches.values() if not batch.done
+            )
+            tenants = len(self._tenants)
+        telemetry.gauge(
+            "ecl_serve_queue_depth", help="Jobs queued, not yet executing.",
+        ).set(queue_stats["queued"])
+        telemetry.gauge(
+            "ecl_serve_queue_in_flight",
+            help="Jobs popped and executing right now.",
+        ).set(queue_stats["in_flight"])
+        telemetry.gauge(
+            "ecl_serve_workers", help="Configured worker threads.",
+        ).set(pool_stats["workers"])
+        telemetry.gauge(
+            "ecl_serve_workers_active",
+            help="Worker threads holding a job right now.",
+        ).set(pool_stats["active"])
+        telemetry.gauge(
+            "ecl_serve_batches_open",
+            help="Admitted batches still awaiting results.",
+        ).set(batches_open)
+        telemetry.gauge(
+            "ecl_serve_tenants", help="Tenant spaces resident in memory.",
+        ).set(tenants)
 
     # -- shutdown ------------------------------------------------------
 

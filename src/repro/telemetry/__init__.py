@@ -1,0 +1,137 @@
+"""repro.telemetry — metrics, spans and profiling for the whole stack.
+
+One dependency-free observability layer shared by the pipeline, the
+farm, the serving stack and the verifier:
+
+* :mod:`~repro.telemetry.registry` — a thread-safe
+  :class:`MetricsRegistry` of counters, gauges and fixed-log-bucket
+  histograms, with a process-global default instance behind a
+  zero-cost enable/disable flag;
+* :mod:`~repro.telemetry.spans` — ``with span("serve.job",
+  tenant=...)`` context managers recording wall/cpu time into
+  histograms and an optional bounded trace ring buffer, plus the
+  ``--profile`` per-phase breakdown built from the same records;
+* :mod:`~repro.telemetry.prom` — the stdlib Prometheus text
+  formatter behind ``GET /v1/metrics`` (and the tiny parser the CI
+  smoke uses to check it);
+* :mod:`~repro.telemetry.stats` — the renderers behind ``eclc
+  stats``.
+
+The contract that keeps this layer safe to leave on: telemetry only
+ever *observes*.  It never contributes to job identity, derived
+seeds, or any ``to_dict(volatile=False)`` stable serialization —
+rows are byte-identical with telemetry enabled or disabled, which
+the chaos suite asserts.
+
+Usage::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    telemetry.counter("ecl_serve_admitted_total").inc()
+    with telemetry.span("farm.job", engine="native"):
+        ...
+    print(telemetry.render_prometheus(telemetry.get_registry()))
+
+Metric names are a stable, tested contract — see the catalog in the
+README's "Observing the service" section.
+"""
+
+from __future__ import annotations
+
+from .prom import format_value, parse_prometheus, render_prometheus
+from .registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    counter,
+    exponential_buckets,
+    gauge,
+    get_registry,
+    histogram,
+    is_enabled,
+    set_enabled,
+)
+from .spans import (
+    DEFAULT_TRACE_CAPACITY,
+    SpanRecord,
+    TraceLog,
+    format_profile,
+    install_trace,
+    profile_rows,
+    span,
+    trace_log,
+    uninstall_trace,
+)
+from .stats import (
+    format_snapshot,
+    quantile_from_buckets,
+    summarize_ledger,
+    summarize_report,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "SpanRecord",
+    "TraceLog",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_TRACE_CAPACITY",
+    "SIZE_BUCKETS",
+    "counter",
+    "disable",
+    "enable",
+    "exponential_buckets",
+    "format_profile",
+    "format_snapshot",
+    "format_value",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "install_trace",
+    "is_enabled",
+    "parse_prometheus",
+    "profile_rows",
+    "quantile_from_buckets",
+    "render_prometheus",
+    "reset",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "summarize_ledger",
+    "summarize_report",
+    "trace_log",
+    "uninstall_trace",
+]
+
+
+def enable(trace=False, trace_capacity=DEFAULT_TRACE_CAPACITY):
+    """Turn the default registry live (``trace=True`` also installs a
+    span ring buffer for ``--profile``-style breakdowns)."""
+    set_enabled(True)
+    if trace:
+        return install_trace(trace_capacity)
+    return None
+
+
+def disable():
+    """Back to no-op mode; the registry keeps its recorded state."""
+    set_enabled(False)
+    uninstall_trace()
+
+
+def snapshot() -> dict:
+    """Snapshot of the default registry (``/v1/metrics.json``)."""
+    return get_registry().snapshot()
+
+
+def reset():
+    """Clear the default registry (tests / benchmark isolation)."""
+    get_registry().reset()

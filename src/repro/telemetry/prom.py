@@ -1,0 +1,152 @@
+"""Prometheus text exposition, stdlib only.
+
+:func:`render_prometheus` turns a registry snapshot into the v0.0.4
+text format any Prometheus-compatible scraper ingests: one ``# HELP``
+/ ``# TYPE`` header per family, samples with sorted labels, and
+histograms expanded into cumulative ``_bucket`` series (``le`` upper
+bounds ending at ``+Inf``) plus ``_sum`` and ``_count``.  Label values
+escape backslash, double-quote and newline exactly as the format
+specifies; help strings escape backslash and newline.
+
+:func:`parse_prometheus` is the matching tiny parser — just enough to
+read the exposition back into ``{name: [(labels, value), ...]}`` —
+used by the CI smoke script and the formatter's own round-trip tests,
+so the wire format itself is under test, not only the renderer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["render_prometheus", "parse_prometheus", "format_value"]
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _escape_help(text):
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value):
+    """Prometheus sample value: integers bare, floats via repr, +Inf
+    spelled the way the format wants."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return "%d" % int(value)
+    return repr(float(value))
+
+
+def _labels_text(labels, extra=()):
+    items = sorted(labels.items())
+    items.extend(extra)
+    if not items:
+        return ""
+    return "{%s}" % ",".join(
+        '%s="%s"' % (key, _escape_label(value)) for key, value in items
+    )
+
+
+def render_prometheus(registry_or_snapshot) -> str:
+    """The ``GET /v1/metrics`` body for a registry (or a snapshot dict
+    as :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot`
+    returns)."""
+    snapshot = registry_or_snapshot
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    lines = []
+    for family in snapshot.get("metrics", ()):
+        name = family["name"]
+        kind = family["type"]
+        if family.get("help"):
+            lines.append("# HELP %s %s" % (name, _escape_help(family["help"])))
+        lines.append("# TYPE %s %s" % (name, kind))
+        for sample in family["samples"]:
+            labels = sample.get("labels") or {}
+            if kind == "histogram":
+                for bound, count in sample["buckets"]:
+                    lines.append("%s_bucket%s %s" % (
+                        name,
+                        _labels_text(labels,
+                                     extra=[("le", format_value(bound))]),
+                        format_value(count),
+                    ))
+                # the +Inf bucket equals the total observation count.
+                lines.append("%s_bucket%s %s" % (
+                    name, _labels_text(labels, extra=[("le", "+Inf")]),
+                    format_value(sample["count"]),
+                ))
+                lines.append("%s_sum%s %s" % (
+                    name, _labels_text(labels), format_value(sample["sum"])))
+                lines.append("%s_count%s %s" % (
+                    name, _labels_text(labels), format_value(sample["count"])))
+            else:
+                lines.append("%s%s %s" % (
+                    name, _labels_text(labels), format_value(sample["value"])))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# The tiny parser (CI smoke + round-trip tests).
+
+
+def _parse_labels(text) -> Dict[str, str]:
+    labels = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError("unquoted label value in %r" % text)
+        j = eq + 2
+        value = []
+        while True:
+            ch = text[j]
+            if ch == "\\":
+                nxt = text[j + 1]
+                value.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+                j += 2
+            elif ch == '"':
+                j += 1
+                break
+            else:
+                value.append(ch)
+                j += 1
+        labels[key] = "".join(value)
+        i = j
+    return labels
+
+
+def parse_prometheus(text) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """``{series_name: [(labels, value), ...]}`` from exposition text.
+
+    Histogram series appear under their expanded names
+    (``..._bucket``/``..._sum``/``..._count``) — exactly what a scrape
+    assertion wants to check for.
+    """
+    series: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labels_text, value_text = rest.rsplit("}", 1)
+            labels = _parse_labels(labels_text)
+        else:
+            name, value_text = line.split(None, 1)
+            labels = {}
+        value_text = value_text.strip()
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        series.setdefault(name.strip(), []).append((labels, value))
+    return series

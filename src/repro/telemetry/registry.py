@@ -1,0 +1,368 @@
+"""MetricsRegistry: dependency-free counters, gauges and histograms.
+
+The registry is the storage half of :mod:`repro.telemetry`: a
+thread-safe map of metric *families* (one name, one type, one help
+string) to *children* (one per distinct label set).  Everything is
+stdlib — the service must run wherever the compiler runs — and every
+update takes one short per-family lock, so instrumented hot paths pay
+a dict lookup and a lock, nothing more.
+
+Zero-cost no-op mode is the module's other half: the process-global
+default registry sits behind an ``is_enabled()`` flag, and the
+module-level accessors (:func:`counter`, :func:`gauge`,
+:func:`histogram`) return shared null metrics while telemetry is
+disabled.  Instrumented code therefore never branches itself — it
+calls ``telemetry.counter("ecl_...").inc()`` unconditionally and the
+disabled path is one flag test plus a no-op method call.  Histograms
+use fixed log-scale buckets (:func:`exponential_buckets`) so two
+processes observing the same series always agree on bucket bounds —
+what makes the exposition format a stable contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "SIZE_BUCKETS",
+    "exponential_buckets",
+    "get_registry",
+    "set_enabled",
+    "is_enabled",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+def exponential_buckets(start, factor, count):
+    """``count`` log-scale bucket upper bounds from ``start`` growing
+    by ``factor`` — the fixed-bound discipline every histogram here
+    uses (Prometheus-style: a +Inf bucket is implicit)."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError(
+            "exponential_buckets wants start>0, factor>1, count>=1"
+        )
+    return tuple(start * (factor ** i) for i in range(count))
+
+
+#: Default latency buckets: 10 microseconds to ~42 seconds in x4 steps
+#: — wide enough for a cache hit and a cold compile on one scale.
+DEFAULT_SECONDS_BUCKETS = exponential_buckets(1e-5, 4.0, 12)
+
+#: Buckets for counts (chunk sizes, sweep lanes): 1 .. 1024 in powers
+#: of two.
+SIZE_BUCKETS = exponential_buckets(1.0, 2.0, 11)
+
+
+def _label_key(labels):
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("labels", "_value", "_lock")
+
+    def __init__(self, labels=()):
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % amount)
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def sample(self):
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """Settable value, optionally computed by a callback at read time."""
+
+    __slots__ = ("labels", "_value", "_callback", "_lock")
+
+    def __init__(self, labels=()):
+        self.labels = dict(labels)
+        self._value = 0.0
+        self._callback: Optional[Callable[[], float]] = None
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        with self._lock:
+            self._callback = None
+            self._value = float(value)
+
+    def inc(self, amount=1.0):
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1.0):
+        self.inc(-amount)
+
+    def set_callback(self, fn):
+        """Read the gauge from ``fn()`` at snapshot time (live values
+        like queue depth); a failing callback freezes the last value."""
+        with self._lock:
+            self._callback = fn
+
+    @property
+    def value(self):
+        with self._lock:
+            if self._callback is not None:
+                try:
+                    self._value = float(self._callback())
+                except Exception:
+                    pass  # keep the last good value
+            return self._value
+
+    def sample(self):
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``bounds`` are inclusive upper bounds in increasing order; an
+    implicit +Inf bucket catches the rest.  ``observe`` is a bisect
+    plus three writes under one lock.
+    """
+
+    __slots__ = ("labels", "bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, labels=(), bounds=DEFAULT_SECONDS_BUCKETS):
+        self.labels = dict(labels)
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError("histogram bounds must be sorted and "
+                             "non-empty: %r" % (bounds,))
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self):
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self):
+        with self._lock:
+            return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``[(upper_bound, cumulative_count), ...]`` ending with
+        ``(inf, count)`` — exactly the Prometheus ``_bucket`` series."""
+        with self._lock:
+            counts = list(self._counts)
+        total = 0
+        out = []
+        for bound, bucket in zip(self.bounds, counts):
+            total += bucket
+            out.append((bound, total))
+        out.append((float("inf"), total + counts[-1]))
+        return out
+
+    def sample(self):
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        cumulative = []
+        running = 0
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
+            cumulative.append([bound, running])
+        return {
+            "labels": dict(self.labels),
+            "buckets": cumulative,
+            "sum": total_sum,
+            "count": total_count,
+        }
+
+
+class _Family:
+    """One metric name: its type, help text, and per-label children."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "children", "_lock")
+
+    def __init__(self, name, kind, help_text, bounds=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.bounds = bounds
+        self.children: Dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def child(self, labels):
+        key = _label_key(labels)
+        with self._lock:
+            metric = self.children.get(key)
+            if metric is None:
+                if self.kind == "counter":
+                    metric = Counter(labels)
+                elif self.kind == "gauge":
+                    metric = Gauge(labels)
+                else:
+                    metric = Histogram(
+                        labels, bounds=self.bounds or DEFAULT_SECONDS_BUCKETS
+                    )
+                self.children[key] = metric
+            return metric
+
+
+_VALID_KINDS = ("counter", "gauge", "histogram")
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metric families."""
+
+    def __init__(self):
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _family(self, name, kind, help_text, bounds=None) -> _Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, bounds=bounds)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    "metric %r is a %s, requested as %s"
+                    % (name, family.kind, kind)
+                )
+            else:
+                if help_text and not family.help:
+                    family.help = help_text
+            return family
+
+    def counter(self, name, help="", **labels) -> Counter:  # noqa: A002
+        return self._family(name, "counter", help).child(labels)
+
+    def gauge(self, name, help="", **labels) -> Gauge:  # noqa: A002
+        return self._family(name, "gauge", help).child(labels)
+
+    def histogram(self, name, help="", buckets=None,  # noqa: A002
+                  **labels) -> Histogram:
+        return self._family(name, "histogram", help,
+                            bounds=buckets).child(labels)
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> dict:
+        """JSON-clean state of every family — the ``/v1/metrics.json``
+        payload and the input of the Prometheus formatter."""
+        metrics = []
+        for family in self.families():
+            with family._lock:
+                children = [family.children[key]
+                            for key in sorted(family.children)]
+            metrics.append({
+                "name": family.name,
+                "type": family.kind,
+                "help": family.help,
+                "samples": [child.sample() for child in children],
+            })
+        return {"metrics": metrics}
+
+    def reset(self):
+        """Drop every family (tests and benchmark isolation)."""
+        with self._lock:
+            self._families.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-global default registry + no-op mode.
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in returned while telemetry is off."""
+
+    __slots__ = ()
+    labels: dict = {}
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount=1.0):
+        pass
+
+    def dec(self, amount=1.0):
+        pass
+
+    def set(self, value):
+        pass
+
+    def set_callback(self, fn):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+_DEFAULT = MetricsRegistry()
+_ENABLED = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry (always live: direct use
+    works regardless of the enabled flag)."""
+    return _DEFAULT
+
+
+def set_enabled(flag):
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def counter(name, help="", **labels):  # noqa: A002
+    """Default-registry counter, or the shared no-op when disabled."""
+    if not _ENABLED:
+        return NULL_METRIC
+    return _DEFAULT.counter(name, help=help, **labels)
+
+
+def gauge(name, help="", **labels):  # noqa: A002
+    """Default-registry gauge, or the shared no-op when disabled."""
+    if not _ENABLED:
+        return NULL_METRIC
+    return _DEFAULT.gauge(name, help=help, **labels)
+
+
+def histogram(name, help="", buckets=None, **labels):  # noqa: A002
+    """Default-registry histogram, or the shared no-op when disabled."""
+    if not _ENABLED:
+        return NULL_METRIC
+    return _DEFAULT.histogram(name, help=help, buckets=buckets, **labels)

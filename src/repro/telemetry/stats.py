@@ -1,0 +1,151 @@
+"""Rendering behind ``eclc stats``: snapshots, reports, ledgers.
+
+Three inputs, one look:
+
+* a live registry snapshot (``GET /v1/metrics.json`` from a running
+  service, or the in-process default registry) renders as a
+  counters/gauges table plus per-histogram count/mean/p50/p95 rows
+  estimated from the fixed log-scale buckets;
+* an offline ``FarmReport`` JSON (``eclc farm run --report``)
+  summarizes jobs by engine and status, instants and throughput;
+* an offline :class:`~repro.farm.ledger.TraceLedger` index summarizes
+  recorded traces per design/module/engine.
+
+Everything returns plain strings — the CLI just prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "quantile_from_buckets",
+    "format_snapshot",
+    "summarize_report",
+    "summarize_ledger",
+]
+
+
+def quantile_from_buckets(buckets, count, q):
+    """Linear-interpolated quantile estimate from cumulative buckets
+    (``[[upper_bound, cumulative_count], ...]``); None when empty."""
+    if count <= 0 or not buckets:
+        return None
+    rank = q * count
+    previous_bound = 0.0
+    previous_cum = 0
+    for bound, cumulative in buckets:
+        if cumulative >= rank:
+            width = cumulative - previous_cum
+            if width <= 0:
+                return bound
+            fraction = (rank - previous_cum) / width
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cum = bound, cumulative
+    return buckets[-1][0]
+
+
+def _labels_text(labels):
+    if not labels:
+        return ""
+    return "{%s}" % ",".join("%s=%s" % item for item in sorted(labels.items()))
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if abs(value) >= 1000 or value == int(value):
+        return "%d" % value if value == int(value) else "%.0f" % value
+    return "%.4g" % value
+
+
+def format_snapshot(snapshot) -> str:
+    """The ``eclc stats`` one-shot view of a metrics snapshot."""
+    counters = []
+    gauges = []
+    histograms = []
+    for family in snapshot.get("metrics", ()):
+        for sample in family["samples"]:
+            label = family["name"] + _labels_text(sample.get("labels") or {})
+            if family["type"] == "histogram":
+                count = sample["count"]
+                mean = sample["sum"] / count if count else None
+                p50 = quantile_from_buckets(sample["buckets"], count, 0.50)
+                p95 = quantile_from_buckets(sample["buckets"], count, 0.95)
+                histograms.append((label, count, mean, p50, p95))
+            elif family["type"] == "gauge":
+                gauges.append((label, sample["value"]))
+            else:
+                counters.append((label, sample["value"]))
+    lines = []
+    if gauges:
+        lines.append("gauges:")
+        for label, value in gauges:
+            lines.append("  %-58s %12s" % (label, _fmt(value)))
+    if counters:
+        lines.append("counters:")
+        for label, value in counters:
+            lines.append("  %-58s %12s" % (label, _fmt(value)))
+    if histograms:
+        lines.append("histograms: %-44s %8s %10s %10s %10s"
+                     % ("", "count", "mean", "p50", "p95"))
+        for label, count, mean, p50, p95 in histograms:
+            lines.append("  %-54s %8d %10s %10s %10s"
+                         % (label, count, _fmt(mean), _fmt(p50), _fmt(p95)))
+    if not lines:
+        return "no metrics recorded (is telemetry enabled?)"
+    return "\n".join(lines)
+
+
+def summarize_report(report: dict) -> str:
+    """Offline stats over a ``FarmReport`` JSON document."""
+    results = report.get("results") or []
+    by_engine: Dict[str, Dict[str, int]] = {}
+    instants_by_engine: Dict[str, int] = {}
+    for row in results:
+        engine = row.get("engine", "?")
+        status = row.get("status", "?")
+        by_engine.setdefault(engine, {})
+        by_engine[engine][status] = by_engine[engine].get(status, 0) + 1
+        instants_by_engine[engine] = (
+            instants_by_engine.get(engine, 0) + int(row.get("instants") or 0)
+        )
+    lines = [
+        "farm report: %d job(s), %d design(s), %d reaction(s)"
+        % (report.get("total", len(results)), report.get("designs", 0),
+           report.get("reactions", 0)),
+    ]
+    elapsed = report.get("elapsed")
+    if elapsed:
+        lines[0] += " in %.2fs (%.0f reactions/sec)" % (
+            elapsed, report.get("reactions", 0) / max(1e-9, elapsed))
+    lines.append("  %-12s %8s %10s  %s"
+                 % ("engine", "jobs", "instants", "statuses"))
+    for engine in sorted(by_engine):
+        statuses = ", ".join(
+            "%s=%d" % item for item in sorted(by_engine[engine].items()))
+        jobs = sum(by_engine[engine].values())
+        lines.append("  %-12s %8d %10d  [%s]"
+                     % (engine, jobs, instants_by_engine[engine], statuses))
+    return "\n".join(lines)
+
+
+def summarize_ledger(entries: List[dict]) -> str:
+    """Offline stats over a trace-ledger index."""
+    by_key: Dict[tuple, Dict[str, int]] = {}
+    for entry in entries:
+        key = (entry.get("design", "?"), entry.get("module", "?"),
+               entry.get("engine", "?"))
+        stats = by_key.setdefault(key, {"traces": 0, "instants": 0})
+        stats["traces"] += 1
+        stats["instants"] += int(entry.get("instants") or 0)
+    lines = ["ledger: %d trace(s), %d group(s)"
+             % (len(entries), len(by_key))]
+    lines.append("  %-16s %-16s %-10s %8s %10s"
+                 % ("design", "module", "engine", "traces", "instants"))
+    for key in sorted(by_key):
+        stats = by_key[key]
+        lines.append("  %-16s %-16s %-10s %8d %10d"
+                     % (key[0], key[1], key[2],
+                        stats["traces"], stats["instants"]))
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import List, Optional, Tuple
 
+from .. import telemetry
 from ..engines import adapter_names, get_engine
 from ..errors import EclError
 from ..farm.farm import SimulationFarm
@@ -350,10 +351,33 @@ class VerifyCampaign:
                     )
                 )
                 next_index += 1
-            report = farm.run(jobs)
-            result.rounds_run = round_no + 1
-            result.jobs_run += len(jobs)
-            violated = self._absorb(report, jobs, merged, corpus, result)
+            covered_before = merged.covered_transitions
+            violations_before = len(result.violations)
+            with telemetry.span("verify.round", engine=self.engine):
+                report = farm.run(jobs)
+                result.rounds_run = round_no + 1
+                result.jobs_run += len(jobs)
+                violated = self._absorb(report, jobs, merged, corpus, result)
+            telemetry.counter(
+                "ecl_verify_rounds_total",
+                help="Campaign rounds executed.",
+            ).inc()
+            telemetry.counter(
+                "ecl_verify_jobs_total",
+                help="Campaign jobs dispatched to the farm.",
+            ).inc(len(jobs))
+            telemetry.counter(
+                "ecl_verify_new_transitions_total",
+                help="Transitions newly covered per round (closure delta).",
+            ).inc(merged.covered_transitions - covered_before)
+            telemetry.counter(
+                "ecl_verify_violations_total",
+                help="Distinct property violations found.",
+            ).inc(len(result.violations) - violations_before)
+            telemetry.gauge(
+                "ecl_verify_transition_percent",
+                help="Merged transition coverage after the latest round.",
+            ).set(merged.transition_percent)
             if violated and self.stop_on_violation:
                 break
             if merged.transition_percent >= self.target:

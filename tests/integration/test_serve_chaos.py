@@ -18,6 +18,7 @@ import json
 
 import pytest
 
+from repro import telemetry
 from repro.farm import WorkerState
 from repro.farm.spec import expand_document, load_designs
 from repro.serve import FaultPlan, SimulationService
@@ -115,6 +116,39 @@ class TestChaosInvariants:
                                                 plan_kwargs)
         assert first_plan.injected == second_plan.injected
         assert stable_rows(first) == stable_rows(second)
+
+    def test_telemetry_never_perturbs_stable_rows(self, tmp_path):
+        """The determinism guard: telemetry only observes.  The same
+        seeded chaos run replays byte-identical stable rows with
+        telemetry enabled and disabled — and the fault occurrences the
+        plan injected show up as counters, not printed warnings."""
+        plan_kwargs = dict(seed=23, crash_prob=0.4, crash_limit=2,
+                           journal_prob=0.5, journal_limit=None)
+        telemetry.disable()
+        telemetry.reset()
+        off_plan, _, off = run_under_plan(tmp_path / "off", plan_kwargs)
+        telemetry.reset()
+        telemetry.enable()
+        try:
+            on_plan, _, on = run_under_plan(tmp_path / "on", plan_kwargs)
+            # byte-identical rows, identical fault schedule
+            assert stable_rows(on) == stable_rows(off)
+            assert on_plan.injected == off_plan.injected
+            # injected faults became counters (per scope), not prints
+            registry = telemetry.get_registry()
+            for scope, times in on_plan.injected.items():
+                if not times:
+                    continue
+                assert registry.counter("ecl_chaos_injected_total",
+                                        scope=scope).value == times
+            # failed journal appends were counted too
+            if on_plan.injected.get("journal"):
+                snapshot = telemetry.snapshot()
+                names = {f["name"] for f in snapshot["metrics"]}
+                assert "ecl_serve_journal_errors_total" in names
+        finally:
+            telemetry.disable()
+            telemetry.reset()
 
     def test_unsurvivable_poison_quarantines_not_hangs(self, tmp_path):
         """crash_limit=None removes the survivability bound: every
