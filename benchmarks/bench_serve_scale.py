@@ -1,0 +1,237 @@
+"""Scale-out serving benchmark: process pool vs threads, fused sweeps.
+
+Operational data for the scale-out rung of :mod:`repro.serve`, two
+paired comparisons:
+
+* **thread vs process pool** — the identical two-tenant stream of
+  CPU-bound native batches drained by ``pool_mode="thread"`` and
+  ``pool_mode="process"`` at ``min(4, cores)`` workers each (one
+  untimed warm-up batch per tenant pays compile and child spawn).
+  Thread workers serialize native stepping behind the GIL; process
+  workers run it in parallel, so throughput should scale with cores.
+  The acceptance floor — process >= ``PROCESS_SPEEDUP_FLOOR``x thread
+  — is asserted only on machines with >= ``MIN_CORES_FOR_FLOOR``
+  cores; below that the numbers are still recorded for the regression
+  gate but a single-core box cannot demonstrate parallel speedup.
+* **fused vs unfused vector sweeps** — the identical stream of
+  single-tenant vector batches drained with cross-batch sweep fusion
+  on (default window) and off (``fusion_limit=1``).  Fusion groups
+  queued sweepable jobs into one vectorized dispatch, so the fused
+  side replaces per-job dispatch cycles with a few wide numpy sweeps;
+  it must never be a pessimization (floor x1.0, any machine).
+
+Results land in ``benchmarks/out/BENCH_serve_scale.json`` for the CI
+regression gate (:mod:`benchmarks.check_regression`); the committed
+baseline lives in ``benchmarks/baselines/``.
+
+Run standalone (must be a real file, never stdin: the process pool
+spawns children that re-import ``__main__``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_scale.py
+
+or through pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_scale.py -q
+"""
+
+import json
+import os
+import sys
+import tempfile
+from time import perf_counter
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.designs import PROTOCOL_STACK_ECL
+from repro.serve import SimulationService
+
+from workloads import OUT_DIR, ensure_out_dir
+
+#: Native workload shape; override via environment for bigger machines.
+SCALE_TRACES = int(os.environ.get("SERVE_SCALE_TRACES", "4"))
+SCALE_LENGTH = int(os.environ.get("SERVE_SCALE_LENGTH", "64"))
+
+#: Timed batches per tenant (after the untimed warm-up batch).
+SCALE_BATCHES = int(os.environ.get("SERVE_SCALE_BATCHES", "3"))
+
+TENANTS = ("acme", "blue")
+
+#: Vector fusion workload: batches of sweepable single-stimulus jobs.
+FUSION_BATCHES = int(os.environ.get("SERVE_SCALE_FUSION_BATCHES", "4"))
+FUSION_TRACES = int(os.environ.get("SERVE_SCALE_FUSION_TRACES", "8"))
+FUSION_LENGTH = int(os.environ.get("SERVE_SCALE_FUSION_LENGTH", "64"))
+
+#: The acceptance floor for the process pool, and the core count below
+#: which it cannot be demonstrated (no parallelism to win).
+PROCESS_SPEEDUP_FLOOR = 2.0
+MIN_CORES_FOR_FLOOR = 4
+
+#: Fusion must never be a pessimization.
+FUSION_SPEEDUP_FLOOR = 1.0
+
+
+def scale_document():
+    return {
+        "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
+        "jobs": [
+            {"design": "stack", "modules": ["toplevel"],
+             "engines": ["native"], "traces": SCALE_TRACES,
+             "length": SCALE_LENGTH},
+        ],
+    }
+
+
+def vector_document():
+    return {
+        "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
+        "jobs": [
+            {"design": "stack", "modules": ["toplevel"],
+             "engines": ["vector"], "traces": FUSION_TRACES,
+             "length": FUSION_LENGTH},
+        ],
+    }
+
+
+def run_mode(mode, workers):
+    """Drain the two-tenant native stream under one pool mode."""
+    with tempfile.TemporaryDirectory(prefix="bench-serve-scale-") as root:
+        service = SimulationService(data_root=root, workers=workers,
+                                    pool_mode=mode)
+        try:
+            # untimed warm-up: compile once per tenant, spawn children
+            for tenant in TENANTS:
+                warm = service.submit(scale_document(), tenant=tenant)
+                assert warm.wait(timeout=300)
+            batches = []
+            started = perf_counter()
+            for _ in range(SCALE_BATCHES):
+                for tenant in TENANTS:
+                    batches.append(
+                        service.submit(scale_document(), tenant=tenant))
+            for batch in batches:
+                assert batch.wait(timeout=600)
+            elapsed = perf_counter() - started
+            for batch in batches:
+                assert all(r.ok for r in batch.results)
+            jobs = sum(batch.total for batch in batches)
+        finally:
+            service.shutdown(drain=True, timeout=60)
+    return {
+        "workers": workers,
+        "batches": len(batches),
+        "jobs": jobs,
+        "elapsed": elapsed,
+        "jobs_per_sec": jobs / max(1e-9, elapsed),
+    }
+
+
+def run_fusion(fusion_limit, root):
+    """Drain queued-ahead vector batches under one fusion window.
+
+    The service starts with its pool stopped so every batch queues
+    before the first dispatch — the cross-batch backlog the fusion
+    window exists for (a busy service reaches the same state whenever
+    submissions outpace workers).
+    """
+    service = SimulationService(data_root=root, workers=1,
+                                fusion_limit=fusion_limit, start=False)
+    try:
+        batches = [service.submit(vector_document())
+                   for _ in range(FUSION_BATCHES)]
+        started = perf_counter()
+        service.pool.start()
+        for batch in batches:
+            assert batch.wait(timeout=300)
+        elapsed = perf_counter() - started
+        for batch in batches:
+            assert all(r.ok for r in batch.results)
+        jobs = sum(batch.total for batch in batches)
+        # a batch completes when its last row records, a beat before
+        # the dispatcher's executed counter bumps — settle first
+        assert service.pool.wait_idle(timeout=30)
+        dispatches = service.pool.jobs_executed
+    finally:
+        service.shutdown(drain=True, timeout=60)
+    return {
+        "batches": len(batches),
+        "jobs": jobs,
+        "dispatches": dispatches,
+        "elapsed": elapsed,
+        "jobs_per_sec": jobs / max(1e-9, elapsed),
+    }
+
+
+def measure():
+    cores = os.cpu_count() or 1
+    workers = min(4, cores)
+
+    thread = run_mode("thread", workers)
+    process = run_mode("process", workers)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-fusion-") as root:
+        # one throwaway batch warms the persistent artifact cache so
+        # neither timed side pays the vector lowering
+        warm = SimulationService(data_root=root, workers=1)
+        try:
+            assert warm.submit(vector_document()).wait(timeout=300)
+        finally:
+            warm.shutdown(drain=True, timeout=60)
+        unfused = run_fusion(1, root)
+        fused = run_fusion(0x10, root)
+
+    return {
+        "benchmark": "serve_scale",
+        "cores": cores,
+        "workers": workers,
+        "traces_per_batch": SCALE_TRACES,
+        "trace_length": SCALE_LENGTH,
+        "thread": thread,
+        "process": process,
+        "process_vs_thread": process["jobs_per_sec"]
+        / max(1e-9, thread["jobs_per_sec"]),
+        "unfused": unfused,
+        "fused": fused,
+        "fused_speedup": fused["jobs_per_sec"]
+        / max(1e-9, unfused["jobs_per_sec"]),
+    }
+
+
+def write_report(data, path=None):
+    ensure_out_dir()
+    path = path or os.path.join(OUT_DIR, "BENCH_serve_scale.json")
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return path
+
+
+def test_serve_scale_and_floors():
+    data = measure()
+    path = write_report(data)
+    print("\nserve scale: thread %.0f jobs/s, process %.0f jobs/s "
+          "(x%.2f, %d workers, %d cores) -> %s"
+          % (data["thread"]["jobs_per_sec"],
+             data["process"]["jobs_per_sec"],
+             data["process_vs_thread"], data["workers"], data["cores"],
+             path))
+    print("sweep fusion: unfused %.0f jobs/s (%d dispatches), "
+          "fused %.0f jobs/s (%d dispatches), x%.2f"
+          % (data["unfused"]["jobs_per_sec"],
+             data["unfused"]["dispatches"],
+             data["fused"]["jobs_per_sec"], data["fused"]["dispatches"],
+             data["fused_speedup"]))
+    # fusion really collapsed the dispatch count
+    assert data["fused"]["dispatches"] < data["unfused"]["dispatches"]
+    assert data["fused_speedup"] >= FUSION_SPEEDUP_FLOOR, (
+        "fused sweeps are x%.2f the unfused rate (floor x%.1f)"
+        % (data["fused_speedup"], FUSION_SPEEDUP_FLOOR))
+    if data["cores"] >= MIN_CORES_FOR_FLOOR:
+        assert data["process_vs_thread"] >= PROCESS_SPEEDUP_FLOOR, (
+            "process pool is only x%.2f the thread pool's throughput "
+            "on %d cores (floor x%.1f)"
+            % (data["process_vs_thread"], data["cores"],
+               PROCESS_SPEEDUP_FLOOR))
+
+
+if __name__ == "__main__":
+    test_serve_scale_and_floors()
+    print("ok")

@@ -26,6 +26,12 @@ and fails (exit 1) on a >2x regression:
   service batch must stay >= 1.5x faster than a cold farm run of the
   identical spec (the serving layer's acceptance floor, re-checked on
   every run);
+* ``BENCH_serve_scale.json`` (:mod:`benchmarks.bench_serve_scale`):
+  thread/process pool and fused/unfused sweep jobs/sec must not drop
+  below half the baseline, fused sweeps must stay at least as fast as
+  unfused ones, and on >= 4 cores the process pool must keep its >=2x
+  throughput margin over the thread pool (skipped below 4 cores,
+  where there is no parallelism to demonstrate);
 * ``BENCH_vector.json`` (:mod:`benchmarks.bench_vector_sweep`): the
   paired native/vector rates must not drop below half the baseline,
   the vector engine must keep its >=10x margin over the scalar native
@@ -226,6 +232,52 @@ def check_serve(current, baseline, failures):
             "run (floor x%.1f)" % (speedup, SERVE_SPEEDUP_FLOOR))
 
 
+#: Process-over-thread floor for the scale-out pool (mirrors
+#: bench_serve_scale.PROCESS_SPEEDUP_FLOOR), enforceable only on
+#: machines with enough cores to demonstrate parallel speedup; the
+#: fused-sweep floor holds on any machine.
+SCALE_PROCESS_FLOOR = 2.0
+SCALE_MIN_CORES = 4
+SCALE_FUSION_FLOOR = 1.0
+
+
+def check_serve_scale(current, baseline, failures):
+    for side in ("thread", "process", "unfused", "fused"):
+        rate = current[side]["jobs_per_sec"]
+        base_rate = baseline[side]["jobs_per_sec"]
+        ratio = base_rate / max(1e-9, rate)
+        status = "ok" if ratio <= REGRESSION_FACTOR else "REGRESSED"
+        print("scale     %-40s %8.0f j/s vs %8.0f j/s  (x%.2f)  %s"
+              % (side, rate, base_rate, ratio, status))
+        if ratio > REGRESSION_FACTOR:
+            failures.append(
+                "scale: %s throughput dropped to %.0f jobs/s "
+                "(baseline %.0f jobs/s)" % (side, rate, base_rate))
+    fused_speedup = current.get("fused_speedup", 0.0)
+    status = "ok" if fused_speedup >= SCALE_FUSION_FLOOR else "REGRESSED"
+    print("scale     %-40s x%.2f (floor x%.1f)  %s"
+          % ("fused_speedup", fused_speedup, SCALE_FUSION_FLOOR, status))
+    if fused_speedup < SCALE_FUSION_FLOOR:
+        failures.append(
+            "scale: fused sweeps run at x%.2f the unfused rate "
+            "(floor x%.1f)" % (fused_speedup, SCALE_FUSION_FLOOR))
+    speedup = current.get("process_vs_thread", 0.0)
+    cores = current.get("cores", 0)
+    if cores >= SCALE_MIN_CORES:
+        status = "ok" if speedup >= SCALE_PROCESS_FLOOR else "REGRESSED"
+        print("scale     %-40s x%.2f (floor x%.1f, %d cores)  %s"
+              % ("process_vs_thread", speedup, SCALE_PROCESS_FLOOR,
+                 cores, status))
+        if speedup < SCALE_PROCESS_FLOOR:
+            failures.append(
+                "scale: process pool is only x%.2f the thread pool's "
+                "throughput on %d cores (floor x%.1f)"
+                % (speedup, cores, SCALE_PROCESS_FLOOR))
+    else:
+        print("scale     %-40s x%.2f (floor skipped: %d cores < %d)"
+              % ("process_vs_thread", speedup, cores, SCALE_MIN_CORES))
+
+
 #: The vector engine must stay at least this much faster than the
 #: scalar native engine through the unified ``Engine.run_spec`` API,
 #: and a vector verify campaign must keep beating a native one
@@ -285,6 +337,7 @@ def main(argv=None):
         ("BENCH_verify.json", check_verify),
         ("BENCH_rtos.json", check_rtos),
         ("BENCH_serve.json", check_serve),
+        ("BENCH_serve_scale.json", check_serve_scale),
         ("BENCH_vector.json", check_vector),
     ]
     for filename, checker in pairs:

@@ -1,13 +1,21 @@
 """CI smoke test for crash recovery: SIGKILL mid-batch, then resume.
 
-Starts ``eclc serve`` with a durable data root, submits a batch over
-HTTP, SIGKILLs the server while the batch is partially complete, and
-restarts it with ``--recover`` (the default) on the same data root.
-The revived service must re-admit the unfinished batch from its
-journal, replay the rows that were already recorded, re-execute only
-the missing jobs, and stream a stable NDJSON serialization that is
-byte-identical to ``eclc farm run`` of the same spec — as if the
-crash never happened.
+Two phases against real ``eclc serve`` processes:
+
+1. **Server crash + journal replay** — starts ``eclc serve`` with a
+   durable data root, submits a batch over HTTP, SIGKILLs the server
+   while the batch is partially complete, and restarts it with
+   ``--recover`` (the default) on the same data root.  The revived
+   service must re-admit the unfinished batch from its journal, replay
+   the rows that were already recorded, re-execute only the missing
+   jobs, and stream a stable NDJSON serialization byte-identical to
+   ``eclc farm run`` of the same spec — as if the crash never
+   happened.
+2. **Worker-process crash** — starts ``eclc serve -j 2`` (which
+   auto-selects the process-backed pool), SIGKILLs one of the worker
+   children mid-batch, and asserts the *same* batch still completes
+   with the same byte-identical rows, no restart required: a dead
+   child degrades one dispatch, never the service.
 
 Usage::
 
@@ -17,6 +25,7 @@ Usage::
 import json
 import os
 import re
+import signal
 import subprocess
 import sys
 import tempfile
@@ -46,12 +55,12 @@ def stable_bytes(row):
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def start_server(data_root):
+def start_server(data_root, jobs=1):
     """Launch ``eclc serve`` on a free port; returns (process, port,
     banner lines printed before the listen announcement)."""
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-         "--data-root", data_root, "-j", "1"],
+         "--data-root", data_root, "-j", str(jobs)],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
         env={**os.environ, "PYTHONPATH": os.path.join(REPO, "src")},
     )
@@ -87,13 +96,51 @@ def kill_mid_batch(process, client, batch_id, total):
           % (completed, total))
 
 
-def run():
-    workdir = tempfile.mkdtemp(prefix="serve-crash-smoke-")
-    data_root = os.path.join(workdir, "serve-data")
-    document = {
+def ground_truth(workdir):
+    """Fault-free rows: the same spec straight through the farm."""
+    stack_path = os.path.join(workdir, "stack.ecl")
+    with open(stack_path, "w") as handle:
+        handle.write(PROTOCOL_STACK_ECL)
+    spec_path = os.path.join(workdir, "batch.json")
+    with open(spec_path, "w") as handle:
+        json.dump({"workers": 1, "ledger": "direct-ledger",
+                   "designs": {"stack": stack_path},
+                   "jobs": SPEC_JOBS}, handle)
+    report_path = os.path.join(workdir, "report.json")
+    rc = eclc(["farm", "run", "--spec", spec_path,
+               "--report", report_path])
+    assert rc == 0, "eclc farm run exited %d" % rc
+    with open(report_path) as handle:
+        return sorted(json.load(handle)["results"],
+                      key=lambda row: row["index"])
+
+
+def assert_rows_match(streamed, direct, total, label):
+    assert len(streamed) == len(direct) == total, (
+        "%s: expected %d rows, got %d streamed / %d direct"
+        % (label, total, len(streamed), len(direct)))
+    bad = [row["status"] for row in streamed if row["status"] != "ok"]
+    assert not bad, "%s: non-ok rows: %r" % (label, bad)
+    for service_row, farm_row in zip(streamed, direct):
+        left = json.dumps(service_row, sort_keys=True,
+                          separators=(",", ":"))
+        right = stable_bytes(farm_row)
+        assert left == right, (
+            "%s: row %d diverged:\n  serve: %s\n  farm:  %s"
+            % (label, service_row["index"], left, right))
+
+
+def batch_document():
+    return {
         "designs": {"stack": {"text": PROTOCOL_STACK_ECL}},
         "jobs": [dict(entry) for entry in SPEC_JOBS],
     }
+
+
+def run(direct):
+    workdir = tempfile.mkdtemp(prefix="serve-crash-smoke-")
+    data_root = os.path.join(workdir, "serve-data")
+    document = batch_document()
 
     process, port, _ = start_server(data_root)
     killed = False
@@ -125,38 +172,74 @@ def run():
         if process.poll() is None:
             process.kill()
 
-    # fault-free ground truth: the same spec straight through the farm
-    stack_path = os.path.join(workdir, "stack.ecl")
-    with open(stack_path, "w") as handle:
-        handle.write(PROTOCOL_STACK_ECL)
-    spec_path = os.path.join(workdir, "batch.json")
-    with open(spec_path, "w") as handle:
-        json.dump({"workers": 1, "ledger": "direct-ledger",
-                   "designs": {"stack": stack_path},
-                   "jobs": SPEC_JOBS}, handle)
-    report_path = os.path.join(workdir, "report.json")
-    rc = eclc(["farm", "run", "--spec", spec_path,
-               "--report", report_path])
-    assert rc == 0, "eclc farm run exited %d" % rc
-    with open(report_path) as handle:
-        direct = sorted(json.load(handle)["results"],
-                        key=lambda row: row["index"])
-
-    assert len(streamed) == len(direct) == total, (
-        "expected %d rows, got %d streamed / %d direct"
-        % (total, len(streamed), len(direct)))
-    bad = [row["status"] for row in streamed if row["status"] != "ok"]
-    assert not bad, "non-ok rows after recovery: %r" % bad
-    for service_row, farm_row in zip(streamed, direct):
-        left = json.dumps(service_row, sort_keys=True,
-                          separators=(",", ":"))
-        right = stable_bytes(farm_row)
-        assert left == right, (
-            "row %d diverged after recovery:\n  serve: %s\n  farm:  %s"
-            % (service_row["index"], left, right))
+    assert_rows_match(streamed, direct, total, "server crash")
     print("crash smoke: %d rows byte-identical to eclc farm run "
           "after SIGKILL + recovery" % len(streamed))
 
 
+def run_worker_kill(direct):
+    """Phase 2: SIGKILL a worker *child* of a process-pool server
+    mid-batch; the same server must finish the batch correctly."""
+    workdir = tempfile.mkdtemp(prefix="serve-proc-smoke-")
+    data_root = os.path.join(workdir, "serve-data")
+
+    # -j 2 auto-selects the process-backed pool
+    process, port, banner = start_server(data_root, jobs=2)
+    try:
+        assert any("process workers" in line for line in banner), (
+            "expected a process-pool banner, got %r" % banner)
+        client = ServeClient(port=port)
+        admitted = client.submit(batch_document())
+        batch_id, total = admitted["batch"], admitted["jobs"]
+
+        # wait for a live child pid, then SIGKILL it mid-batch
+        deadline = time.monotonic() + 60
+        victim = None
+        while time.monotonic() < deadline:
+            status = client.status()
+            pids = status["pool"].get("process_pids", [])
+            completed = client.batch_status(batch_id)["completed"]
+            if pids and completed < total:
+                victim = pids[0]
+                break
+            if completed >= total:
+                raise SystemExit(
+                    "batch finished before a child pid appeared; "
+                    "widen the spec")
+            time.sleep(0.005)
+        assert victim is not None, "no worker child pid surfaced"
+        os.kill(victim, signal.SIGKILL)
+        print("crash smoke: SIGKILLed worker child %d mid-batch"
+              % victim)
+
+        streamed = sorted(client.stream_results(batch_id, stable=True),
+                          key=lambda row: row["index"])
+        # mid-job the kill surfaces as a crash; between jobs it
+        # surfaces as a replacement spawn — either way the pool must
+        # have noticed.
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            pool = client.status()["pool"]
+            if (pool.get("proc_crashes", 0)
+                    + pool.get("proc_restarts", 0)) >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            raise SystemExit("pool never noticed the dead child: %r"
+                             % pool)
+        client.shutdown()
+        process.wait(timeout=60)
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+    assert_rows_match(streamed, direct, total, "worker kill")
+    print("crash smoke: %d rows byte-identical to eclc farm run "
+          "after worker-child SIGKILL (no restart)" % len(streamed))
+
+
 if __name__ == "__main__":
-    run()
+    truth_dir = tempfile.mkdtemp(prefix="serve-smoke-truth-")
+    direct_rows = ground_truth(truth_dir)
+    run(direct_rows)
+    run_worker_kill(direct_rows)

@@ -32,15 +32,19 @@ from repro.serve import ServeClient  # noqa: E402
 from repro.telemetry import parse_prometheus  # noqa: E402
 
 #: Series every instrumented service run must expose (the stable
-#: metric-name contract; see the README catalog).
+#: metric-name contract; see the README catalog).  This smoke runs
+#: ``-j 2``, which auto-selects the process-backed pool: compile and
+#: execute counters (``ecl_pipeline_cache_requests_total``,
+#: ``ecl_farm_jobs_total``) then live in the worker children's own
+#: registries, not the parent exposition — the thread-mode
+#: integration tests keep those in the contract.
 REQUIRED_SERIES = (
     "ecl_serve_queue_depth",
     "ecl_serve_admitted_total",
     "ecl_serve_jobs_executed_total",
     "ecl_serve_batch_seconds_count",
     "ecl_serve_journal_appends_total",
-    "ecl_pipeline_cache_requests_total",
-    "ecl_farm_jobs_total",
+    "ecl_pool_mode",
 )
 
 SPEC_JOBS = [
@@ -145,6 +149,10 @@ def run():
         missing = [name for name in REQUIRED_SERIES
                    if name not in series]
         assert not missing, "metrics contract broken: %s" % missing
+        modes = {labels.get("mode"): value
+                 for labels, value in series["ecl_pool_mode"]}
+        assert modes.get("process") == 1, (
+            "-j 2 should report a process pool: %r" % modes)
         out_dir = os.path.join(REPO, "benchmarks", "out")
         os.makedirs(out_dir, exist_ok=True)
         with open(os.path.join(out_dir, "metrics_snapshot.txt"),

@@ -164,11 +164,46 @@ def _build_parser():
                             "namespaces, trace-ledger shards and native "
                             "bytecode live here (default: in-memory)")
     serve.add_argument("-j", "--workers", type=int, default=None,
-                       help="resident worker threads (default 2)")
+                       help="resident workers (default 2)")
+    serve.add_argument("--pool-mode", default="auto",
+                       choices=("auto", "thread", "process"),
+                       help="worker pool backing: process = long-lived "
+                            "spawned workers sharing the persistent "
+                            "code cache (CPU-bound scaling), thread = "
+                            "in-process; auto (default) picks process "
+                            "when workers > 1")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent native code cache shared with "
+                            "worker processes (default: "
+                            "$ECL_CODE_CACHE_DIR, else "
+                            "<data-root>/native-pyc)")
     serve.add_argument("--queue-depth", type=int, default=None,
                        help="bounded job-queue depth; a batch that "
                             "does not fit is rejected queue_full "
                             "(default 1024)")
+    serve.add_argument("--tenant-weight", action="append", default=None,
+                       metavar="NAME=W",
+                       help="fair-share weight of one tenant in the "
+                            "deficit-round-robin dequeue (repeatable; "
+                            "default weight 1)")
+    serve.add_argument("--max-queued-per-tenant", type=int, default=None,
+                       metavar="N",
+                       help="per-tenant queued-jobs quota; a batch "
+                            "exceeding it is rejected tenant_quota")
+    serve.add_argument("--max-in-flight-per-tenant", type=int,
+                       default=None, metavar="N",
+                       help="per-tenant executing-jobs cap; excess "
+                            "entries wait without blocking other "
+                            "tenants")
+    serve.add_argument("--fusion-limit", type=int, default=None,
+                       metavar="N",
+                       help="most jobs one fused vector sweep dispatch "
+                            "may absorb across batches (default 16; "
+                            "1 disables fusion)")
+    serve.add_argument("--journal-compact", action="store_true",
+                       help="compact per-tenant journal WALs on "
+                            "startup (post-recovery) and graceful "
+                            "shutdown, dropping closed batches")
     serve.add_argument("--recover", dest="recover", action="store_true",
                        default=True,
                        help="replay the batch journal on startup, "
@@ -562,10 +597,34 @@ def _cmd_farm_run(args):
     return 0 if report.ok else 1
 
 
+def _parse_tenant_weights(pairs):
+    """``["acme=3", "batch=0.5"]`` -> ``{"acme": 3.0, "batch": 0.5}``."""
+    if not pairs:
+        return None
+    from .errors import EclError
+
+    weights = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        try:
+            if not sep or not name:
+                raise ValueError
+            weight = float(value)
+            if weight <= 0:
+                raise ValueError
+        except ValueError:
+            raise EclError(
+                "--tenant-weight wants NAME=WEIGHT with a positive "
+                "weight, got %r" % (pair,)
+            )
+        weights[name] = weight
+    return weights
+
+
 def _cmd_serve(args):
-    from .serve import (DEFAULT_HOST, DEFAULT_PORT, DEFAULT_QUEUE_DEPTH,
-                        DEFAULT_WORKERS, SimulationService, make_server,
-                        serve_forever)
+    from .serve import (DEFAULT_FUSION_LIMIT, DEFAULT_HOST, DEFAULT_PORT,
+                        DEFAULT_QUEUE_DEPTH, DEFAULT_WORKERS,
+                        SimulationService, make_server, serve_forever)
     from .serve.pool import DEFAULT_MAX_ATTEMPTS
 
     if args.telemetry:
@@ -573,16 +632,37 @@ def _cmd_serve(args):
         telemetry.enable()
     host = args.host or DEFAULT_HOST
     port = args.port if args.port is not None else DEFAULT_PORT
+    workers = (args.workers if args.workers is not None
+               else DEFAULT_WORKERS)
+    pool_mode = args.pool_mode
+    if pool_mode == "auto":
+        # Process workers are the default whenever parallelism is
+        # actually requested: CPU-bound tenants then scale with cores
+        # instead of serializing on the GIL.
+        pool_mode = "process" if workers > 1 else "thread"
     service = SimulationService(
         data_root=args.data_root,
-        workers=args.workers if args.workers is not None
-        else DEFAULT_WORKERS,
+        workers=workers,
         queue_depth=args.queue_depth if args.queue_depth is not None
         else DEFAULT_QUEUE_DEPTH,
         max_attempts=args.max_attempts if args.max_attempts is not None
         else DEFAULT_MAX_ATTEMPTS,
         recover=args.recover,
+        pool_mode=pool_mode,
+        cache_dir=args.cache_dir,
+        tenant_weights=_parse_tenant_weights(args.tenant_weight),
+        max_queued_per_tenant=args.max_queued_per_tenant,
+        max_in_flight_per_tenant=args.max_in_flight_per_tenant,
+        fusion_limit=args.fusion_limit if args.fusion_limit is not None
+        else DEFAULT_FUSION_LIMIT,
+        journal_compact=args.journal_compact,
     )
+    compacted = service.compactions
+    if compacted is not None and compacted["dropped_batches"]:
+        print("eclc serve: compacted journal (%d closed batch(es) "
+              "dropped, %d kept)"
+              % (compacted["dropped_batches"], compacted["kept_batches"]),
+              flush=True)
     summary = service.recovery
     if summary is not None and (summary["recovered_batches"]
                                 or summary["torn_lines"]
@@ -597,9 +677,9 @@ def _cmd_serve(args):
     # Bind before announcing: with --port 0 the OS picks the port.
     server = make_server(service, host=host, port=port,
                          verbose=args.verbose)
-    print("eclc serve: listening on %s:%d (%d workers, depth %d%s)"
+    print("eclc serve: listening on %s:%d (%d %s workers, depth %d%s)"
           % (host, server.server_address[1], service.pool.workers,
-             service.queue.depth,
+             service.pool.mode, service.queue.depth,
              ", data %s" % args.data_root if args.data_root
              else ", in-memory"),
           flush=True)

@@ -103,6 +103,30 @@ class WorkerState:
 
     # -- serving-layer surface -----------------------------------------
 
+    @classmethod
+    def for_tenant(cls, tenant, data_root=None, options=None,
+                   raise_storage_errors=True):
+        """One tenant's serving worker state over the service's shared
+        on-disk layout: a namespaced persistent artifact cache under
+        ``<data_root>/artifacts`` and the tenant's ledger shard under
+        ``<data_root>/traces`` (both in-memory/absent without a
+        ``data_root``).  Used by the service's in-process
+        ``TenantSpace`` *and* by spawned serve worker processes, so
+        both sides compile and persist through identical paths and a
+        job's stable row is byte-identical either way."""
+        if data_root:
+            cache = ArtifactCache.persistent(
+                os.path.join(data_root, "artifacts"), namespace=tenant
+            )
+            ledger_root = os.path.join(data_root, "traces")
+        else:
+            cache = ArtifactCache.memory()
+            ledger_root = None
+        return cls(
+            {}, options=options, ledger_root=ledger_root, cache=cache,
+            tenant=tenant, raise_storage_errors=raise_storage_errors,
+        )
+
     def adopt_designs(self, designs):
         """Merge a new batch's design sources into this (long-lived)
         worker state.  A label re-bound to *different* source drops the

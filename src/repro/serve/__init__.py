@@ -11,9 +11,13 @@ compile tax dominates.  This package keeps the farm *resident*:
 * :mod:`repro.serve.queue` — bounded priority intake with atomic batch
   admission; overload is an explicit ``queue_full`` rejection (HTTP
   429), never unbounded memory growth;
-* :mod:`repro.serve.pool` — self-healing worker threads; a worker
-  death requeues its in-hand job (bounded attempts) and replaces the
-  thread, so a crash degrades one batch instead of the service;
+* :mod:`repro.serve.pool` — self-healing workers, thread- or
+  process-backed (``mode="process"``: long-lived spawned children
+  warm-started from the persistent artifact/code caches, so CPU-bound
+  tenants scale with cores instead of the GIL); a worker death — even
+  a SIGKILLed child — requeues its in-hand job (bounded attempts) and
+  replaces the worker, so a crash degrades one batch instead of the
+  service;
 * :mod:`repro.serve.service` — the core: per-tenant warm
   :class:`~repro.farm.worker.WorkerState` over namespaced artifact
   caches and sharded trace-ledger indices, streaming per-batch result
@@ -43,14 +47,18 @@ from .api import DEFAULT_HOST, DEFAULT_PORT, make_server, serve_forever
 from .chaos import FaultPlan, InjectedCrash
 from .client import ServeClient
 from .journal import BatchJournal
-from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool, backoff_delay
-from .queue import DEFAULT_QUEUE_DEPTH, JobQueue, QueueEntry, QueueFullError
-from .service import (DEFAULT_TENANT, DEFAULT_WORKERS, Batch,
-                      SimulationService, TenantSpace)
+from .pool import (DEFAULT_MAX_ATTEMPTS, POOL_MODES, ProcessDeath,
+                   WorkerPool, WorkerProcess, backoff_delay)
+from .queue import (DEFAULT_QUEUE_DEPTH, JobQueue, QueueEntry,
+                    QueueFullError, TenantQuotaError)
+from .service import (DEFAULT_FUSION_LIMIT, DEFAULT_TENANT,
+                      DEFAULT_WORKERS, Batch, SimulationService,
+                      TenantSpace)
 
 __all__ = [
     "Batch",
     "BatchJournal",
+    "DEFAULT_FUSION_LIMIT",
     "DEFAULT_HOST",
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_PORT",
@@ -60,12 +68,16 @@ __all__ = [
     "FaultPlan",
     "InjectedCrash",
     "JobQueue",
+    "POOL_MODES",
+    "ProcessDeath",
     "QueueEntry",
     "QueueFullError",
     "ServeClient",
     "SimulationService",
+    "TenantQuotaError",
     "TenantSpace",
     "WorkerPool",
+    "WorkerProcess",
     "backoff_delay",
     "make_server",
     "serve_forever",

@@ -25,8 +25,10 @@ Submissions are ``{"tenant": ..., "priority": ..., "spec": {...}}``
 where ``spec`` is the farm batch schema with designs inline
 (``eclc submit`` builds this from a normal spec file).  Backpressure
 maps to HTTP directly: a full queue is ``429`` with
-``error="queue_full"``, a draining service is ``503`` — a client never
-distinguishes overload from shutdown by parsing prose.
+``error="queue_full"`` (``error="tenant_quota"`` when the submitting
+tenant's own quota tripped rather than the shared depth), a draining
+service is ``503`` — a client never distinguishes overload from
+shutdown by parsing prose.
 
 The results endpoint streams NDJSON: one serialized
 :class:`~repro.farm.jobs.SimResult` per line, written as each job
@@ -46,7 +48,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from .. import telemetry
 from ..errors import EclError
-from .queue import QueueFullError
+from .queue import QueueFullError, TenantQuotaError
 from .service import SimulationService
 
 #: Default bind address of ``eclc serve``.
@@ -161,6 +163,14 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             batch = self.service.submit(spec, tenant=tenant,
                                         priority=priority)
+        except TenantQuotaError as error:
+            # Same 429 backpressure contract as queue_full, but the
+            # structured error names the *tenant's* quota: a client
+            # backing off knows its own lane is the bottleneck, not
+            # the service.
+            self._send_json(429, {"error": "tenant_quota",
+                                  "detail": str(error)})
+            return
         except QueueFullError as error:
             self._send_json(429, {"error": "queue_full",
                                   "detail": str(error)})

@@ -72,14 +72,16 @@ class FaultPlan:
     the plan really exercised the seams it claims to.
     """
 
-    SCOPES = ("crash", "post_crash", "slow", "stall", "journal", "ledger")
+    SCOPES = ("crash", "post_crash", "slow", "stall", "journal",
+              "ledger", "proc_kill")
 
     def __init__(self, seed, crash_prob=0.0, crash_limit=2,
                  post_crash_prob=0.0, post_crash_limit=1,
                  slow_prob=0.0, slow_s=0.01,
                  stall_prob=0.0, stall_s=0.005,
                  journal_prob=0.0, journal_limit=None,
-                 ledger_prob=0.0, ledger_limit=1):
+                 ledger_prob=0.0, ledger_limit=1,
+                 kill_prob=0.0, kill_limit=1):
         self.seed = int(seed)
         self.crash_prob = crash_prob
         self.crash_limit = crash_limit
@@ -93,6 +95,8 @@ class FaultPlan:
         self.journal_limit = journal_limit
         self.ledger_prob = ledger_prob
         self.ledger_limit = ledger_limit
+        self.kill_prob = kill_prob
+        self.kill_limit = kill_limit
         #: scope -> how many faults actually fired.
         self.injected: Dict[str, int] = {scope: 0 for scope in self.SCOPES}
         self._occurrences: Dict[tuple, int] = {}
@@ -152,6 +156,16 @@ class FaultPlan:
             raise InjectedCrash("chaos: worker crash after record "
                                 "(job %s)" % key[:12])
 
+    def on_process(self, entry, worker):
+        """``WorkerPool.process_fault_hook``: SIGKILL the slot's live
+        worker subprocess right before dispatch — a *real* process
+        death (the pipe breaks mid-job), not a simulated one.  The
+        decision keys on the job id like the crash scopes, so retries
+        of one job see fresh deterministic draws."""
+        if self._decide("proc_kill", self._job_key(entry), self.kill_prob,
+                        self.kill_limit):
+            worker.kill()
+
     def on_dequeue(self, entry):
         """``JobQueue.fault_hook``: stall a dequeue (scheduling
         jitter)."""
@@ -193,6 +207,7 @@ class FaultPlan:
         self._service = service
         service.pool.fault_hook = self.on_execute
         service.pool.post_fault_hook = self.on_recorded
+        service.pool.process_fault_hook = self.on_process
         service.queue.fault_hook = self.on_dequeue
         if service.journal is not None:
             service.journal.fault_hook = self.on_journal
@@ -214,6 +229,7 @@ class FaultPlan:
             return
         service.pool.fault_hook = None
         service.pool.post_fault_hook = None
+        service.pool.process_fault_hook = None
         service.queue.fault_hook = None
         if service.journal is not None:
             service.journal.fault_hook = None

@@ -30,7 +30,7 @@ from typing import Iterator
 
 from ..errors import EclError
 from .api import DEFAULT_HOST, DEFAULT_PORT
-from .queue import QueueFullError
+from .queue import QueueFullError, TenantQuotaError
 
 #: Transparent retry budget for idempotent GETs (total tries = 1 + N).
 DEFAULT_GET_RETRIES = 3
@@ -116,8 +116,13 @@ class ServeClient:
     @staticmethod
     def _check(status, payload):
         if status == 429:
-            raise QueueFullError(payload.get("detail")
-                                 or payload.get("error") or "queue_full")
+            detail = (payload.get("detail") or payload.get("error")
+                      or "queue_full")
+            # tenant_quota is-a queue_full: same backpressure contract,
+            # narrower type for clients that back off per-tenant.
+            if payload.get("error") == "tenant_quota":
+                raise TenantQuotaError(detail)
+            raise QueueFullError(detail)
         if status >= 400:
             raise EclError(
                 payload.get("error") or "service error (HTTP %d)" % status

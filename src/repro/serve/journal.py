@@ -196,6 +196,107 @@ class BatchJournal:
             except OSError:
                 pass
 
+    # -- compaction ----------------------------------------------------
+
+    def compact(self, tenant=None):
+        """Drop fully-closed batches from per-tenant WAL shards.
+
+        A long-lived ``data_root`` otherwise accretes every batch ever
+        served: replay cost and disk both grow without bound even
+        though ended batches contribute nothing to recovery.  For each
+        shard (one tenant, or all), the surviving state — open batches
+        only, their ``admit`` line plus journaled ``row`` lines in
+        admit order — is rewritten to ``<shard>.tmp`` and atomically
+        ``os.replace``d over the shard, so a crash mid-compaction
+        leaves either the old WAL or the new one, never a torn hybrid.
+        A shard with nothing open is removed outright.  Torn tails and
+        duplicate rows compact away with the closed batches.
+
+        The caller must quiesce appends first (the service compacts at
+        startup before the pool runs, and at shutdown after the drain):
+        an append racing the rewrite could land in the doomed file.
+        Cached descriptors are closed so later appends reopen the
+        rewritten shard.  Returns a summary dict.
+        """
+        tenants = [check_tenant(tenant)] if tenant else self.tenants()
+        summary = {
+            "shards": 0,
+            "rewritten_shards": 0,
+            "removed_shards": 0,
+            "kept_batches": 0,
+            "dropped_batches": 0,
+            "kept_lines": 0,
+        }
+        for name in tenants:
+            path = self.shard_path(name)
+            if not os.path.exists(path):
+                continue
+            summary["shards"] += 1
+            with self._lock:
+                fd = self._fds.pop(name, None)
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+            replay = self.replay(name)
+            open_records = replay.open_batches()
+            dropped = len(replay.batches) - len(open_records)
+            summary["dropped_batches"] += dropped
+            summary["kept_batches"] += len(open_records)
+            if not open_records:
+                os.remove(path)
+                summary["removed_shards"] += 1
+                continue
+            dirty = (dropped or replay.torn_lines
+                     or replay.duplicate_rows or replay.orphan_rows)
+            if not dirty:
+                summary["kept_lines"] += sum(
+                    1 + len(record.rows) for record in open_records
+                )
+                continue
+            lines = []
+            for record in open_records:
+                admit = {
+                    "kind": KIND_ADMIT,
+                    "batch": record.batch_id,
+                    "priority": record.priority,
+                    "spec": record.spec,
+                    "job_ids": record.job_ids,
+                }
+                if record.ttl_s is not None:
+                    admit["ttl_s"] = record.ttl_s
+                lines.append(admit)
+                for job_id in record.job_ids:
+                    row = record.rows.get(job_id)
+                    if row is not None:
+                        lines.append({
+                            "kind": KIND_ROW,
+                            "batch": record.batch_id,
+                            "job_id": job_id,
+                            "row": row,
+                        })
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in lines:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            summary["rewritten_shards"] += 1
+            summary["kept_lines"] += len(lines)
+        telemetry.counter(
+            "ecl_serve_journal_compactions_total",
+            help="Journal compaction passes completed.",
+        ).inc()
+        if summary["dropped_batches"]:
+            telemetry.counter(
+                "ecl_serve_journal_compacted_batches_total",
+                help="Closed batches dropped from WAL shards by "
+                     "compaction.",
+            ).inc(summary["dropped_batches"])
+        return summary
+
     # -- reading -------------------------------------------------------
 
     def shard_path(self, tenant):

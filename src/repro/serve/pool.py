@@ -1,23 +1,36 @@
-"""Warm worker pool: resident threads draining the job queue.
+"""Warm worker pool: resident threads (or processes) draining the queue.
 
-Each worker is a daemon thread looping ``queue.get() -> execute``.
-Warmth lives one level down — the per-tenant
-:class:`~repro.farm.worker.WorkerState` instances the service owns keep
-compiled designs, lowered native code and partition bundles resident in
-the shared :class:`~repro.pipeline.cache.ArtifactCache` — so a worker
-thread is deliberately stateless: it can die and be replaced without
-losing any warmth.
+Each worker slot is a daemon thread looping ``queue.get() -> execute``.
+In **thread** mode the slot executes in-process; warmth lives one level
+down — the per-tenant :class:`~repro.farm.worker.WorkerState` instances
+the service owns keep compiled designs, lowered native code and
+partition bundles resident in the shared
+:class:`~repro.pipeline.cache.ArtifactCache` — so a worker thread is
+deliberately stateless: it can die and be replaced without losing any
+warmth.
+
+In **process** mode each slot is a *dispatcher*: it owns one long-lived
+worker subprocess (:class:`WorkerProcess`, spawn-start so no live lock
+or thread state is forked mid-operation) and ships queue entries to it
+over a pipe.  CPU-bound tenants then scale with cores instead of
+serializing on the GIL, and warmth survives differently: the children
+warm-start from the persistent artifact cache and the marshal-backed
+native code cache, so a replacement child skips codegen even though it
+shares no memory with its predecessor.
 
 Worker death is the fault model the pool exists to contain.
 ``WorkerState.run_job`` already converts *job-level* failures into
 ``status="error"`` results, so anything that escapes the execute
 callback is a *worker* fault (a harness bug, a ``MemoryError``, a
 storage-layer ``OSError`` escalated by the serving worker state, the
-test suite's injected crashes).  The dying worker requeues its in-hand
-entry (bounded by ``max_attempts`` total tries), reports a synthesized
-error result once the bound is exhausted — so a crashed worker degrades
-the batch rather than hanging it — and replaces itself with a fresh
-thread before exiting.
+test suite's injected crashes — or, in process mode, the child dying
+outright: a ``SIGKILL``, an OOM kill, a segfault surface as
+:class:`ProcessDeath` when the pipe breaks).  The dying worker requeues
+its in-hand entry (bounded by ``max_attempts`` total tries), reports a
+synthesized error result once the bound is exhausted — so a crashed
+worker degrades the batch rather than hanging it — and replaces itself
+(thread mode: a fresh thread; process mode: the dispatcher survives
+and lazily respawns a fresh child) before taking the next job.
 
 Retries back off: each requeue carries an exponentially growing delay
 with *deterministic* jitter (derived from the job identity and the
@@ -32,6 +45,7 @@ requeued again.
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import threading
 import traceback
 from time import monotonic
@@ -44,6 +58,9 @@ DEFAULT_MAX_ATTEMPTS = 3
 #: First retry delay (seconds); doubles per attempt up to the cap.
 DEFAULT_BACKOFF_BASE = 0.02
 DEFAULT_BACKOFF_CAP = 2.0
+
+#: Worker pool modes.
+POOL_MODES = ("thread", "process")
 
 
 def backoff_delay(job_key, attempts, base=DEFAULT_BACKOFF_BASE,
@@ -63,19 +80,126 @@ def backoff_delay(job_key, attempts, base=DEFAULT_BACKOFF_BASE,
     return min(cap, base * (2 ** (attempts - 1)) * (1.0 + 0.5 * jitter))
 
 
+class ProcessDeath(RuntimeError):
+    """A worker subprocess died (or poisoned itself) mid-job.
+
+    Raised by :meth:`WorkerProcess.run` when the pipe breaks — the
+    child was SIGKILLed, segfaulted, or OOM-killed — *and* when the
+    child reports an error that escaped job execution inside it (the
+    child's equivalent of a thread worker's death).  Either way the
+    dispatcher recycles the child and routes the entry through the
+    bounded-backoff retry path."""
+
+
+class WorkerProcess:
+    """Parent-side handle on one long-lived worker subprocess.
+
+    Spawn-start, deliberately: the service has live dispatcher threads
+    holding locks (telemetry registry, journal shard lock) whenever a
+    replacement child is created, and a ``fork`` at that instant could
+    deadlock the child on a lock its copied owner will never release.
+    Spawn children pay an interpreter start per (re)spawn — amortized
+    away by being long-lived and by warm-starting from the persistent
+    artifact/native-code caches.
+    """
+
+    def __init__(self, config, name="serve-proc"):
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child_conn = ctx.Pipe()
+        from .procworker import child_main
+
+        self._proc = ctx.Process(
+            target=child_main, args=(child_conn, config),
+            name=name, daemon=True,
+        )
+        self._proc.start()
+        # The parent's copy of the child end must close, or a dead
+        # child would never surface as EOF on this pipe.
+        child_conn.close()
+
+    @property
+    def pid(self):
+        return self._proc.pid
+
+    def alive(self):
+        return self._proc.is_alive()
+
+    def run(self, kind, tenant, designs, payload):
+        """One request/reply round trip: ``("job", ...)`` runs a single
+        job, ``("sweep", ...)`` a fused group.  Returns the child's
+        payload (stable result dicts); raises :class:`ProcessDeath`
+        when the child died mid-job or reported a worker fault."""
+        try:
+            self._conn.send((kind, tenant, designs, payload))
+            reply = self._conn.recv()
+        except (EOFError, OSError) as error:
+            raise ProcessDeath(
+                "worker process (pid %s) died mid-job: %s"
+                % (self.pid, error or type(error).__name__)
+            ) from None
+        status, data = reply
+        if status != "ok":
+            # The child survived but a fault escaped job execution in
+            # it; treat exactly like a thread worker death (and recycle
+            # the child — its internal state is no longer trusted).
+            raise ProcessDeath(str(data))
+        return data
+
+    def kill(self):
+        """SIGKILL the child (the chaos harness's process-crash seam)."""
+        try:
+            self._proc.kill()
+        except (OSError, ValueError):
+            pass
+
+    def close(self, kill=False, timeout=5.0):
+        """Retire the child: graceful ``exit`` request by default,
+        SIGKILL when ``kill=True`` (or when the graceful join times
+        out — a wedged child must not block shutdown)."""
+        if not kill:
+            try:
+                self._conn.send(("exit",))
+            except (EOFError, OSError, ValueError):
+                pass
+        else:
+            self.kill()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._proc.join(timeout=timeout)
+        if self._proc.is_alive():
+            self.kill()
+            self._proc.join(timeout=timeout)
+
+
 class WorkerPool:
-    """Self-healing thread pool over a :class:`~repro.serve.queue.JobQueue`."""
+    """Self-healing worker pool over a :class:`~repro.serve.queue.JobQueue`."""
 
     def __init__(self, queue, execute, on_dead_job=None,
                  workers=2, max_attempts=DEFAULT_MAX_ATTEMPTS,
                  backoff_base=DEFAULT_BACKOFF_BASE,
-                 backoff_cap=DEFAULT_BACKOFF_CAP):
+                 backoff_cap=DEFAULT_BACKOFF_CAP,
+                 mode="thread", execute_process=None,
+                 process_config=None):
         """``execute(entry)`` runs one queue entry to completion
         (recording its result); ``on_dead_job(entry, error)`` reports
-        an entry whose retry budget is exhausted."""
+        an entry whose retry budget is exhausted.  ``mode="process"``
+        dispatches entries through ``execute_process(entry, worker)``
+        — ``worker`` being the slot's live :class:`WorkerProcess` —
+        with ``process_config`` shipped to each spawned child."""
+        if mode not in POOL_MODES:
+            raise ValueError(
+                "pool mode must be one of %r, got %r" % (POOL_MODES, mode)
+            )
+        if mode == "process" and execute_process is None:
+            raise ValueError('mode="process" requires execute_process')
         self.queue = queue
         self.execute = execute
+        self.execute_process = execute_process
         self.on_dead_job = on_dead_job
+        self.mode = mode
+        self.process_config = process_config or {}
         # workers=0 is a paused pool: jobs queue but nothing drains
         # them (the deterministic mode the backpressure tests use).
         self.workers = max(0, workers)
@@ -89,7 +213,12 @@ class WorkerPool:
         #: recorded the entry's result and may raise — the
         #: crash-after-record window the dedup machinery must absorb.
         self.post_fault_hook = None
+        #: process-mode seam: ``process_fault_hook(entry, worker)``
+        #: runs right before dispatch and may ``worker.kill()`` — the
+        #: real-SIGKILL chaos scope (the pipe then breaks mid-job).
+        self.process_fault_hook = None
         self._threads = []
+        self._children = set()
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
         self._active = 0
@@ -97,6 +226,9 @@ class WorkerPool:
         self._stopping = False
         self.worker_deaths = 0
         self.jobs_executed = 0
+        self.proc_spawned = 0
+        self.proc_restarts = 0
+        self.proc_crashes = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -107,8 +239,10 @@ class WorkerPool:
 
     def _spawn_locked(self):
         self._spawned += 1
+        target = (self._worker_loop_process if self.mode == "process"
+                  else self._worker_loop)
         thread = threading.Thread(
-            target=self._worker_loop,
+            target=target,
             name="serve-worker-%d" % self._spawned,
             daemon=True,
         )
@@ -116,12 +250,18 @@ class WorkerPool:
         thread.start()
 
     def join(self, timeout=None):
-        """Wait for worker threads to exit (queue must be closed)."""
+        """Wait for worker threads to exit (queue must be closed); in
+        process mode each dispatcher retires its child on the way out."""
         with self._lock:
             self._stopping = True
             threads = list(self._threads)
         for thread in threads:
             thread.join(timeout=timeout)
+        # Orphan sweep: children whose dispatcher did not exit in time.
+        with self._lock:
+            children, self._children = list(self._children), set()
+        for child in children:
+            child.close(kill=True, timeout=1.0)
 
     def wait_idle(self, timeout=None):
         """Block until no worker holds a job and the queue is empty.
@@ -142,15 +282,13 @@ class WorkerPool:
                 self._idle.wait(timeout=wait)
             return True
 
-    # -- the loop ------------------------------------------------------
+    # -- the thread loop -----------------------------------------------
 
     def _worker_loop(self):
         while True:
-            entry = self.queue.get(timeout=0.1)
+            entry = self.queue.get()
             if entry is None:
-                if self.queue.closed:
-                    return
-                continue
+                return
             with self._lock:
                 self._active += 1
             try:
@@ -170,19 +308,116 @@ class WorkerPool:
             finally:
                 # Balance the pop *after* any death-path requeue, so
                 # the entry is never invisible to is_idle().
-                self.queue.task_done()
+                self.queue.task_done(entry)
                 with self._idle:
                     self._active -= 1
                     self._idle.notify_all()
 
-    def _handle_death(self, entry, error_text):
-        """Requeue (bounded, backing off) or report the dying worker's
-        entry, then spawn a replacement thread."""
+    # -- the process loop ----------------------------------------------
+
+    def _worker_loop_process(self):
+        worker = None
+        ever_spawned = False
+        try:
+            while True:
+                entry = self.queue.get()
+                if entry is None:
+                    return
+                with self._lock:
+                    self._active += 1
+                try:
+                    if self.fault_hook is not None:
+                        self.fault_hook(entry)
+                    if worker is None or not worker.alive():
+                        worker = self._spawn_process(
+                            stale=worker, replacement=ever_spawned
+                        )
+                        ever_spawned = True
+                    if self.process_fault_hook is not None:
+                        self.process_fault_hook(entry, worker)
+                    self.execute_process(entry, worker)
+                    self.jobs_executed += 1
+                    telemetry.counter(
+                        "ecl_serve_jobs_executed_total",
+                        help="Jobs the serve worker pool ran to "
+                             "completion.",
+                    ).inc()
+                    if self.post_fault_hook is not None:
+                        self.post_fault_hook(entry)
+                except ProcessDeath as death:
+                    # The child is gone (or poisoned): recycle it and
+                    # route the entry through the retry path.  The
+                    # dispatcher itself survives — a fresh child spawns
+                    # lazily on the next job.
+                    self._drop_process(worker)
+                    worker = None
+                    self._count_death()
+                    self._retry_or_report(entry, str(death))
+                except BaseException:
+                    # A fault on the parent side of the dispatch (an
+                    # injected crash, a harness bug): the child — if
+                    # any — is untouched and stays warm.
+                    self._count_death()
+                    self._retry_or_report(
+                        entry, traceback.format_exc(limit=4)
+                    )
+                finally:
+                    self.queue.task_done(entry)
+                    with self._idle:
+                        self._active -= 1
+                        self._idle.notify_all()
+        finally:
+            if worker is not None:
+                with self._lock:
+                    self._children.discard(worker)
+                worker.close(kill=False)
+
+    def _spawn_process(self, stale=None, replacement=False):
+        if stale is not None:
+            # Died idle between jobs (no entry lost): retire the corpse
+            # without counting a crash.
+            with self._lock:
+                self._children.discard(stale)
+            stale.close(kill=True, timeout=1.0)
+        worker = WorkerProcess(self.process_config)
+        with self._lock:
+            self._children.add(worker)
+            self.proc_spawned += 1
+            if replacement:
+                self.proc_restarts += 1
+        if replacement:
+            telemetry.counter(
+                "ecl_serve_worker_proc_restarts_total",
+                help="Replacement worker processes spawned after a "
+                     "child was lost.",
+            ).inc()
+        return worker
+
+    def _drop_process(self, worker):
+        if worker is None:
+            return
+        with self._lock:
+            self._children.discard(worker)
+            self.proc_crashes += 1
+        telemetry.counter(
+            "ecl_serve_worker_proc_crashes_total",
+            help="Worker processes lost mid-job (killed, segfaulted, "
+                 "or poisoned).",
+        ).inc()
+        worker.close(kill=True, timeout=1.0)
+
+    # -- death handling (shared) ---------------------------------------
+
+    def _count_death(self):
         self.worker_deaths += 1
         telemetry.counter(
             "ecl_serve_worker_deaths_total",
-            help="Worker threads lost to faults escaping job execution.",
+            help="Workers lost to faults escaping job execution.",
         ).inc()
+
+    def _retry_or_report(self, entry, error_text):
+        """Requeue (bounded, backing off) or report one entry a dying
+        worker held.  Returns True when the entry was requeued."""
         entry.attempts += 1
         requeued = False
         if entry.attempts < self.max_attempts:
@@ -198,16 +433,40 @@ class WorkerPool:
                 "worker died (%d attempt(s)): %s"
                 % (entry.attempts, error_text.strip().splitlines()[-1]),
             )
+        return requeued
+
+    def retry_entry(self, entry, error_text):
+        """Retry (or quarantine) an *extra* entry a dying dispatch
+        held — the sweep-fusion companions riding along with the
+        primary entry the pool itself retries.  Same bounded-backoff
+        policy; does not count an additional worker death."""
+        return self._retry_or_report(entry, error_text)
+
+    def _handle_death(self, entry, error_text):
+        """Thread mode: requeue or report the dying worker's entry,
+        then spawn a replacement thread."""
+        self._count_death()
+        self._retry_or_report(entry, error_text)
         with self._lock:
             if not self._stopping and not self.queue.closed:
                 self._spawn_locked()
 
     def stats_dict(self):
         with self._lock:
-            return {
+            stats = {
+                "mode": self.mode,
                 "workers": self.workers,
                 "active": self._active,
                 "spawned": self._spawned,
                 "worker_deaths": self.worker_deaths,
                 "jobs_executed": self.jobs_executed,
             }
+            if self.mode == "process":
+                stats["proc_spawned"] = self.proc_spawned
+                stats["proc_restarts"] = self.proc_restarts
+                stats["proc_crashes"] = self.proc_crashes
+                stats["process_pids"] = sorted(
+                    child.pid for child in self._children
+                    if child.alive()
+                )
+        return stats

@@ -1,0 +1,90 @@
+"""Child side of the process-backed serve worker pool.
+
+:func:`child_main` is the entry point each
+:class:`~repro.serve.pool.WorkerProcess` spawns into: a request/reply
+loop over one pipe, holding a per-tenant
+:class:`~repro.farm.worker.WorkerState` exactly like the parent's
+:class:`~repro.serve.service.TenantSpace` does — same namespaced
+artifact cache, same tenant ledger shard, same
+``raise_storage_errors`` escalation — so a job produces the identical
+stable result row no matter which side of the pipe ran it.
+
+Warmth without shared memory: the state compiles against the
+service's *persistent* artifact cache and marshal-backed native code
+cache, so a freshly spawned child (first boot or post-crash
+replacement) serves repeat designs from disk instead of re-running
+codegen.  Trace objects are content-addressed and ledger shards are
+O_APPEND-atomic (the farm's established multi-process discipline), so
+children write them directly; only result rows travel back over the
+pipe.
+
+Fault protocol: a fault escaping job execution — including the
+storage ``OSError``\\ s the serving worker state escalates — reports
+as a ``("dead", traceback)`` reply instead of a result.  The parent
+treats that exactly like a broken pipe (:class:`~repro.serve.pool.
+ProcessDeath`): recycle the child, retry the entry under the bounded
+deterministic backoff.  A child that loses its pipe simply exits —
+the parent owns the lifecycle.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+
+def child_main(conn, config):
+    """Serve job/sweep requests over ``conn`` until ``exit`` or EOF.
+
+    ``config``: ``data_root`` (tenant artifact/ledger layout root,
+    None = in-memory), ``cache_dir`` (marshal-backed native code
+    cache) and ``options`` (:class:`~repro.pipeline.stages.
+    CompileOptions`).
+    """
+    # Imports live here, not at module top: the parent imports this
+    # module only to name the spawn target, and must not pay (or
+    # re-enter) the heavier runtime imports while holding pool state.
+    from ..farm.worker import WorkerState
+    from ..runtime.native import enable_code_cache
+
+    if config.get("cache_dir"):
+        enable_code_cache(config["cache_dir"])
+    states = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "exit":
+                return
+            kind, tenant, designs, payload = message
+            try:
+                state = states.get(tenant)
+                if state is None:
+                    state = WorkerState.for_tenant(
+                        tenant,
+                        data_root=config.get("data_root"),
+                        options=config.get("options"),
+                    )
+                    states[tenant] = state
+                state.adopt_designs(designs)
+                if kind == "sweep":
+                    out = [result.to_dict()
+                           for result in state.run_sweep(payload)]
+                else:
+                    out = state.run_job(payload).to_dict()
+                reply = ("ok", out)
+            except BaseException:
+                # Worker fault (job-level failures became error rows
+                # inside run_job/run_sweep already): report it so the
+                # parent recycles this child and retries the entry.
+                reply = ("dead", traceback.format_exc(limit=6))
+            try:
+                conn.send(reply)
+            except (EOFError, OSError):
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass

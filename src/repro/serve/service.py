@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import os
 import threading
+import traceback
 import uuid
 import warnings
 from time import monotonic, perf_counter
@@ -68,7 +69,6 @@ from ..farm.jobs import STATUS_ERROR, SimResult
 from ..farm.ledger import TraceLedger, check_tenant
 from ..farm.spec import expand_document, load_designs
 from ..farm.worker import WorkerState
-from ..pipeline import ArtifactCache
 from .journal import BatchJournal
 from .pool import DEFAULT_MAX_ATTEMPTS, WorkerPool
 from .queue import DEFAULT_QUEUE_DEPTH, JobQueue
@@ -78,6 +78,11 @@ DEFAULT_WORKERS = 2
 
 #: Tenant used when a submission names none.
 DEFAULT_TENANT = "default"
+
+#: Most jobs one fused sweep dispatch may absorb (lead entry plus
+#: companions).  Bounds both the latency a fused job can add to its
+#: groupmates and the work a single worker death can take down.
+DEFAULT_FUSION_LIMIT = 16
 
 
 class Batch:
@@ -186,24 +191,17 @@ class TenantSpace:
 
     def __init__(self, name, data_root, options=None):
         self.name = check_tenant(name)
-        if data_root:
-            cache = ArtifactCache.persistent(
-                os.path.join(data_root, "artifacts"), namespace=name
-            )
-            ledger_root = os.path.join(data_root, "traces")
-        else:
-            cache = ArtifactCache.memory()
-            ledger_root = None
-        self.cache = cache
         #: the warm core: designs/builds stay resident across batches.
         #: Storage faults (ledger OSErrors) escalate to worker deaths
         #: here instead of becoming error rows, so the pool's bounded
         #: backoff retries them — a transient disk hiccup must not
-        #: corrupt a deterministic result row.
-        self.state = WorkerState(
-            {}, options=options, ledger_root=ledger_root,
-            cache=cache, tenant=name, raise_storage_errors=True,
+        #: corrupt a deterministic result row.  Worker *processes*
+        #: build their own state through the same factory, so either
+        #: execution side yields identical stable rows.
+        self.state = WorkerState.for_tenant(
+            name, data_root=data_root, options=options,
         )
+        self.cache = self.state.pipeline.cache
         self.jobs_run = 0
 
     @property
@@ -232,6 +230,13 @@ class SimulationService:
         start=True,
         journal_root=None,
         recover=True,
+        pool_mode="thread",
+        cache_dir=None,
+        tenant_weights=None,
+        max_queued_per_tenant=None,
+        max_in_flight_per_tenant=None,
+        fusion_limit=DEFAULT_FUSION_LIMIT,
+        journal_compact=False,
     ):
         """``data_root=None`` keeps everything in memory (no trace
         persistence, no artifact disk layer) — the unit-test mode.
@@ -239,28 +244,61 @@ class SimulationService:
         (per-tenant namespaces), traces under ``<data_root>/traces``
         (per-tenant index shards), the batch journal under
         ``<data_root>/journal`` (per-tenant WAL shards) and native
-        bytecode under ``<data_root>/native-pyc``.  ``journal_root``
+        bytecode under the code cache directory (``cache_dir``, the
+        ``ECL_CODE_CACHE_DIR`` environment override, or the
+        auto-provisioned ``<data_root>/native-pyc``).  ``journal_root``
         overrides (or, without a data_root, solely enables) the
         journal location.  ``recover=True`` replays the journal on
         startup: incomplete batches are resurrected and their
-        unfinished jobs re-admitted before the worker pool starts."""
+        unfinished jobs re-admitted before the worker pool starts.
+
+        ``pool_mode="process"`` runs jobs in long-lived spawned worker
+        processes sharing the persistent artifact/code caches — the
+        CPU-bound scaling mode.  ``tenant_weights`` /
+        ``max_queued_per_tenant`` / ``max_in_flight_per_tenant``
+        configure the queue's weighted-fair rotation and quotas;
+        ``fusion_limit`` bounds cross-batch vector sweep fusion (1
+        disables it); ``journal_compact=True`` compacts per-tenant
+        WALs at startup (post-recovery) and on graceful shutdown."""
         self.data_root = data_root
         self.options = options
         if data_root:
             os.makedirs(data_root, exist_ok=True)
+        self.cache_dir = (
+            cache_dir
+            or os.environ.get("ECL_CODE_CACHE_DIR")
+            or (os.path.join(data_root, "native-pyc") if data_root
+                else None)
+        )
+        if self.cache_dir:
             from ..runtime.native import enable_code_cache
 
-            enable_code_cache(os.path.join(data_root, "native-pyc"))
+            enable_code_cache(self.cache_dir)
         if journal_root is None and data_root:
             journal_root = os.path.join(data_root, "journal")
         self.journal = BatchJournal(journal_root) if journal_root else None
-        self.queue = JobQueue(depth=queue_depth)
+        self.journal_compact = bool(journal_compact)
+        self.compactions: Optional[dict] = None
+        self.fusion_limit = max(1, int(fusion_limit))
+        self.queue = JobQueue(
+            depth=queue_depth,
+            tenant_weights=tenant_weights,
+            max_queued_per_tenant=max_queued_per_tenant,
+            max_in_flight_per_tenant=max_in_flight_per_tenant,
+        )
         self.pool = WorkerPool(
             self.queue,
             self._execute,
             on_dead_job=self._report_dead_job,
             workers=workers,
             max_attempts=max_attempts,
+            mode=pool_mode,
+            execute_process=self._execute_process,
+            process_config={
+                "data_root": data_root,
+                "cache_dir": self.cache_dir,
+                "options": options,
+            },
         )
         self._tenants: Dict[str, TenantSpace] = {}
         self._batches: Dict[str, Batch] = {}
@@ -275,6 +313,11 @@ class SimulationService:
         self.started = monotonic()
         if recover and self.journal is not None:
             self._recover()
+        if self.journal_compact and self.journal is not None:
+            # Post-recovery, pre-pool: the WAL is quiescent, and the
+            # ``end`` records recovery appended for batches that
+            # finished just before the crash compact away with them.
+            self.compactions = self.journal.compact()
         if start:
             self.pool.start()
 
@@ -353,34 +396,126 @@ class SimulationService:
     # -- execution (pool callbacks) ------------------------------------
 
     def _execute(self, entry):
-        if entry.batch is not None and entry.batch.has_result(
-                entry.job.job_id):
-            # A crash-after-record retry: the result already landed
-            # (and was journaled); re-running would duplicate it.
-            return
-        if entry.admitted_at:
+        """Thread-pool dispatch: run in this process."""
+        self._execute_entry(entry, None)
+
+    def _execute_process(self, entry, worker):
+        """Process-pool dispatch: ship to the slot's worker child."""
+        self._execute_entry(entry, worker)
+
+    def _execute_entry(self, entry, worker):
+        """The shared execution envelope: dedup and refusal checks,
+        cross-batch sweep fusion, then one dispatch (in-process via the
+        tenant's warm state, or over the pipe to ``worker``).
+
+        Fusion companions are extra queue entries this dispatch took
+        on (:meth:`_take_fusion_companions`); whatever happens — even
+        a worker death — every companion is either recorded, requeued,
+        or quarantined, and its queue pop is balanced: a fused group
+        must never hang batches the pool does not know it holds."""
+        companions = self._take_fusion_companions(entry)
+        try:
+            runnable = []
+            for member in [entry] + companions:
+                if member.batch is not None and member.batch.has_result(
+                        member.job.job_id):
+                    # A crash-after-record retry: the result already
+                    # landed (and was journaled); re-running would
+                    # duplicate it.
+                    continue
+                if member.admitted_at:
+                    telemetry.histogram(
+                        "ecl_serve_queue_wait_seconds",
+                        help="Admission-to-execution queue wait, "
+                             "by tenant.",
+                        tenant=member.tenant,
+                    ).observe(monotonic() - member.admitted_at)
+                refusal = self._refusal(member)
+                if refusal is not None:
+                    self._record_result(
+                        member.batch,
+                        self._synthetic_result(member, refusal),
+                    )
+                    continue
+                runnable.append(member)
+            if not runnable:
+                return
+            space = self._space(entry.tenant)
+            jobs = [member.job for member in runnable]
+            started = perf_counter()
+            with telemetry.span("serve.job", tenant=entry.tenant,
+                                engine=entry.job.engine):
+                if len(jobs) > 1:
+                    telemetry.histogram(
+                        "ecl_serve_fused_jobs",
+                        help="Jobs absorbed per fused sweep dispatch.",
+                        buckets=telemetry.SIZE_BUCKETS,
+                    ).observe(len(jobs))
+                    results = self._dispatch_sweep(space, jobs, worker)
+                else:
+                    results = [self._dispatch_job(space, jobs[0], worker)]
             telemetry.histogram(
-                "ecl_serve_queue_wait_seconds",
-                help="Admission-to-execution queue wait, by tenant.",
+                "ecl_serve_execute_seconds",
+                help="Job execution time on the warm pool, by tenant.",
                 tenant=entry.tenant,
-            ).observe(monotonic() - entry.admitted_at)
-        refusal = self._refusal(entry)
-        if refusal is not None:
-            self._record_result(entry.batch,
-                                self._synthetic_result(entry, refusal))
-            return
-        space = self._space(entry.tenant)
-        started = perf_counter()
-        with telemetry.span("serve.job", tenant=entry.tenant,
-                            engine=entry.job.engine):
-            result = space.state.run_job(entry.job)
-        telemetry.histogram(
-            "ecl_serve_execute_seconds",
-            help="Job execution time on the warm pool, by tenant.",
-            tenant=entry.tenant,
-        ).observe(perf_counter() - started)
-        space.jobs_run += 1
-        self._record_result(entry.batch, result)
+            ).observe(perf_counter() - started)
+            space.jobs_run += len(jobs)
+            for member, result in zip(runnable, results):
+                self._record_result(member.batch, result)
+        except BaseException:
+            # The pool's death handling retries the *primary* entry;
+            # the companions are this envelope's to save.  Requeue
+            # (or quarantine) them before re-raising — and before the
+            # finally below balances their pops.
+            error_text = traceback.format_exc(limit=4)
+            for companion in companions:
+                self.pool.retry_entry(companion, error_text)
+            raise
+        finally:
+            for companion in companions:
+                self.queue.task_done(companion)
+
+    def _dispatch_job(self, space, job, worker):
+        if worker is None:
+            return space.state.run_job(job)
+        return SimResult.from_dict(worker.run(
+            "job", space.name, self._ship_designs(space, job), job,
+        ))
+
+    def _dispatch_sweep(self, space, jobs, worker):
+        if worker is None:
+            return space.state.run_sweep(jobs)
+        rows = worker.run(
+            "sweep", space.name, self._ship_designs(space, jobs[0]), jobs,
+        )
+        return [SimResult.from_dict(row) for row in rows]
+
+    @staticmethod
+    def _ship_designs(space, job):
+        """The design sources a worker child needs for one dispatch
+        (a fused group shares one design by construction of the sweep
+        key).  Shipped with every dispatch: adoption is by source
+        equality, so a warm child ignores repeats and a *replacement*
+        child learns the design without any replay protocol."""
+        return {job.design: space.state.designs[job.design]}
+
+    def _take_fusion_companions(self, entry):
+        """Claim queued same-tenant vector entries sharing ``entry``'s
+        sweep key — cross-*batch* fusion, the piece
+        ``WorkerState.run_jobs`` (which fuses within one chunk) cannot
+        see.  Identity, ordering and journal semantics are untouched:
+        each companion keeps its own job id, batch and result row;
+        only the reactor dispatch is shared."""
+        if self.fusion_limit <= 1:
+            return []
+        key = WorkerState.sweep_key(entry.job)
+        if key is None:
+            return []
+        return self.queue.take_matching(
+            entry,
+            lambda job: WorkerState.sweep_key(job) == key,
+            self.fusion_limit - 1,
+        )
 
     def _refusal(self, entry):
         """Why this entry must not execute (None = run it): its batch
@@ -614,6 +749,9 @@ class SimulationService:
             "deadline_misses": self.deadline_misses,
             "expired_jobs": self.expired_jobs,
             "worker_deaths": self.pool.worker_deaths,
+            "pool_mode": self.pool.mode,
+            "worker_proc_crashes": self.pool.proc_crashes,
+            "worker_proc_restarts": self.pool.proc_restarts,
             "journal": self.journal is not None,
             "journal_errors": self.journal_errors,
             "recovery": self.recovery,
@@ -654,6 +792,22 @@ class SimulationService:
         telemetry.gauge(
             "ecl_serve_tenants", help="Tenant spaces resident in memory.",
         ).set(tenants)
+        telemetry.gauge(
+            "ecl_pool_mode",
+            help="Worker pool mode in effect (1 = this mode).",
+            mode=pool_stats["mode"],
+        ).set(1)
+        for tenant, lane in queue_stats.get("tenants", {}).items():
+            telemetry.gauge(
+                "ecl_serve_tenant_deficit",
+                help="Fair-share credits currently held, by tenant.",
+                tenant=tenant,
+            ).set(lane["deficit"])
+            telemetry.gauge(
+                "ecl_serve_tenant_queued",
+                help="Jobs queued right now, by tenant.",
+                tenant=tenant,
+            ).set(lane["queued"])
 
     # -- shutdown ------------------------------------------------------
 
@@ -681,5 +835,12 @@ class SimulationService:
         self.queue.close()
         self.pool.join(timeout=timeout)
         if self.journal is not None:
+            if self.journal_compact and idle:
+                # Quiesced (drained + joined): closed batches leave the
+                # WAL now instead of replaying forever at every boot.
+                try:
+                    self.compactions = self.journal.compact()
+                except OSError:
+                    self.journal_errors += 1
             self.journal.close()
         return idle

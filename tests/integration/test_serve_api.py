@@ -138,6 +138,33 @@ class TestHttpSurface:
             server.server_close()
             service.shutdown(drain=False, timeout=5)
 
+    def test_tenant_quota_maps_to_429_tenant_quota(self, tmp_path):
+        from repro.serve import TenantQuotaError
+
+        service = SimulationService(workers=0, queue_depth=64,
+                                    max_queued_per_tenant=6)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        client = ServeClient(port=server.server_address[1])
+        try:
+            client.submit(batch_document(), tenant="greedy")
+            # a second 6-job batch would put greedy at 12 > quota 6
+            with pytest.raises(TenantQuotaError,
+                               match="tenant_quota") as excinfo:
+                client.submit(batch_document(), tenant="greedy")
+            assert "greedy" in str(excinfo.value)
+            # shared depth has room: another tenant still submits
+            client.submit(batch_document(), tenant="modest")
+            queue_stats = client.status()["queue"]
+            assert queue_stats["queued"] == 12
+            assert queue_stats["quota_rejected"] == 6
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown(drain=False, timeout=5)
+
 
 class TestAcceptance:
     def test_second_submission_zero_compile_misses(self, served):

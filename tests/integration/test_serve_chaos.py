@@ -75,9 +75,11 @@ def expected_rows(tmp_path):
     return stable_rows([state.run_job(job) for job in jobs])
 
 
-def run_under_plan(root, plan_kwargs, max_attempts=3):
-    service = SimulationService(data_root=str(root), workers=3,
-                                max_attempts=max_attempts, start=False)
+def run_under_plan(root, plan_kwargs, max_attempts=3,
+                   pool_mode="thread", workers=3):
+    service = SimulationService(data_root=str(root), workers=workers,
+                                max_attempts=max_attempts,
+                                pool_mode=pool_mode, start=False)
     plan = FaultPlan(**plan_kwargs).install(service)
     service.pool.start()
     try:
@@ -165,6 +167,39 @@ class TestChaosInvariants:
         assert service.quarantined == JOBS
         assert plan.injected["crash"] == JOBS * 2  # every attempt
 
+    def test_sigkilled_worker_process_degrades_nothing(self, tmp_path):
+        """Process-mode chaos: SIGKILL the live worker subprocess right
+        before dispatch — a real ``kill -9``, broken pipe and all.  The
+        dispatcher must recycle the child, retry the in-hand job, and
+        finish the batch with zero lost rows, zero duplicates, and
+        byte-identical stable payloads."""
+        plan, service, results = run_under_plan(
+            tmp_path / "svc",
+            dict(seed=131, kill_prob=1.0, kill_limit=1),
+            pool_mode="process", workers=2)
+        # every job's first dispatch was killed, once each
+        assert plan.injected["proc_kill"] == JOBS
+        pool_stats = service.pool.stats_dict()
+        assert pool_stats["mode"] == "process"
+        assert pool_stats["proc_crashes"] == JOBS
+        assert pool_stats["proc_restarts"] >= 1
+        # zero lost, zero duplicated, byte-identical
+        assert len(results) == JOBS
+        assert len({r.job_id for r in results}) == JOBS
+        assert all(r.ok for r in results), \
+            [r.error for r in results if not r.ok]
+        assert stable_rows(results) == expected_rows(tmp_path)
+
+    def test_process_chaos_same_seed_same_outcome(self, tmp_path):
+        kwargs = dict(seed=139, kill_prob=0.5, kill_limit=1)
+        first_plan, _, first = run_under_plan(
+            tmp_path / "a", kwargs, pool_mode="process", workers=2)
+        second_plan, _, second = run_under_plan(
+            tmp_path / "b", kwargs, pool_mode="process", workers=2)
+        assert first_plan.injected == second_plan.injected
+        assert first_plan.injected["proc_kill"] > 0
+        assert stable_rows(first) == stable_rows(second)
+
     def test_chaos_survives_crash_recovery(self, tmp_path):
         """Faults before the crash, recovery after: replayed rows plus
         re-executed ones still reconstruct the fault-free batch."""
@@ -183,6 +218,33 @@ class TestChaosInvariants:
         lines = shard.read_text().splitlines()
         shard.write_text("\n".join(lines[:4]) + "\n")
         revived = SimulationService(data_root=str(root), workers=2)
+        try:
+            assert revived.recovery["recovered_batches"] == 1
+            assert revived.recovery["replayed_rows"] == 3
+            recovered = revived.batch(json.loads(lines[0])["batch"])
+            assert recovered.wait(timeout=120)
+            assert stable_rows(recovered.results) == \
+                expected_rows(tmp_path)
+        finally:
+            revived.shutdown(drain=True, timeout=30)
+
+    def test_process_crash_then_recovery_replay(self, tmp_path):
+        """Recovery compose, process edition: a run whose worker
+        children get SIGKILLed, then a service crash (amputated WAL),
+        then a *process-mode* revival replaying the journal.  Replayed
+        rows plus re-executed ones reconstruct the fault-free batch."""
+        root = tmp_path / "svc"
+        plan, service, results = run_under_plan(
+            root, dict(seed=149, kill_prob=0.6, kill_limit=1),
+            pool_mode="process", workers=2)
+        assert plan.injected["proc_kill"] > 0
+        assert len(results) == JOBS
+        # amputate the WAL mid-batch: keep admit + the first 3 rows
+        shard = root / "journal" / "default.jsonl"
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[:4]) + "\n")
+        revived = SimulationService(data_root=str(root), workers=2,
+                                    pool_mode="process")
         try:
             assert revived.recovery["recovered_batches"] == 1
             assert revived.recovery["replayed_rows"] == 3

@@ -188,6 +188,97 @@ class TestMetricsEndpoint:
             service.shutdown(drain=False, timeout=10)
 
 
+class TestScaleOutMetrics:
+    """Metric-name contract for the scale-out rung: pool mode, fused
+    sweep sizes, per-tenant fair-share and quota counters, process
+    worker crash/restart counters."""
+
+    def test_fairness_and_quota_metric_names(self, tmp_path,
+                                             telemetry_on):
+        from repro.serve import TenantQuotaError
+
+        service = SimulationService(workers=0,
+                                    tenant_weights={"acme": 2.0},
+                                    max_queued_per_tenant=4)
+        try:
+            service.submit(batch_document(), tenant="acme")  # 3 jobs
+            with pytest.raises(TenantQuotaError):
+                service.submit(batch_document(), tenant="acme")
+            entry = service.queue.get(timeout=0)
+            assert entry is not None
+            service.record_gauges()
+            text = telemetry.render_prometheus(telemetry.get_registry())
+            series = telemetry.parse_prometheus(text)
+            ((labels, value),) = series["ecl_pool_mode"]
+            assert labels["mode"] == "thread" and value == 1
+            quota = dict((labels["tenant"], value) for labels, value in
+                         series["ecl_serve_tenant_quota_rejected_total"])
+            assert quota["acme"] == 3
+            dequeues = dict((labels["tenant"], value) for labels, value
+                            in series["ecl_serve_tenant_dequeues_total"])
+            assert dequeues["acme"] == 1
+            tenant_gauges = {
+                labels["tenant"]
+                for labels, _ in series["ecl_serve_tenant_queued"]}
+            assert "acme" in tenant_gauges
+            assert "ecl_serve_tenant_deficit" in series
+        finally:
+            service.shutdown(drain=False, timeout=5)
+
+    def test_fused_sweep_sizes_observed(self, tmp_path, telemetry_on):
+        doc = {
+            "designs": {"e": {"text": ECHO}},
+            "jobs": [{"design": "e", "modules": ["echo"],
+                      "engines": ["vector"], "traces": 2, "length": 6}],
+        }
+        service = SimulationService(workers=1, start=False)
+        try:
+            batches = [service.submit(doc) for _ in range(2)]
+            service.pool.start()
+            for batch in batches:
+                assert batch.wait(timeout=30)
+            snapshot = telemetry.snapshot()
+            families = {f["name"]: f for f in snapshot["metrics"]}
+            assert "ecl_serve_fused_jobs" in families
+            (sample,) = families["ecl_serve_fused_jobs"]["samples"]
+            assert sample["count"] == 1
+            assert sample["sum"] == 4  # two 2-job batches, one dispatch
+        finally:
+            service.shutdown(drain=False, timeout=10)
+
+    def test_process_pool_crash_metric_names(self, tmp_path,
+                                             telemetry_on):
+        service = SimulationService(data_root=str(tmp_path / "svc"),
+                                    workers=1, pool_mode="process",
+                                    start=False)
+        killed = []
+
+        def kill_once(entry, worker):
+            if not killed:
+                killed.append(worker.pid)
+                worker.kill()
+
+        service.pool.process_fault_hook = kill_once
+        service.pool.start()
+        try:
+            batch = service.submit(batch_document(traces=2))
+            assert batch.wait(timeout=60)
+            assert all(r.ok for r in batch.results)
+            service.record_gauges()
+            text = telemetry.render_prometheus(telemetry.get_registry())
+            series = telemetry.parse_prometheus(text)
+            ((labels, value),) = series["ecl_pool_mode"]
+            assert labels["mode"] == "process" and value == 1
+            ((_, crashes),) = series["ecl_serve_worker_proc_crashes_total"]
+            assert crashes == 1
+            ((_, restarts),) = \
+                series["ecl_serve_worker_proc_restarts_total"]
+            assert restarts >= 1
+        finally:
+            service.pool.process_fault_hook = None
+            service.shutdown(drain=True, timeout=30)
+
+
 class TestHealthSurface:
     def test_health_reports_recovery_quarantine_and_telemetry(self, served):
         service, client = served

@@ -128,3 +128,84 @@ class TestReplay:
         replay = journal.replay("never-seen")
         assert replay.batches == {}
         assert replay.torn_lines == 0
+
+
+class TestCompaction:
+    def test_closed_batches_drop_open_ones_survive(self, journal):
+        journal.admit("t", "done", {"jobs": ["x"]}, ["j1"])
+        journal.row("t", "done", result("j1"))
+        journal.end("t", "done")
+        journal.admit("t", "open", {"jobs": ["y"]}, ["j2", "j3"],
+                      priority=2, ttl_s=7.0)
+        journal.row("t", "open", result("j2"))
+
+        summary = journal.compact()
+        assert summary["dropped_batches"] == 1
+        assert summary["kept_batches"] == 1
+        assert summary["rewritten_shards"] == 1
+
+        replay = journal.replay("t")
+        assert replay.batches.keys() == {"open"}
+        record = replay.batches["open"]
+        assert record.priority == 2
+        assert record.ttl_s == 7.0
+        assert record.spec == {"jobs": ["y"]}
+        assert record.rows.keys() == {"j2"}
+        assert record.pending_job_ids == ["j3"]
+
+    def test_shard_with_nothing_open_is_removed(self, journal):
+        journal.admit("t", "b", {}, ["j1"])
+        journal.row("t", "b", result("j1"))
+        journal.end("t", "b")
+        summary = journal.compact()
+        assert summary["removed_shards"] == 1
+        assert not os.path.exists(journal.shard_path("t"))
+        # and the journal still works after — appends reopen the shard
+        journal.admit("t", "b2", {}, ["j9"])
+        assert journal.replay("t").batches.keys() == {"b2"}
+
+    def test_clean_all_open_shard_is_left_alone(self, journal):
+        journal.admit("t", "open", {}, ["j1"])
+        journal.row("t", "open", result("j1"))
+        before = open(journal.shard_path("t")).read()
+        summary = journal.compact()
+        assert summary["rewritten_shards"] == 0
+        assert summary["kept_lines"] == 2
+        assert open(journal.shard_path("t")).read() == before
+
+    def test_torn_tail_and_duplicates_compact_away(self, journal):
+        journal.admit("t", "open", {}, ["j1"])
+        journal.row("t", "open", result("j1", status="ok"))
+        journal.row("t", "open", result("j1", status="error"))  # dup
+        with open(journal.shard_path("t"), "a") as handle:
+            handle.write('{"kind": "row", "ba')  # torn tail
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            journal.compact()
+        # the rewritten shard replays clean: first row won, tail gone
+        replay = journal.replay("t")
+        assert replay.torn_lines == 0
+        assert replay.duplicate_rows == 0
+        assert replay.batches["open"].rows["j1"]["status"] == "ok"
+
+    def test_rewrite_is_atomic_no_tmp_left_behind(self, journal, tmp_path):
+        journal.admit("t", "done", {}, [])
+        journal.end("t", "done")
+        journal.admit("t", "open", {}, ["j1"])
+        journal.compact()
+        assert not os.path.exists(journal.shard_path("t") + ".tmp")
+        # idempotent: a second pass finds a clean shard, rewrites nothing
+        summary = journal.compact()
+        assert summary["rewritten_shards"] == 0
+        assert summary["dropped_batches"] == 0
+
+    def test_single_tenant_compaction_scope(self, journal):
+        journal.admit("alice", "a", {}, [])
+        journal.end("alice", "a")
+        journal.admit("bob", "b", {}, [])
+        journal.end("bob", "b")
+        summary = journal.compact(tenant="alice")
+        assert summary["shards"] == 1
+        assert not os.path.exists(journal.shard_path("alice"))
+        assert os.path.exists(journal.shard_path("bob"))

@@ -6,8 +6,8 @@ from time import monotonic
 import pytest
 
 from repro.errors import EclError
-from repro.serve import (JobQueue, QueueEntry, QueueFullError, WorkerPool,
-                         backoff_delay)
+from repro.serve import (JobQueue, QueueEntry, QueueFullError,
+                         TenantQuotaError, WorkerPool, backoff_delay)
 
 
 def entries_of(queue):
@@ -180,6 +180,171 @@ class TestJobQueue:
         assert len(set(id(e) for e in drained)) == 33  # no duplicates
         assert victim in drained  # the retry was not lost
         assert len(queue) == 0
+
+
+class TestWeightedFairness:
+    """The deficit-round-robin rotation across tenant lanes."""
+
+    def test_backlogged_tenant_cannot_starve_another(self):
+        """Fifty queued heavy-tenant jobs, one light-tenant job: the
+        light job dequeues within the first rotation turn, not after
+        the heavy backlog drains."""
+        queue = JobQueue(depth=256)
+        queue.put_batch(["heavy-%d" % i for i in range(50)],
+                        tenant="heavy")
+        queue.put_batch(["light"], tenant="light")
+        order = [e.job for e in entries_of(queue)]
+        assert order.index("light") <= 1
+        assert len(order) == 51
+
+    def test_priority_cannot_cross_tenant_lanes(self):
+        """Priority orders within a tenant; the rotation — not
+        priority — decides between tenants, so a tenant cannot jump
+        the ring by inflating its priorities."""
+        queue = JobQueue(depth=64)
+        queue.put_batch(["a-hi"], tenant="a", priority=9)
+        queue.put_batch(["a-lo"], tenant="a", priority=0)
+        queue.put_batch(["b"], tenant="b", priority=0)
+        order = [e.job for e in entries_of(queue)]
+        assert order.index("a-hi") < order.index("a-lo")
+        assert order.index("b") <= 1  # one turn, despite priority 0
+
+    def test_weights_split_dequeues_proportionally(self):
+        """Weight 3 vs weight 1 with deep backlogs on both sides: the
+        first dequeues split ~3:1 (exactly 3:1 per full rotation)."""
+        queue = JobQueue(depth=256,
+                         tenant_weights={"gold": 3.0, "basic": 1.0})
+        queue.put_batch(["g%d" % i for i in range(30)], tenant="gold")
+        queue.put_batch(["b%d" % i for i in range(30)], tenant="basic")
+        first = [queue.get(timeout=0).job for _ in range(20)]
+        gold = sum(1 for job in first if job.startswith("g"))
+        assert gold == 15  # 3 of every 4
+
+    def test_fractional_weight_accumulates_credit(self):
+        """A weight-0.5 lane dequeues once per two turns — held back,
+        never locked out."""
+        queue = JobQueue(depth=256,
+                         tenant_weights={"slow": 0.5, "fast": 1.0})
+        queue.put_batch(["s%d" % i for i in range(8)], tenant="slow")
+        queue.put_batch(["f%d" % i for i in range(8)], tenant="fast")
+        first = [queue.get(timeout=0).job for _ in range(12)]
+        slow = sum(1 for job in first if job.startswith("s"))
+        assert 3 <= slow <= 5
+        # and the slow lane fully drains once the fast one is empty
+        rest = [e.job for e in entries_of(queue)]
+        assert len(first) + len(rest) == 16
+
+    def test_single_tenant_degenerates_to_strict_priority(self):
+        queue = JobQueue(depth=64, tenant_weights={"default": 2.0})
+        queue.put_batch(["lo"], priority=0)
+        queue.put_batch(["hi"], priority=5)
+        queue.put_batch(["mid"], priority=2)
+        assert [e.job for e in entries_of(queue)] == ["hi", "mid", "lo"]
+
+    def test_set_tenant_weight_validates_and_applies(self):
+        queue = JobQueue(depth=8)
+        with pytest.raises(EclError, match="weight"):
+            queue.set_tenant_weight("t", 0)
+        queue.put_batch(["x"], tenant="t")
+        queue.set_tenant_weight("t", 4.0)
+        assert queue.stats_dict()["tenants"]["t"]["weight"] == 4.0
+
+
+class TestTenantQuotas:
+    def test_queued_quota_rejects_structured_and_atomic(self):
+        queue = JobQueue(depth=64, max_queued_per_tenant=3)
+        queue.put_batch(["a", "b"], tenant="greedy")
+        with pytest.raises(TenantQuotaError, match="tenant_quota"):
+            queue.put_batch(["c", "d"], tenant="greedy")  # 2 + 2 > 3
+        # structured: a TenantQuotaError IS a QueueFullError (the 429
+        # backpressure contract), distinguishable by type.
+        assert issubclass(TenantQuotaError, QueueFullError)
+        # atomic: the rejected batch left nothing behind...
+        assert len(queue) == 2
+        stats = queue.stats_dict()
+        assert stats["quota_rejected"] == 2
+        # ...and another tenant is untouched by the greedy one's quota
+        queue.put_batch(["x", "y", "z"], tenant="modest")
+        assert len(queue) == 5
+
+    def test_quota_bypassed_by_force_and_requeue(self):
+        queue = JobQueue(depth=64, max_queued_per_tenant=1)
+        (entry,) = queue.put_batch(["a"], tenant="t")
+        # recovery re-admission bypasses the quota
+        queue.put_batch(["b"], tenant="t", force=True)
+        assert queue.get(timeout=0) is entry
+        # a worker-death retry bypasses it too
+        assert queue.requeue(entry)
+        assert len(queue) == 2
+
+    def test_in_flight_cap_gates_lane_without_blocking_others(self):
+        queue = JobQueue(depth=64, max_in_flight_per_tenant=1)
+        queue.put_batch(["t1-a", "t1-b"], tenant="t1")
+        queue.put_batch(["t2-a"], tenant="t2")
+        first = queue.get(timeout=0)
+        assert first.job == "t1-a"
+        # t1 is at its cap: its second entry is gated, t2's is not
+        assert queue.get(timeout=0).job == "t2-a"
+        assert queue.get(timeout=0.05) is None
+        assert len(queue) == 1  # gated, not lost
+        # task_done(entry) releases the lane (and wakes waiters)
+        queue.task_done(first)
+        assert queue.get(timeout=1).job == "t1-b"
+
+    def test_in_flight_release_wakes_blocked_getter(self):
+        queue = JobQueue(depth=64, max_in_flight_per_tenant=1)
+        queue.put_batch(["a", "b"], tenant="t")
+        held = queue.get(timeout=0)
+        got = []
+
+        def getter():
+            got.append(queue.get(timeout=5))
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.task_done(held)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert got[0].job == "b"
+
+
+class TestTakeMatching:
+    def test_takes_matching_same_lane_entries_up_to_limit(self):
+        queue = JobQueue(depth=64)
+        queue.put_batch(["v1", "v2", "s1", "v3"], tenant="t")
+        queue.put_batch(["other-v"], tenant="other")
+        lead = queue.get(timeout=0)
+        assert lead.job == "v1"
+        taken = queue.take_matching(
+            lead, lambda job: job.startswith("v"), limit=8)
+        # same lane only, matching only, lane order preserved
+        assert [e.job for e in taken] == ["v2", "v3"]
+        assert queue.stats_dict()["in_flight"] == 3
+        for entry in taken:
+            queue.task_done(entry)
+        queue.task_done(lead)
+        # rotation hands the turn to the other tenant after the lead
+        # pop; the skipped same-lane entry follows.
+        assert [e.job for e in entries_of(queue)] == ["other-v", "s1"]
+
+    def test_limit_and_backoff_respected(self):
+        queue = JobQueue(depth=64)
+        entries = queue.put_batch(["v1", "v2", "v3", "v4"])
+        lead = queue.get(timeout=0)
+        entries[2].not_before = monotonic() + 30.0  # v3 backing off
+        taken = queue.take_matching(lead, lambda job: True, limit=1)
+        assert [e.job for e in taken] == ["v2"]
+        taken = queue.take_matching(lead, lambda job: True, limit=8)
+        assert [e.job for e in taken] == ["v4"]  # v3 skipped, kept
+        assert len(queue) == 1
+
+    def test_respects_in_flight_quota(self):
+        queue = JobQueue(depth=64, max_in_flight_per_tenant=2)
+        queue.put_batch(["v1", "v2", "v3"], tenant="t")
+        lead = queue.get(timeout=0)
+        taken = queue.take_matching(lead, lambda job: True, limit=8)
+        # lead holds one in-flight slot; only one companion fits
+        assert [e.job for e in taken] == ["v2"]
 
 
 class TestBackoffDelay:

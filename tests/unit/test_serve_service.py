@@ -159,6 +159,87 @@ class TestWarmPool:
             service.shutdown()
 
 
+class TestSweepFusion:
+    """Cross-batch vector sweep fusion: queued sweepable jobs from
+    separate batches of one tenant dispatch as one fused sweep."""
+
+    def _direct_rows(self, doc):
+        from repro.farm import WorkerState
+        from repro.farm.spec import expand_document, load_designs
+
+        designs = load_designs(doc["designs"], None, "<test>")
+        jobs = expand_document(doc, designs)
+        state = WorkerState(designs)
+        return [r.to_dict(volatile=False)
+                for r in (state.run_job(j) for j in jobs)]
+
+    def test_cross_batch_jobs_fuse_into_one_dispatch(self):
+        doc = document(engines=("vector",), traces=2)
+        service = make_service(workers=1, start=False)
+        try:
+            batches = [service.submit(doc) for _ in range(3)]
+            # six sweepable entries queued before any worker runs
+            service.pool.start()
+            for batch in batches:
+                assert batch.wait(timeout=30)
+            # one fused dispatch executed all six jobs (settle first:
+            # the executed counter bumps a beat after the last row)
+            assert service.pool.wait_idle(timeout=30)
+            assert service.pool.jobs_executed == 1
+            truth = self._direct_rows(doc)
+            for batch in batches:
+                rows = sorted(batch.results, key=lambda r: r.index)
+                assert all(r.engine == "vector" and r.ok for r in rows)
+                # per-job identity and stable payloads survive fusion
+                assert [r.to_dict(volatile=False) for r in rows] == truth
+        finally:
+            service.shutdown()
+
+    def test_fusion_limit_one_disables_fusion(self):
+        doc = document(engines=("vector",), traces=2)
+        service = make_service(workers=1, start=False, fusion_limit=1)
+        try:
+            batches = [service.submit(doc) for _ in range(2)]
+            service.pool.start()
+            for batch in batches:
+                assert batch.wait(timeout=30)
+            assert service.pool.wait_idle(timeout=30)
+            assert service.pool.jobs_executed == 4  # one per job
+            truth = self._direct_rows(doc)
+            for batch in batches:
+                rows = sorted(batch.results, key=lambda r: r.index)
+                assert [r.to_dict(volatile=False) for r in rows] == truth
+        finally:
+            service.shutdown()
+
+    def test_fusion_window_is_bounded(self):
+        doc = document(engines=("vector",), traces=1)
+        service = make_service(workers=1, start=False, fusion_limit=2)
+        try:
+            batches = [service.submit(doc) for _ in range(5)]
+            service.pool.start()
+            for batch in batches:
+                assert batch.wait(timeout=30)
+            # five jobs, fused at most two at a time: >= 3 dispatches
+            assert service.pool.wait_idle(timeout=30)
+            assert service.pool.jobs_executed >= 3
+        finally:
+            service.shutdown()
+
+    def test_non_sweepable_jobs_never_fuse(self):
+        doc = document(traces=2)  # efsm: no sweep key
+        service = make_service(workers=1, start=False)
+        try:
+            batches = [service.submit(doc) for _ in range(2)]
+            service.pool.start()
+            for batch in batches:
+                assert batch.wait(timeout=30)
+            assert service.pool.wait_idle(timeout=30)
+            assert service.pool.jobs_executed == 4
+        finally:
+            service.shutdown()
+
+
 class TestWorkerDeath:
     def test_crashed_worker_retries_job_to_success(self):
         service = make_service(workers=1, max_attempts=3)
